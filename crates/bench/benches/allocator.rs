@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the PowerAllocator hot path: utility-curve
+//! construction and DP apportionment, the work done on every
+//! re-allocation event (E1–E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermed_cluster::manager::ClusterManager;
+use powermed_core::allocator::PowerAllocator;
+use powermed_core::measurement::AppMeasurement;
+use powermed_core::slo::SloPlanner;
+use powermed_core::utility::UtilityCurve;
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::catalog;
+
+fn bench_allocator(c: &mut Criterion) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let apps: Vec<AppMeasurement> = catalog::all()
+        .iter()
+        .map(|p| AppMeasurement::exhaustive(&spec, p))
+        .collect();
+
+    c.bench_function("utility_curve_build_30w", |b| {
+        let family = apps[0].feasible_indices();
+        b.iter(|| UtilityCurve::build(&apps[0], &family, Watts::new(30.0), Watts::new(1.0)))
+    });
+
+    let mut group = c.benchmark_group("dp_apportion");
+    for n_apps in [2usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_apps), &n_apps, |b, &n| {
+            let slice: Vec<(&AppMeasurement, Option<&[usize]>)> =
+                apps.iter().take(n).map(|m| (m, None)).collect();
+            let alloc = PowerAllocator::default();
+            b.iter(|| alloc.apportion(&slice, Watts::new(30.0)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("exhaustive_measurement_432", |b| {
+        let profile = catalog::bfs();
+        b.iter(|| AppMeasurement::exhaustive(&spec, &profile))
+    });
+
+    c.bench_function("dp_apportion_with_cores_3apps", |b| {
+        let slice: Vec<(&AppMeasurement, Option<&[usize]>)> =
+            apps.iter().take(3).map(|m| (m, None)).collect();
+        let alloc = PowerAllocator::default();
+        b.iter(|| alloc.apportion_with_cores(&slice, Watts::new(40.0), 12))
+    });
+
+    c.bench_function("slo_plan_two_apps", |b| {
+        let planner = SloPlanner::new(spec.clone());
+        let lc = AppMeasurement::exhaustive(&spec, &catalog::x264().with_slo(0.8));
+        let batch = apps[2].clone();
+        let pair = [("x264", &lc), ("bfs", &batch)];
+        b.iter(|| planner.plan(&pair, Watts::new(95.0)))
+    });
+
+    c.bench_function("cluster_dp_ten_servers", |b| {
+        let vals = [0.00, 0.07, 0.13, 0.21, 0.28, 0.36, 0.44, 0.53, 0.58, 0.77, 0.90, 0.99, 1.00, 1.00];
+        let curve: Vec<(Watts, f64)> = ClusterManager::candidate_caps().zip(vals).collect();
+        let curves: Vec<Vec<(Watts, f64)>> = vec![curve; 10];
+        b.iter(|| ClusterManager::apportion_cluster(&curves, Watts::new(900.0)))
+    });
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

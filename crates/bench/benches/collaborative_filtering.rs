@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the collaborative-filtering path: ALS
+//! fitting over the corpus and the fold-in performed per arriving
+//! application (event E2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powermed_cf::als::{Completion, FitConfig};
+use powermed_cf::sampler::SparseSampler;
+use powermed_core::measurement::AppMeasurement;
+use powermed_server::ServerSpec;
+use powermed_workloads::catalog;
+
+fn corpus_entries() -> (usize, usize, Vec<(usize, usize, f64)>) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let profiles = catalog::all();
+    let cols = spec.knob_grid().len();
+    let mut entries = Vec::new();
+    for (r, p) in profiles.iter().enumerate() {
+        let m = AppMeasurement::exhaustive(&spec, p);
+        for c in 0..cols {
+            entries.push((r, c, m.power(c).value()));
+        }
+    }
+    (profiles.len(), cols, entries)
+}
+
+fn bench_cf(c: &mut Criterion) {
+    let (rows, cols, entries) = corpus_entries();
+    let cfg = FitConfig::default();
+
+    c.bench_function("als_fit_corpus_12x432", |b| {
+        b.iter(|| Completion::fit(rows, cols, &entries, cfg))
+    });
+
+    let model = Completion::fit(rows, cols, &entries, cfg);
+    let sampler = SparseSampler::new(cols, 3);
+    let sampled = sampler.columns_for(0.10);
+    let observed: Vec<(usize, f64)> = sampled.iter().map(|&ci| (ci, 8.0)).collect();
+
+    c.bench_function("fold_in_new_app_10pct", |b| {
+        b.iter(|| {
+            let folded = model.fold_in(&observed);
+            model.predict_row(&folded)
+        })
+    });
+
+    c.bench_function("sparse_sampler_10pct_of_432", |b| {
+        b.iter(|| sampler.columns_for(0.10))
+    });
+}
+
+criterion_group!(benches, bench_cf);
+criterion_main!(benches);

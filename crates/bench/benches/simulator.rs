@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the simulation engine and full mediation
+//! loop: the per-step cost that bounds how long the figure experiments
+//! take and how finely the runtime can poll.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powermed_core::policy::PolicyKind;
+use powermed_core::runtime::PowerMediator;
+use powermed_esd::{LeadAcidBattery, NoEsd};
+use powermed_server::{KnobSetting, ServerSpec};
+use powermed_sim::engine::ServerSim;
+use powermed_units::{Seconds, Watts};
+use powermed_workloads::mixes;
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let dt = Seconds::from_millis(100.0);
+
+    c.bench_function("raw_sim_step_two_apps", |b| {
+        let mix = mixes::mix(1).unwrap();
+        let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+        let knob = KnobSetting::max_for(&spec).with_cores(4);
+        for app in mix.apps() {
+            sim.host(app.clone(), knob).unwrap();
+        }
+        b.iter(|| sim.step(dt))
+    });
+
+    c.bench_function("mediated_step_app_res_aware", |b| {
+        let mix = mixes::mix(10).unwrap();
+        let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+        let mut med = PowerMediator::new(PolicyKind::AppResAware, spec.clone(), Watts::new(100.0));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).unwrap();
+        }
+        b.iter(|| med.step(&mut sim, dt))
+    });
+
+    c.bench_function("mediated_step_esd_cycle", |b| {
+        let mix = mixes::mix(1).unwrap();
+        let mut sim = ServerSim::new(
+            spec.clone(),
+            Box::new(LeadAcidBattery::server_ups().with_soc(0.5)),
+        );
+        let mut med =
+            PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), Watts::new(80.0));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).unwrap();
+        }
+        b.iter(|| med.step(&mut sim, dt))
+    });
+
+    c.bench_function("admit_with_exhaustive_calibration", |b| {
+        b.iter(|| {
+            let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+            let mut med =
+                PowerMediator::new(PolicyKind::AppResAware, spec.clone(), Watts::new(100.0));
+            med.admit(&mut sim, mixes::mix(1).unwrap().app1.clone())
+                .unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper in order.
+use powermed_bench::experiments as ex;
+
+fn main() {
+    ex::table1::print();
+    ex::table2::print();
+    ex::fig2::print();
+    ex::fig3::print();
+    ex::fig4::print();
+    ex::fig5::print();
+    ex::fig7::print();
+    ex::fig8::print();
+    ex::fig9::print();
+    ex::fig10::print();
+    ex::fig11::print();
+    ex::fig12::print();
+}

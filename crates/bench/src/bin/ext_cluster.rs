@@ -1,0 +1,4 @@
+//! Runs the ext_cluster experiments. Run with `--release` for speed.
+fn main() {
+    powermed_bench::experiments::ext_cluster::print();
+}

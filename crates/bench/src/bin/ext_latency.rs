@@ -1,0 +1,4 @@
+//! Runs the latency-critical co-location extension experiment.
+fn main() {
+    powermed_bench::experiments::ext_latency::print();
+}

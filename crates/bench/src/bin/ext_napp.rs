@@ -1,0 +1,4 @@
+//! Runs the ext_napp experiments. Run with `--release` for speed.
+fn main() {
+    powermed_bench::experiments::ext_napp::print();
+}

@@ -1,0 +1,10 @@
+//! Runs every ablation and extension experiment (beyond the paper's
+//! own tables and figures).
+use powermed_bench::experiments as ex;
+
+fn main() {
+    ex::ablations::print();
+    ex::ext_napp::print();
+    ex::ext_latency::print();
+    ex::ext_cluster::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig5 of the paper. Run with `--release` for speed.
+fn main() {
+    powermed_bench::experiments::fig5::print();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig7 of the paper. Run with `--release` for speed.
+fn main() {
+    powermed_bench::experiments::fig7::print();
+}

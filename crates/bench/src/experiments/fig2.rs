@@ -1,0 +1,99 @@
+//! Fig. 2: application-level power utility curves.
+//!
+//! Two co-located applications lose different amounts of performance for
+//! the same per-application power cap — the premise of Requirement R1.
+//! We plot normalized performance versus the app-level power budget for
+//! a contrasting pair (memory-bound STREAM vs compute-bound kmeans).
+
+use powermed_core::utility::UtilityCurve;
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::catalog;
+
+use crate::support::{heading, measure, pct};
+
+/// One utility-curve series: `(budget watts, normalized perf)` points.
+#[derive(Debug, Clone)]
+pub struct CurveSeries {
+    /// Application name.
+    pub app: String,
+    /// `(budget, normalized perf)` points at 1 W granularity.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Computes the Fig. 2 curves for the canonical contrasting pair.
+pub fn run() -> Vec<CurveSeries> {
+    curves_for(&["stream", "kmeans"])
+}
+
+/// Computes utility curves for the named catalog applications.
+pub fn curves_for(names: &[&str]) -> Vec<CurveSeries> {
+    let spec = ServerSpec::xeon_e5_2620();
+    names
+        .iter()
+        .map(|name| {
+            let profile = catalog::by_name(name).expect("catalog profile");
+            let m = measure(&spec, &profile);
+            let family = m.feasible_indices();
+            let curve = UtilityCurve::build(&m, &family, Watts::new(26.0), Watts::new(1.0));
+            let nocap = m.nocap_perf();
+            let points = curve
+                .points()
+                .iter()
+                .map(|p| (p.budget.value(), p.perf / nocap))
+                .collect();
+            CurveSeries {
+                app: name.to_string(),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Prints the curves as aligned columns.
+pub fn print() {
+    heading("Fig. 2: Application-level power utility curves");
+    let series = run();
+    print!("{:>8}", "budget");
+    for s in &series {
+        print!("{:>12}", s.app);
+    }
+    println!();
+    let len = series[0].points.len();
+    for i in 0..len {
+        print!("{:>7.0}W", series[0].points[i].0);
+        for s in &series {
+            print!("{:>12}", pct(s.points[i].1));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_different_slopes() {
+        let series = run();
+        assert_eq!(series.len(), 2);
+        let at = |s: &CurveSeries, w: f64| {
+            s.points
+                .iter()
+                .find(|(b, _)| (*b - w).abs() < 1e-9)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // At 12 W the two apps' normalized perf differ markedly (the
+        // paper's A-vs-B slope difference).
+        let stream = at(&series[0], 12.0);
+        let kmeans = at(&series[1], 12.0);
+        assert!(
+            (stream - kmeans).abs() > 0.05,
+            "stream {stream:.3} vs kmeans {kmeans:.3}"
+        );
+        // Both reach ~1.0 uncapped.
+        assert!(at(&series[0], 26.0) > 0.95);
+        assert!(at(&series[1], 26.0) > 0.95);
+    }
+}

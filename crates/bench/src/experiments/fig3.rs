@@ -1,0 +1,92 @@
+//! Fig. 3: resource-level power utilities.
+//!
+//! The utility of one more watt differs not only across applications but
+//! across each application's *direct resources* — DVFS, core count and
+//! DRAM power. Requirement R2 follows: the app's budget must itself be
+//! apportioned across resources.
+
+use powermed_core::utility::{resource_marginals, ResourceMarginals};
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::catalog;
+
+use crate::support::{heading, measure};
+
+/// Marginal utilities for one application at one budget.
+#[derive(Debug, Clone)]
+pub struct MarginalRow {
+    /// Application name.
+    pub app: String,
+    /// Budget at which the marginals were taken.
+    pub budget: Watts,
+    /// Per-resource perf-per-watt slopes, normalized to the app's
+    /// uncapped performance (so rows are comparable across apps).
+    pub normalized: ResourceMarginals,
+}
+
+/// Computes Fig. 3's per-resource utilities for a representative set of
+/// applications at a mid-range per-app budget.
+pub fn run() -> Vec<MarginalRow> {
+    rows_for(&["stream", "kmeans", "bfs", "x264"], Watts::new(12.0))
+}
+
+/// Computes marginal rows for the named applications at `budget`.
+pub fn rows_for(names: &[&str], budget: Watts) -> Vec<MarginalRow> {
+    let spec = ServerSpec::xeon_e5_2620();
+    names
+        .iter()
+        .filter_map(|name| {
+            let profile = catalog::by_name(name)?;
+            let m = measure(&spec, &profile);
+            let nocap = m.nocap_perf().max(1e-12);
+            let mg = resource_marginals(&spec, &m, budget)?;
+            Some(MarginalRow {
+                app: name.to_string(),
+                budget,
+                normalized: ResourceMarginals {
+                    frequency: mg.frequency / nocap,
+                    cores: mg.cores / nocap,
+                    memory: mg.memory / nocap,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Prints the marginal-utility table.
+pub fn print() {
+    heading("Fig. 3: Resource-level power utilities (normalized perf per watt)");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12}",
+        "app", "budget", "frequency", "cores", "memory"
+    );
+    for row in run() {
+        println!(
+            "{:<12} {:>7.0}W {:>12.4} {:>12.4} {:>12.4}",
+            row.app,
+            row.budget.value(),
+            row.normalized.frequency,
+            row.normalized.cores,
+            row.normalized.memory
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_values_memory_kmeans_values_compute() {
+        let rows = run();
+        let find = |name: &str| rows.iter().find(|r| r.app == name).unwrap();
+        let stream = find("stream");
+        assert!(
+            stream.normalized.memory > stream.normalized.frequency,
+            "{stream:?}"
+        );
+        let kmeans = find("kmeans");
+        let compute = kmeans.normalized.frequency.max(kmeans.normalized.cores);
+        assert!(compute > kmeans.normalized.memory, "{kmeans:?}");
+    }
+}

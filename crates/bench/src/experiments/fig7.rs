@@ -1,0 +1,147 @@
+//! Fig. 7: calibration of the online sampling fraction.
+//!
+//! 5-fold cross-validation over the application corpus: each held-out
+//! application is estimated from a sparse sample of its settings, and we
+//! measure the *consequences* of the residual error — server power
+//! overshoot when allocating from underestimates, and performance
+//! relative to the exhaustively-sampled optimal. The paper fixes 10%
+//! from this experiment.
+
+use powermed_cf::crossval::CrossValidator;
+use powermed_cf::matrix::UtilityMatrix;
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::catalog;
+use powermed_workloads::generator::WorkloadGenerator;
+
+use crate::support::{heading, measure, pct};
+
+/// Outcome at one sampling fraction.
+#[derive(Debug, Clone)]
+pub struct SamplePoint {
+    /// Fraction of the 432-setting grid sampled online.
+    pub fraction: f64,
+    /// Mean relative power overshoot when the allocator trusts the
+    /// estimate at a 15 W per-app budget (positive = cap violation).
+    pub power_overshoot: f64,
+    /// Mean performance at the chosen setting relative to the optimal
+    /// (exhaustive-knowledge) choice at the same budget.
+    pub perf_vs_optimal: f64,
+    /// Mean power-estimation RMSE in watts (diagnostic).
+    pub power_rmse: f64,
+}
+
+/// The sampling fractions swept (the paper's x-axis).
+pub const FRACTIONS: [f64; 6] = [0.02, 0.05, 0.10, 0.20, 0.35, 0.50];
+
+/// Budget at which allocation consequences are evaluated.
+const BUDGET: Watts = Watts::new(15.0);
+
+/// Builds the dense ground-truth utility matrix over the corpus
+/// (catalog + perturbed variants, 24 apps total).
+fn ground_truth() -> UtilityMatrix {
+    let spec = ServerSpec::xeon_e5_2620();
+    let mut gen = WorkloadGenerator::new(11);
+    let mut profiles = catalog::all();
+    profiles.extend(gen.variant_corpus(12, 0.25));
+    let mut matrix = UtilityMatrix::new(spec.knob_grid().len());
+    for p in &profiles {
+        let m = measure(&spec, p);
+        for i in 0..m.grid().len() {
+            matrix.insert(p.name(), i, m.power(i), m.perf(i));
+        }
+    }
+    matrix
+}
+
+/// Runs the sweep.
+pub fn run() -> Vec<SamplePoint> {
+    let matrix = ground_truth();
+    let cv = CrossValidator::new(5);
+    FRACTIONS
+        .iter()
+        .map(|&fraction| evaluate(&matrix, &cv, fraction))
+        .collect()
+}
+
+fn evaluate(matrix: &UtilityMatrix, cv: &CrossValidator, fraction: f64) -> SamplePoint {
+    let reports = cv.run(matrix, fraction, 23);
+    let mut overshoots = Vec::new();
+    let mut perf_ratios = Vec::new();
+    let mut rmses = Vec::new();
+    for r in &reports {
+        rmses.push(r.power_rmse());
+        // The allocator would pick, from the *estimated* surface, the
+        // best-estimated-perf setting within the budget…
+        let chosen = (0..r.power_pred.len())
+            .filter(|&i| r.power_pred[i] <= BUDGET.value())
+            .max_by(|&a, &b| {
+                r.perf_pred[a]
+                    .partial_cmp(&r.perf_pred[b])
+                    .expect("finite perf")
+            });
+        // …and the truth determines what actually happens.
+        let optimal = (0..r.power_true.len())
+            .filter(|&i| r.power_true[i] <= BUDGET.value())
+            .map(|i| r.perf_true[i])
+            .fold(0.0f64, f64::max);
+        match chosen {
+            Some(i) => {
+                let realized_power = r.power_true[i];
+                overshoots.push(((realized_power - BUDGET.value()) / BUDGET.value()).max(0.0));
+                if optimal > 0.0 {
+                    perf_ratios.push(r.perf_true[i] / optimal);
+                }
+            }
+            None => {
+                overshoots.push(0.0);
+                perf_ratios.push(0.0);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    SamplePoint {
+        fraction,
+        power_overshoot: mean(&overshoots),
+        perf_vs_optimal: mean(&perf_ratios),
+        power_rmse: mean(&rmses),
+    }
+}
+
+/// Prints the sweep.
+pub fn print() {
+    heading("Fig. 7: Calibration of online sampling (5-fold CV)");
+    println!(
+        "{:>9} {:>16} {:>16} {:>14}",
+        "fraction", "power overshoot", "perf vs optimal", "power RMSE"
+    );
+    for p in run() {
+        println!(
+            "{:>8.0}% {:>16} {:>16} {:>12.2} W",
+            p.fraction * 100.0,
+            pct(p.power_overshoot),
+            pct(p.perf_vs_optimal),
+            p.power_rmse
+        );
+    }
+    println!("(the runtime fixes the online sampling rate at 10%)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "slow in debug builds; run with --release or --ignored"]
+    fn denser_sampling_tightens_power_and_perf() {
+        let points = run();
+        let first = &points[0];
+        let last = points.last().unwrap();
+        assert!(last.power_rmse <= first.power_rmse + 1e-9);
+        assert!(last.perf_vs_optimal >= first.perf_vs_optimal - 0.02);
+        // At 10% sampling the system is already accurate enough.
+        let ten = points.iter().find(|p| p.fraction == 0.10).unwrap();
+        assert!(ten.power_overshoot < 0.05, "{ten:?}");
+        assert!(ten.perf_vs_optimal > 0.9, "{ten:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 9: power-utility differences across applications and their
+//! hardware resources, for the three mixes the paper dissects.
+//!
+//! * Mix-10 (PageRank + kmeans): both compute-bound, but with different
+//!   marginal benefit per watt → app-level apportionment helps (9a);
+//! * Mix-1 (STREAM + kmeans): similar app-level utilities at ~15 W but
+//!   very different *resource-level* utilities (9b, 9d);
+//! * Mix-14 (X264 + SSSP): differ at both levels (9c, 9d).
+
+use powermed_units::Watts;
+
+use crate::experiments::{fig2, fig3};
+use crate::support::heading;
+
+/// All Fig. 9 data: app-level curves per mix, plus resource-level rows.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// (mix label, the two apps' utility-curve series).
+    pub app_level: Vec<(String, Vec<fig2::CurveSeries>)>,
+    /// Resource-level marginal rows for the apps of mixes 1 and 14.
+    pub resource_level: Vec<fig3::MarginalRow>,
+}
+
+/// Computes the Fig. 9 panels.
+pub fn run() -> Fig9 {
+    let app_level = vec![
+        (
+            "mix-10 (9a)".to_string(),
+            fig2::curves_for(&["pagerank", "kmeans"]),
+        ),
+        (
+            "mix-1 (9b)".to_string(),
+            fig2::curves_for(&["stream", "kmeans"]),
+        ),
+        (
+            "mix-14 (9c)".to_string(),
+            fig2::curves_for(&["x264", "sssp"]),
+        ),
+    ];
+    let resource_level =
+        fig3::rows_for(&["stream", "kmeans", "x264", "sssp"], Watts::new(12.0));
+    Fig9 {
+        app_level,
+        resource_level,
+    }
+}
+
+/// Prints the Fig. 9 panels.
+pub fn print() {
+    let data = run();
+    for (label, series) in &data.app_level {
+        heading(&format!("Fig. 9 {label}: inter-app power utility"));
+        print!("{:>8}", "budget");
+        for s in series {
+            print!("{:>12}", s.app);
+        }
+        println!();
+        for i in (0..series[0].points.len()).step_by(2) {
+            print!("{:>7.0}W", series[0].points[i].0);
+            for s in series {
+                print!("{:>11.1}%", s.points[i].1 * 100.0);
+            }
+            println!();
+        }
+    }
+    heading("Fig. 9d: intra-app resource-level utility (normalized perf per watt)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "app", "frequency", "cores", "memory"
+    );
+    for row in &data.resource_level {
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>12.4}",
+            row.app, row.normalized.frequency, row.normalized.cores, row.normalized.memory
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix10_apps_differ_in_marginal_benefit() {
+        let data = run();
+        let (_, series) = &data.app_level[0];
+        // Marginal benefit per watt differs between pagerank and kmeans
+        // in the upper-budget region where the allocator trades watts.
+        let slope = |s: &fig2::CurveSeries| {
+            let at = |w: f64| {
+                s.points
+                    .iter()
+                    .find(|(b, _)| (*b - w).abs() < 1e-9)
+                    .unwrap()
+                    .1
+            };
+            (at(18.0) - at(14.0)) / 4.0
+        };
+        let s1 = slope(&series[0]);
+        let s2 = slope(&series[1]);
+        assert!(
+            (s1 - s2).abs() > 0.005,
+            "pagerank slope {s1:.4} vs kmeans slope {s2:.4}"
+        );
+    }
+
+    #[test]
+    fn mix1_apps_differ_at_resource_level() {
+        let data = run();
+        let find = |name: &str| {
+            data.resource_level
+                .iter()
+                .find(|r| r.app == name)
+                .unwrap()
+        };
+        let stream = find("stream");
+        let kmeans = find("kmeans");
+        // STREAM's best watt goes to memory, kmeans' to compute.
+        assert!(stream.normalized.memory > kmeans.normalized.memory);
+        let stream_compute = stream.normalized.frequency.max(stream.normalized.cores);
+        let kmeans_compute = kmeans.normalized.frequency.max(kmeans.normalized.cores);
+        assert!(kmeans_compute > stream_compute);
+    }
+}

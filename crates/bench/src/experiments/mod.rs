@@ -1,0 +1,18 @@
+//! One module per table and figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod ext_cluster;
+pub mod ext_latency;
+pub mod ext_napp;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,61 @@
+//! Table I: server configuration.
+
+use powermed_server::ServerSpec;
+
+use crate::support::heading;
+
+/// The Table I rows as `(parameter, value)` strings.
+pub fn rows() -> Vec<(String, String)> {
+    let spec = ServerSpec::xeon_e5_2620();
+    vec![
+        ("Processor".into(), "Xeon-2620 (simulated)".into()),
+        ("Cores".into(), spec.topology().total_cores().to_string()),
+        (
+            "Freq.".into(),
+            format!(
+                "{:.1}-{:.0}GHz",
+                spec.ladder().min_frequency().value(),
+                spec.ladder().max_frequency().value()
+            ),
+        ),
+        ("Freq. steps".into(), spec.ladder().steps().to_string()),
+        ("LLC".into(), "15MB".into()),
+        ("Memory".into(), "8GB DDR3".into()),
+        ("NUMA".into(), format!("{} nodes", spec.topology().sockets())),
+        ("P_idle".into(), format!("{:.0}", spec.idle_power())),
+        ("P_cm".into(), format!("{:.0}", spec.chip_maintenance_power())),
+        (
+            "P_dynamic".into(),
+            format!("{:.0}", spec.max_dynamic_power()),
+        ),
+    ]
+}
+
+/// Prints Table I.
+pub fn print() {
+    heading("Table I: Server Configurations");
+    for (k, v) in rows() {
+        println!("{k:<12} {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper() {
+        let rows = rows();
+        let get = |k: &str| {
+            rows.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("Cores"), "12");
+        assert_eq!(get("Freq. steps"), "9");
+        assert_eq!(get("NUMA"), "2 nodes");
+        assert_eq!(get("P_idle"), "50 W");
+        assert_eq!(get("P_cm"), "20 W");
+    }
+}

@@ -1,0 +1,43 @@
+//! Table II: the fifteen application mixes.
+
+use powermed_workloads::mixes;
+
+use crate::support::heading;
+
+/// The Table II rows: `(mix id, app1 (type), app2 (type))`.
+pub fn rows() -> Vec<(usize, String, String)> {
+    mixes::table2()
+        .into_iter()
+        .map(|m| {
+            (
+                m.id.0,
+                format!("{} ({})", m.app1.name(), m.app1.category()),
+                format!("{} ({})", m.app2.name(), m.app2.category()),
+            )
+        })
+        .collect()
+}
+
+/// Prints Table II.
+pub fn print() {
+    heading("Table II: Application mixes (non-latency-critical co-locations)");
+    println!("{:<5} {:<24} {:<24}", "Mix", "App1 (Type)", "App2 (Type)");
+    for (id, a, b) in rows() {
+        println!("{id:<5} {a:<24} {b:<24}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_rows_in_paper_order() {
+        let rows = rows();
+        assert_eq!(rows.len(), 15);
+        assert!(rows[0].1.starts_with("stream"));
+        assert!(rows[0].2.starts_with("kmeans"));
+        assert!(rows[13].1.starts_with("x264"));
+        assert!(rows[13].2.starts_with("sssp"));
+    }
+}

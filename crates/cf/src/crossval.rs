@@ -1,0 +1,312 @@
+//! K-fold cross-validation of the online estimation pipeline (Fig. 7).
+//!
+//! The paper picks its 10% online sampling rate by 5-fold cross
+//! validation: 80% of the applications (with exhaustive measurements)
+//! train the model, and each held-out application is then estimated from
+//! only a sparse sample of its own measurements. The consequence of the
+//! remaining estimation error — power overshoot at the server, lost
+//! performance — is what Fig. 7 plots against the sampling fraction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::als::{Completion, FitConfig};
+use crate::linalg::rmse;
+use crate::matrix::UtilityMatrix;
+use crate::sampler::SparseSampler;
+
+/// The estimation outcome for one held-out application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldReport {
+    /// The held-out application.
+    pub app: String,
+    /// Which grid columns were measured online.
+    pub sampled_cols: Vec<usize>,
+    /// Ground-truth power at every column (watts).
+    pub power_true: Vec<f64>,
+    /// Estimated power at every column (measured values pass through).
+    pub power_pred: Vec<f64>,
+    /// Ground-truth performance at every column.
+    pub perf_true: Vec<f64>,
+    /// Estimated performance at every column.
+    pub perf_pred: Vec<f64>,
+}
+
+impl FoldReport {
+    /// RMSE of the power estimates (watts).
+    pub fn power_rmse(&self) -> f64 {
+        rmse(&self.power_pred, &self.power_true)
+    }
+
+    /// RMSE of the performance estimates.
+    pub fn perf_rmse(&self) -> f64 {
+        rmse(&self.perf_pred, &self.perf_true)
+    }
+
+    /// Mean power *underestimation* (watts): the dangerous direction,
+    /// since allocating on an underestimate overshoots the server cap.
+    pub fn mean_power_underestimate(&self) -> f64 {
+        let total: f64 = self
+            .power_true
+            .iter()
+            .zip(&self.power_pred)
+            .map(|(t, p)| (t - p).max(0.0))
+            .sum();
+        total / self.power_true.len() as f64
+    }
+
+    /// Worst-case power underestimation across the grid (watts).
+    pub fn worst_power_underestimate(&self) -> f64 {
+        self.power_true
+            .iter()
+            .zip(&self.power_pred)
+            .map(|(t, p)| (t - p).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// K-fold cross-validation driver.
+#[derive(Debug, Clone)]
+pub struct CrossValidator {
+    folds: usize,
+    fit: FitConfig,
+}
+
+impl CrossValidator {
+    /// Creates a validator with `folds` folds (the paper uses 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `folds < 2`.
+    pub fn new(folds: usize) -> Self {
+        assert!(folds >= 2, "need at least two folds");
+        Self {
+            folds,
+            fit: FitConfig::default(),
+        }
+    }
+
+    /// Overrides the ALS fit configuration.
+    pub fn with_fit_config(mut self, fit: FitConfig) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Runs cross-validation on a **dense** utility matrix (every app
+    /// measured at every column) at the given online sampling fraction.
+    ///
+    /// Returns one report per application (each app is held out exactly
+    /// once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has fewer apps than folds, or any row is not
+    /// fully dense.
+    pub fn run(&self, matrix: &UtilityMatrix, fraction: f64, seed: u64) -> Vec<FoldReport> {
+        let names: Vec<String> = matrix.app_names().iter().map(|s| s.to_string()).collect();
+        assert!(
+            names.len() >= self.folds,
+            "need at least as many apps as folds"
+        );
+        for name in &names {
+            assert_eq!(
+                matrix.row_len(name),
+                matrix.columns(),
+                "cross-validation needs dense ground truth for {name}"
+            );
+        }
+        let cols = matrix.columns();
+        let sampler = SparseSampler::new(cols, seed);
+        let sampled_cols = sampler.columns_for(fraction);
+
+        let mut reports = Vec::with_capacity(names.len());
+        for fold in 0..self.folds {
+            let held_out: Vec<&String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % self.folds == fold)
+                .map(|(_, n)| n)
+                .collect();
+            if held_out.is_empty() {
+                continue;
+            }
+            let train: Vec<&String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % self.folds != fold)
+                .map(|(_, n)| n)
+                .collect();
+
+            // Build training channels restricted to the training rows.
+            let mut power_entries = Vec::new();
+            let mut perf_entries = Vec::new();
+            for (ri, name) in train.iter().enumerate() {
+                for (c, p, q) in matrix.row(name) {
+                    power_entries.push((ri, c, p.value()));
+                    perf_entries.push((ri, c, q));
+                }
+            }
+            let power_model = Completion::fit(train.len(), cols, &power_entries, self.fit);
+            let perf_model = Completion::fit(train.len(), cols, &perf_entries, self.fit);
+
+            for name in held_out {
+                let row = matrix.row(name);
+                let power_true: Vec<f64> = row.iter().map(|(_, p, _)| p.value()).collect();
+                let perf_true: Vec<f64> = row.iter().map(|(_, _, q)| *q).collect();
+
+                let power_obs: Vec<(usize, f64)> = sampled_cols
+                    .iter()
+                    .map(|&c| (c, power_true[c]))
+                    .collect();
+                let perf_obs: Vec<(usize, f64)> =
+                    sampled_cols.iter().map(|&c| (c, perf_true[c])).collect();
+
+                let mut power_pred =
+                    power_model.predict_row(&power_model.fold_in(&power_obs));
+                let mut perf_pred = perf_model.predict_row(&perf_model.fold_in(&perf_obs));
+                // Measured settings are known exactly: pass them through.
+                for &c in &sampled_cols {
+                    power_pred[c] = power_true[c];
+                    perf_pred[c] = perf_true[c];
+                }
+                // Physical floor: neither power nor perf can be negative.
+                for v in power_pred.iter_mut().chain(perf_pred.iter_mut()) {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+
+                reports.push(FoldReport {
+                    app: name.clone(),
+                    sampled_cols: sampled_cols.clone(),
+                    power_true,
+                    power_pred,
+                    perf_true,
+                    perf_pred,
+                });
+            }
+        }
+        reports
+    }
+}
+
+/// Aggregates fold reports into mean power RMSE, mean underestimation and
+/// mean perf RMSE — the summary series plotted in Fig. 7.
+pub fn summarize(reports: &[FoldReport]) -> (f64, f64, f64) {
+    if reports.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let n = reports.len() as f64;
+    let power_rmse = reports.iter().map(FoldReport::power_rmse).sum::<f64>() / n;
+    let under = reports
+        .iter()
+        .map(FoldReport::mean_power_underestimate)
+        .sum::<f64>()
+        / n;
+    let perf_rmse = reports.iter().map(FoldReport::perf_rmse).sum::<f64>() / n;
+    (power_rmse, under, perf_rmse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_units::Watts;
+
+    /// A synthetic dense matrix with low-rank structure: app i has
+    /// "compute affinity" a_i and "memory affinity" b_i; column c has
+    /// compute/memory content.
+    fn synthetic_matrix(apps: usize, cols: usize) -> UtilityMatrix {
+        let mut m = UtilityMatrix::new(cols);
+        for i in 0..apps {
+            let a = 1.0 + 0.2 * i as f64;
+            let b = 0.5 + 0.35 * ((i * 7) % 5) as f64;
+            for c in 0..cols {
+                let fc = (c as f64 / cols as f64) * 2.0 + 0.5;
+                let mc = ((c % 8) as f64) / 8.0 + 0.3;
+                let power = 3.0 + a * fc * fc + b * mc * 4.0;
+                let perf = 10.0 * (a * fc).min(b * mc * 10.0) + a;
+                m.insert(&format!("app{i}"), c, Watts::new(power), perf);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn runs_one_report_per_app() {
+        let m = synthetic_matrix(10, 40);
+        let cv = CrossValidator::new(5);
+        let reports = cv.run(&m, 0.2, 3);
+        assert_eq!(reports.len(), 10);
+        let mut apps: Vec<&str> = reports.iter().map(|r| r.app.as_str()).collect();
+        apps.sort();
+        apps.dedup();
+        assert_eq!(apps.len(), 10, "each app held out exactly once");
+    }
+
+    #[test]
+    fn error_shrinks_with_sampling_fraction() {
+        let m = synthetic_matrix(10, 48);
+        let cv = CrossValidator::new(5);
+        let sparse = summarize(&cv.run(&m, 0.05, 3));
+        let dense = summarize(&cv.run(&m, 0.5, 3));
+        assert!(
+            dense.0 <= sparse.0 + 1e-9,
+            "power RMSE: 50% sampling ({}) should beat 5% ({})",
+            dense.0,
+            sparse.0
+        );
+    }
+
+    #[test]
+    fn sampled_columns_pass_through_exactly() {
+        let m = synthetic_matrix(6, 24);
+        let cv = CrossValidator::new(3);
+        let reports = cv.run(&m, 0.25, 1);
+        for r in &reports {
+            for &c in &r.sampled_cols {
+                assert_eq!(r.power_pred[c], r.power_true[c]);
+                assert_eq!(r.perf_pred[c], r.perf_true[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn underestimate_metrics_nonnegative() {
+        let m = synthetic_matrix(8, 32);
+        let cv = CrossValidator::new(4);
+        for r in cv.run(&m, 0.1, 2) {
+            assert!(r.mean_power_underestimate() >= 0.0);
+            assert!(r.worst_power_underestimate() >= r.mean_power_underestimate());
+        }
+    }
+
+    #[test]
+    fn full_sampling_is_exact() {
+        let m = synthetic_matrix(6, 24);
+        let cv = CrossValidator::new(3);
+        let reports = cv.run(&m, 1.0, 1);
+        let (power_rmse, under, perf_rmse) = summarize(&reports);
+        assert!(power_rmse < 1e-9);
+        assert!(under < 1e-9);
+        assert!(perf_rmse < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense ground truth")]
+    fn sparse_ground_truth_rejected() {
+        let mut m = UtilityMatrix::new(4);
+        m.insert("a", 0, Watts::new(1.0), 1.0);
+        m.insert("b", 0, Watts::new(1.0), 1.0);
+        let _ = CrossValidator::new(2).run(&m, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_rejected() {
+        let _ = CrossValidator::new(1);
+    }
+
+    #[test]
+    fn summarize_empty_is_zero() {
+        assert_eq!(summarize(&[]), (0.0, 0.0, 0.0));
+    }
+}

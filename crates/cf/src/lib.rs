@@ -1,0 +1,46 @@
+//! Collaborative filtering for online power/performance estimation.
+//!
+//! Exhaustively measuring an application at all 432 knob settings is far
+//! too slow for an online system, so the paper (Sec. III-A) measures a
+//! *sparse sample* of settings and completes the rest by collaborative
+//! filtering against previously-seen applications — the same machinery a
+//! recommender system uses to predict a user's preference from other
+//! users' ratings. (The paper implements this in R; here it is a small
+//! ALS matrix-completion engine.)
+//!
+//! The pieces:
+//!
+//! * [`matrix::UtilityMatrix`] — the apps × knob-settings table of
+//!   measured `(power, performance)` pairs;
+//! * [`als::Completion`] — latent-factor matrix completion fitted by
+//!   alternating least squares, with fold-in for new applications;
+//! * [`sampler::SparseSampler`] — which settings to measure online for a
+//!   given sampling fraction;
+//! * [`crossval::CrossValidator`] — the k-fold protocol behind Fig. 7
+//!   (80% of applications estimate the metrics for the held-out 20%).
+//!
+//! # Example
+//!
+//! ```
+//! use powermed_cf::matrix::UtilityMatrix;
+//! use powermed_units::Watts;
+//!
+//! let mut m = UtilityMatrix::new(8);
+//! m.insert("appA", 0, Watts::new(5.0), 100.0);
+//! m.insert("appA", 3, Watts::new(8.0), 150.0);
+//! assert_eq!(m.get("appA", 3).unwrap().1, 150.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod als;
+pub mod crossval;
+pub mod linalg;
+pub mod matrix;
+pub mod sampler;
+
+pub use als::Completion;
+pub use crossval::{CrossValidator, FoldReport};
+pub use matrix::UtilityMatrix;
+pub use sampler::SparseSampler;

@@ -1,0 +1,160 @@
+//! Minimal dense linear algebra: just enough to solve the k×k normal
+//! equations inside ALS (k is the latent dimension, typically ≤ 16).
+
+/// Solves `A·x = b` for square `A` (row-major, `n × n`) by Gaussian
+/// elimination with partial pivoting.
+///
+/// Returns `None` when `A` is singular to working precision.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` or `b.len() != n`.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "A must be n x n");
+    assert_eq!(b.len(), n, "b must be length n");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = m[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Root-mean-square error between predictions and truths.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    (sse / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve(&a, &b, 2).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 3.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve(&a, &b, 2), None);
+    }
+
+    #[test]
+    fn dot_and_rmse() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// For random well-conditioned systems, A·solve(A,b) ≈ b.
+        #[test]
+        fn prop_solve_satisfies_system(
+            seed_vals in proptest::collection::vec(-5.0f64..5.0, 9),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // Make A diagonally dominant => nonsingular.
+            let mut a = seed_vals;
+            for i in 0..3 {
+                let off: f64 = (0..3).filter(|j| *j != i).map(|j| a[i*3 + j].abs()).sum();
+                a[i * 3 + i] = off + 1.0;
+            }
+            let x = solve(&a, &b, 3).expect("diagonally dominant is nonsingular");
+            for i in 0..3 {
+                let lhs: f64 = (0..3).map(|j| a[i*3 + j] * x[j]).sum();
+                prop_assert!((lhs - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The cluster manager and the three evaluated cluster policies.
+
+use powermed_core::coordinator::EsdParams;
+use powermed_core::measurement::AppMeasurement;
+use powermed_core::policy::{PolicyKind, PowerPolicy};
+use powermed_core::runtime::PowerMediator;
+use powermed_esd::{LeadAcidBattery, NoEsd};
+use powermed_server::{KnobSetting, ServerSpec};
+use powermed_sim::engine::ServerSim;
+use powermed_units::{Joules, Ratio, Seconds, Watts};
+use powermed_workloads::mixes::{self, Mix};
+use powermed_workloads::profile::AppProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::ClusterPowerTrace;
+
+/// Nominal draw of one fully loaded server, used by the consolidation
+/// baseline to decide how many servers the budget powers.
+const SERVER_LOADED_W: f64 = 105.0;
+
+/// Cluster-level power management strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterPolicy {
+    /// Even split; servers enforce with utility-unaware RAPL capping.
+    EqualRapl,
+    /// Even split; servers run `App+Res+ESD-Aware` mediation.
+    EqualOurs,
+    /// Power only as many servers as the budget allows, migrate
+    /// applications to them, cap nothing.
+    ConsolidationMigration,
+    /// Extension beyond the paper (its future work (i)): the cluster
+    /// manager apportions the cluster cap *unevenly* across servers by
+    /// each server's own utility curve — the same marginal-utility
+    /// reasoning the paper applies within a server, lifted one level up
+    /// the power hierarchy. Servers still run `App+Res+ESD-Aware`.
+    UnequalOurs,
+}
+
+impl ClusterPolicy {
+    /// Display name as used in Fig. 12b.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::EqualRapl => "Equal(RAPL)",
+            Self::EqualOurs => "Equal(Ours)",
+            Self::ConsolidationMigration => "Consolidation+Migration(no cap)",
+            Self::UnequalOurs => "Unequal(Ours)",
+        }
+    }
+}
+
+impl core::fmt::Display for ClusterPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// The strategy evaluated.
+    pub policy: ClusterPolicy,
+    /// Mean over all applications of throughput normalized to uncapped
+    /// execution (the Fig. 12b y-axis).
+    pub aggregate_normalized_perf: f64,
+    /// Total cluster energy drawn over the run.
+    pub energy: Joules,
+    /// Performance per kilojoule (the power-efficiency metric behind
+    /// the paper's 4%/12% efficiency claims).
+    pub perf_per_kilojoule: f64,
+    /// Per-application normalized performance.
+    pub per_app_perf: Vec<f64>,
+}
+
+/// Drives a fixed fleet of shared servers through a cap schedule.
+#[derive(Debug, Clone)]
+pub struct ClusterManager {
+    servers: usize,
+    seed: u64,
+}
+
+impl ClusterManager {
+    /// A cluster of `servers` servers (the paper uses 10); `seed` keeps
+    /// any tie-breaking deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize, seed: u64) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        Self { servers, seed }
+    }
+
+    /// The workload: server `i` hosts Table II mix `(i mod 15) + 1`.
+    pub fn workload(&self) -> Vec<Mix> {
+        (0..self.servers)
+            .map(|i| mixes::mix((i % 15) + 1).expect("mix exists"))
+            .collect()
+    }
+
+    /// Runs `policy` over the cap schedule `trace` with control step
+    /// `dt`, returning the aggregate report.
+    pub fn run(&self, policy: ClusterPolicy, trace: &ClusterPowerTrace, dt: Seconds) -> ClusterReport {
+        match policy {
+            ClusterPolicy::EqualRapl => self.run_equal(policy, PolicyKind::UtilUnaware, false, trace, dt),
+            ClusterPolicy::EqualOurs => {
+                self.run_equal(policy, PolicyKind::AppResEsdAware, true, trace, dt)
+            }
+            ClusterPolicy::ConsolidationMigration => self.run_consolidation(trace, dt),
+            ClusterPolicy::UnequalOurs => self.run_unequal(trace, dt),
+        }
+    }
+
+    /// The utility-aware apportionment extension: per-server value
+    /// curves are computed from each server's application measurements,
+    /// then the cluster cap is split by an exact knapsack-style DP over
+    /// 5 W increments whenever the trace changes.
+    fn run_unequal(&self, trace: &ClusterPowerTrace, dt: Seconds) -> ClusterReport {
+        let spec = ServerSpec::xeon_e5_2620();
+        let duration = trace.duration();
+        let mixes = self.workload();
+
+        let mut sims: Vec<ServerSim> = (0..self.servers)
+            .map(|_| {
+                ServerSim::new(
+                    spec.clone(),
+                    Box::new(LeadAcidBattery::server_ups().with_soc(0.5)),
+                )
+            })
+            .collect();
+        let initial_cap = trace.at(Seconds::ZERO) / self.servers as f64;
+        let mut mediators: Vec<PowerMediator> = (0..self.servers)
+            .map(|_| PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), initial_cap))
+            .collect();
+
+        let mut nocap_rates: Vec<Vec<(String, f64)>> = Vec::with_capacity(self.servers);
+        for (i, mix) in mixes.iter().enumerate() {
+            for app in [&mix.app1, &mix.app2] {
+                mediators[i]
+                    .admit(&mut sims[i], app.clone())
+                    .expect("two apps fit on a server");
+            }
+            nocap_rates.push(
+                [&mix.app1, &mix.app2]
+                    .iter()
+                    .map(|p| (p.name().to_string(), p.uncapped(&spec).throughput))
+                    .collect(),
+            );
+        }
+
+        // Per-server value curves over candidate caps.
+        let esd = EsdParams {
+            efficiency: Ratio::new(0.75),
+            max_discharge: Watts::new(100.0),
+            max_charge: Watts::new(50.0),
+        };
+        let policy = PowerPolicy::new(PolicyKind::AppResEsdAware, spec.clone());
+        let curves: Vec<Vec<(Watts, f64)>> = mixes
+            .iter()
+            .map(|mix| {
+                let a = AppMeasurement::exhaustive(&spec, &mix.app1);
+                let b = AppMeasurement::exhaustive(&spec, &mix.app2);
+                let apps = [(mix.app1.name(), &a), (mix.app2.name(), &b)];
+                Self::candidate_caps()
+                    .map(|cap| {
+                        let schedule = policy.plan(&apps, cap, Some(esd));
+                        (cap, schedule.expected_mean_normalized(&apps))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let steps = (duration.value() / dt.value()).ceil() as u64;
+        let simulated = Seconds::new(steps as f64 * dt.value());
+        let mut current_total = Watts::ZERO;
+        let mut energy = Joules::ZERO;
+        let mut now = Seconds::ZERO;
+        for _ in 0..steps {
+            let total = trace.at(now);
+            if (total - current_total).abs() > Watts::new(1e-6) {
+                current_total = total;
+                let caps = Self::apportion_cluster(&curves, total);
+                for (i, med) in mediators.iter_mut().enumerate() {
+                    med.set_cap(&mut sims[i], caps[i]);
+                }
+            }
+            for (i, med) in mediators.iter_mut().enumerate() {
+                let report = med.step(&mut sims[i], dt);
+                energy += report.net_power * dt;
+            }
+            now += dt;
+        }
+
+        let mut per_app_perf = Vec::new();
+        for (i, rates) in nocap_rates.iter().enumerate() {
+            for (name, rate) in rates {
+                let done = sims[i].ops_done(name);
+                per_app_perf.push(done / (rate * simulated.value()));
+            }
+        }
+        Self::report(ClusterPolicy::UnequalOurs, per_app_perf, energy)
+    }
+
+    /// Candidate per-server caps: 50 W (parked at idle) through 115 W in
+    /// 5 W steps.
+    pub fn candidate_caps() -> impl Iterator<Item = Watts> {
+        (0..=13).map(|i| Watts::new(50.0 + 5.0 * i as f64))
+    }
+
+    /// Exact DP split of `total` across servers, maximizing the sum of
+    /// per-server values on 5 W granularity. Every server receives at
+    /// least the 50 W idle floor — when `total` cannot even cover the
+    /// fleet's aggregate idle power, the returned floors intentionally
+    /// sum above `total` (such a cap is physically unenforceable by
+    /// power management, mirroring the per-server floor semantics).
+    pub fn apportion_cluster(curves: &[Vec<(Watts, f64)>], total: Watts) -> Vec<Watts> {
+        const STEP: f64 = 5.0;
+        let levels = (total.value() / STEP).floor().max(0.0) as usize;
+        let mut best = vec![0.0f64; levels + 1];
+        let mut keep: Vec<Vec<usize>> = Vec::with_capacity(curves.len());
+        for curve in curves {
+            let mut next = vec![f64::NEG_INFINITY; levels + 1];
+            let mut choice = vec![0usize; levels + 1];
+            for b in 0..=levels {
+                for (ci, (cap, value)) in curve.iter().enumerate() {
+                    let need = (cap.value() / STEP).ceil() as usize;
+                    if need <= b {
+                        let v = best[b - need] + value;
+                        if v > next[b] {
+                            next[b] = v;
+                            choice[b] = ci;
+                        }
+                    }
+                }
+            }
+            best = next;
+            keep.push(choice);
+        }
+        // When even the per-server floors cannot fit (best is -inf at
+        // the root), fall back to the floor for everyone.
+        if !best[levels].is_finite() {
+            return vec![Watts::new(50.0); curves.len()];
+        }
+        let mut caps = vec![Watts::new(50.0); curves.len()];
+        let mut b = levels;
+        for i in (0..curves.len()).rev() {
+            let ci = keep[i][b];
+            caps[i] = curves[i][ci].0;
+            b -= (caps[i].value() / STEP).ceil() as usize;
+        }
+        caps
+    }
+
+    fn run_equal(
+        &self,
+        policy: ClusterPolicy,
+        kind: PolicyKind,
+        with_battery: bool,
+        trace: &ClusterPowerTrace,
+        dt: Seconds,
+    ) -> ClusterReport {
+        let spec = ServerSpec::xeon_e5_2620();
+        let duration = trace.duration();
+        let mixes = self.workload();
+
+        let mut sims: Vec<ServerSim> = (0..self.servers)
+            .map(|_| {
+                if with_battery {
+                    ServerSim::new(
+                        spec.clone(),
+                        Box::new(LeadAcidBattery::server_ups().with_soc(0.5)),
+                    )
+                } else {
+                    ServerSim::new(spec.clone(), Box::new(NoEsd))
+                }
+            })
+            .collect();
+
+        let initial_cap = trace.at(Seconds::ZERO) / self.servers as f64;
+        let mut mediators: Vec<PowerMediator> = (0..self.servers)
+            .map(|_| PowerMediator::new(kind, spec.clone(), initial_cap))
+            .collect();
+
+        let mut nocap_rates: Vec<Vec<(String, f64)>> = Vec::with_capacity(self.servers);
+        for (i, mix) in mixes.iter().enumerate() {
+            for app in [&mix.app1, &mix.app2] {
+                mediators[i]
+                    .admit(&mut sims[i], app.clone())
+                    .expect("two apps fit on a server");
+            }
+            nocap_rates.push(
+                [&mix.app1, &mix.app2]
+                    .iter()
+                    .map(|p| (p.name().to_string(), p.uncapped(&spec).throughput))
+                    .collect(),
+            );
+        }
+
+        let steps = (duration.value() / dt.value()).ceil() as u64;
+        let simulated = Seconds::new(steps as f64 * dt.value());
+        let mut current_cap = initial_cap;
+        let mut energy = Joules::ZERO;
+        let mut now = Seconds::ZERO;
+        for _ in 0..steps {
+            let cap = trace.at(now) / self.servers as f64;
+            if (cap - current_cap).abs() > Watts::new(1e-6) {
+                current_cap = cap;
+                for (i, med) in mediators.iter_mut().enumerate() {
+                    med.set_cap(&mut sims[i], cap);
+                }
+            }
+            for (i, med) in mediators.iter_mut().enumerate() {
+                let report = med.step(&mut sims[i], dt);
+                energy += report.net_power * dt;
+            }
+            now += dt;
+        }
+
+        let mut per_app_perf = Vec::new();
+        for (i, rates) in nocap_rates.iter().enumerate() {
+            for (name, rate) in rates {
+                let done = sims[i].ops_done(name);
+                per_app_perf.push(done / (rate * simulated.value()));
+            }
+        }
+        Self::report(policy, per_app_perf, energy)
+    }
+
+    /// The consolidation baseline, evaluated analytically: at each trace
+    /// sample the budget powers `k = ⌊cap / 105 W⌋` servers (the rest are
+    /// switched off entirely); applications migrate to the powered
+    /// servers — two per server at full resources (the interference-aware
+    /// placement the paper describes: the mixes are two-app
+    /// co-locations), with an occasional third at reduced core count
+    /// when substantial budget is left over; migration itself is assumed
+    /// free (the paper notes this may not be feasible with large state).
+    fn run_consolidation(&self, trace: &ClusterPowerTrace, dt: Seconds) -> ClusterReport {
+        let spec = ServerSpec::xeon_e5_2620();
+        let duration = trace.duration();
+        let mixes = self.workload();
+        let apps: Vec<AppProfile> = mixes
+            .iter()
+            .flat_map(|m| [m.app1.clone(), m.app2.clone()])
+            .collect();
+        let _ = self.seed; // placement is deterministic: apps in order
+        let nocap: Vec<f64> = apps.iter().map(|p| p.uncapped(&spec).throughput).collect();
+        // Normalized rate of an app demoted to 4 cores (third app on a
+        // powered server).
+        let reduced: Vec<f64> = apps
+            .iter()
+            .map(|p| {
+                let knob = KnobSetting::max_for(&spec).with_cores(4.min(spec.max_app_cores()));
+                p.evaluate(&spec, knob).throughput
+            })
+            .collect();
+
+        let steps = (duration.value() / dt.value()).ceil() as u64;
+        let simulated = Seconds::new(steps as f64 * dt.value());
+        let mut ops = vec![0.0f64; apps.len()];
+        let mut energy = Joules::ZERO;
+        let mut now = Seconds::ZERO;
+        for _ in 0..steps {
+            let cap = trace.at(now);
+            let k = ((cap.value() / SERVER_LOADED_W).floor() as usize).min(self.servers);
+            // Interference-aware placement: two full-resource apps per
+            // powered server (packing a third would contend for cores
+            // and the local DIMM). A third app at reduced cores is only
+            // admitted when the budget covers a further half server.
+            let full_slots = 2 * k;
+            let leftover = (cap.value() - k as f64 * SERVER_LOADED_W).max(0.0);
+            let reduced_slots = ((leftover / 52.0).floor() as usize).min(k);
+            for (i, _) in apps.iter().enumerate() {
+                if i < full_slots {
+                    ops[i] += nocap[i] * dt.value();
+                } else if i < full_slots + reduced_slots {
+                    ops[i] += reduced[i] * dt.value();
+                }
+            }
+            let loaded = ((apps.len().min(full_slots + reduced_slots)) as f64 / 3.0).ceil();
+            energy += Watts::new(SERVER_LOADED_W) * Seconds::new(dt.value()) * loaded.min(k as f64);
+            now += dt;
+        }
+
+        let per_app_perf: Vec<f64> = ops
+            .iter()
+            .zip(&nocap)
+            .map(|(o, r)| o / (r * simulated.value()))
+            .collect();
+        Self::report(ClusterPolicy::ConsolidationMigration, per_app_perf, energy)
+    }
+
+    fn report(policy: ClusterPolicy, per_app_perf: Vec<f64>, energy: Joules) -> ClusterReport {
+        let aggregate = if per_app_perf.is_empty() {
+            0.0
+        } else {
+            per_app_perf.iter().sum::<f64>() / per_app_perf.len() as f64
+        };
+        let kj = (energy.value() / 1000.0).max(1e-9);
+        ClusterReport {
+            policy,
+            aggregate_normalized_perf: aggregate,
+            energy,
+            perf_per_kilojoule: aggregate / kj,
+            per_app_perf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_units::Ratio;
+
+    fn short_trace(servers: usize, shave: f64) -> ClusterPowerTrace {
+        ClusterPowerTrace::synthetic_diurnal(servers, Seconds::new(60.0), 3)
+            .peak_shaved(Ratio::new(shave))
+            .clamped_below(Watts::new(78.0 * servers as f64))
+    }
+
+    #[test]
+    fn workload_assignment_cycles_table2() {
+        let mgr = ClusterManager::new(17, 0);
+        let w = mgr.workload();
+        assert_eq!(w.len(), 17);
+        assert_eq!(w[0].id.0, 1);
+        assert_eq!(w[15].id.0, 1, "wraps after 15 mixes");
+    }
+
+    #[test]
+    fn consolidation_perf_scales_with_cap() {
+        let mgr = ClusterManager::new(4, 0);
+        let mild = mgr.run(
+            ClusterPolicy::ConsolidationMigration,
+            &short_trace(4, 0.15),
+            Seconds::new(0.5),
+        );
+        let harsh = mgr.run(
+            ClusterPolicy::ConsolidationMigration,
+            &short_trace(4, 0.45),
+            Seconds::new(0.5),
+        );
+        assert!(mild.aggregate_normalized_perf > harsh.aggregate_normalized_perf);
+        assert!(mild.aggregate_normalized_perf <= 1.0 + 1e-9);
+        assert!(harsh.aggregate_normalized_perf > 0.2);
+    }
+
+    #[test]
+    fn equal_rapl_runs_and_reports() {
+        let mgr = ClusterManager::new(2, 0);
+        let r = mgr.run(ClusterPolicy::EqualRapl, &short_trace(2, 0.15), Seconds::new(0.5));
+        assert!(r.aggregate_normalized_perf > 0.2, "{r:?}");
+        assert!(r.energy.value() > 0.0);
+        assert_eq!(r.per_app_perf.len(), 4);
+    }
+
+    #[test]
+    fn ours_beats_rapl_under_stringent_shaving() {
+        let mgr = ClusterManager::new(2, 0);
+        let trace = short_trace(2, 0.45);
+        let rapl = mgr.run(ClusterPolicy::EqualRapl, &trace, Seconds::new(0.5));
+        let ours = mgr.run(ClusterPolicy::EqualOurs, &trace, Seconds::new(0.5));
+        assert!(
+            ours.aggregate_normalized_perf > rapl.aggregate_normalized_perf,
+            "ours {} vs rapl {}",
+            ours.aggregate_normalized_perf,
+            rapl.aggregate_normalized_perf
+        );
+    }
+
+    #[test]
+    fn unequal_apportionment_beats_equal_under_stringency() {
+        let mgr = ClusterManager::new(2, 0);
+        let trace = short_trace(2, 0.45);
+        let equal = mgr.run(ClusterPolicy::EqualOurs, &trace, Seconds::new(0.5));
+        let unequal = mgr.run(ClusterPolicy::UnequalOurs, &trace, Seconds::new(0.5));
+        assert!(
+            unequal.aggregate_normalized_perf >= equal.aggregate_normalized_perf - 0.02,
+            "unequal {:.3} vs equal {:.3}",
+            unequal.aggregate_normalized_perf,
+            equal.aggregate_normalized_perf
+        );
+    }
+
+    #[test]
+    fn cluster_dp_respects_the_total() {
+        // Synthetic curves: server 0 is twice as valuable per watt.
+        let curve = |scale: f64| -> Vec<(Watts, f64)> {
+            ClusterManager::candidate_caps()
+                .map(|c| (c, scale * (c.value() - 50.0)))
+                .collect()
+        };
+        let curves = vec![curve(2.0), curve(1.0)];
+        let caps = ClusterManager::apportion_cluster(&curves, Watts::new(170.0));
+        let total: f64 = caps.iter().map(|c| c.value()).sum();
+        assert!(total <= 170.0 + 1e-9);
+        // The more valuable server gets the larger share.
+        assert!(caps[0] >= caps[1], "{caps:?}");
+        assert_eq!(caps[0], Watts::new(115.0));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ClusterPolicy::EqualRapl.name(), "Equal(RAPL)");
+        assert_eq!(ClusterPolicy::EqualOurs.to_string(), "Equal(Ours)");
+        assert_eq!(ClusterPolicy::UnequalOurs.name(), "Unequal(Ours)");
+    }
+}

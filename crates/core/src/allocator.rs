@@ -1,0 +1,538 @@
+//! The `PowerAllocator`: apportioning the dynamic power budget across
+//! applications (Requirement R1) and down to their direct resources (R2).
+//!
+//! The objective is the paper's Eq. 1: maximize the sum over co-located
+//! applications of performance normalized to uncapped execution. Utility
+//! curves are non-convex (the chip-maintenance and floor effects), so a
+//! greedy marginal-utility allocator can be arbitrarily wrong; instead we
+//! run an exact dynamic program on an integer-watt budget grid — 432
+//! settings × ~60 watt levels × a handful of apps is trivially cheap.
+
+
+use powermed_units::Watts;
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::AppMeasurement;
+use crate::utility::UtilityCurve;
+
+/// The outcome of one apportionment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Per-app power budgets, in the order the apps were given.
+    pub budgets: Vec<Watts>,
+    /// Per-app chosen grid index (the R2 resource split), `None` when
+    /// the app's budget is below its floor (it must be time-multiplexed).
+    pub settings: Vec<Option<usize>>,
+    /// Per-app normalized performance achieved at the chosen setting.
+    pub normalized_perf: Vec<f64>,
+    /// The objective value (sum of normalized performances).
+    pub objective: f64,
+}
+
+impl Allocation {
+    /// Whether every application received a feasible (non-zero-perf)
+    /// budget — i.e. space coordination suffices (R3a).
+    pub fn all_feasible(&self) -> bool {
+        self.settings.iter().all(Option::is_some)
+    }
+}
+
+/// Exact DP apportionment of a dynamic power budget across applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerAllocator {
+    step: Watts,
+}
+
+impl PowerAllocator {
+    /// Creates an allocator with the given budget granularity (the paper
+    /// allocates in 1 W units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn new(step: Watts) -> Self {
+        assert!(step.value() > 0.0, "allocation step must be positive");
+        Self { step }
+    }
+
+    /// Apportions `budget` across `apps`, maximizing Eq. 1.
+    ///
+    /// Each app comes with an optional knob family restriction (grid
+    /// indices); `None` means its full feasible grid. Returns budgets,
+    /// per-app knob choices and the objective.
+    ///
+    /// Apps whose floor exceeds their achievable share end up with a
+    /// zero budget and no setting — the coordinator then moves them to
+    /// temporal multiplexing.
+    pub fn apportion(
+        &self,
+        apps: &[(&AppMeasurement, Option<&[usize]>)],
+        budget: Watts,
+    ) -> Allocation {
+        assert!(!apps.is_empty(), "cannot apportion to zero apps");
+        let levels = (budget.value() / self.step.value()).floor().max(0.0) as usize;
+
+        // Build normalized utility curves per app.
+        let curves: Vec<(UtilityCurve, f64)> = apps
+            .iter()
+            .map(|(m, family)| {
+                let default_family;
+                let fam: &[usize] = match family {
+                    Some(f) => f,
+                    None => {
+                        default_family = m.feasible_indices();
+                        &default_family
+                    }
+                };
+                let curve = UtilityCurve::build(m, fam, budget, self.step);
+                let nocap = m.nocap_perf().max(1e-12);
+                (curve, nocap)
+            })
+            .collect();
+
+        // DP over apps: best[b] = max objective using the first i apps
+        // and b budget levels; keep[i][b] = levels given to app i.
+        let mut best = vec![0.0f64; levels + 1];
+        let mut keep: Vec<Vec<usize>> = Vec::with_capacity(apps.len());
+        for (curve, nocap) in &curves {
+            let mut next = vec![f64::NEG_INFINITY; levels + 1];
+            let mut choice = vec![0usize; levels + 1];
+            for b in 0..=levels {
+                for give in 0..=b {
+                    let perf = if give < curve.levels() {
+                        curve.at_level(give).perf / nocap
+                    } else {
+                        curve.at_level(curve.levels() - 1).perf / nocap
+                    };
+                    let value = best[b - give] + perf;
+                    if value > next[b] {
+                        next[b] = value;
+                        choice[b] = give;
+                    }
+                }
+            }
+            best = next;
+            keep.push(choice);
+        }
+
+        // Backtrack.
+        let mut budgets = vec![Watts::ZERO; apps.len()];
+        let mut remaining = levels;
+        for i in (0..apps.len()).rev() {
+            let give = keep[i][remaining];
+            budgets[i] = self.step * give as f64;
+            remaining -= give;
+        }
+
+        // Resolve settings and per-app normalized perf.
+        let mut settings = Vec::with_capacity(apps.len());
+        let mut normalized = Vec::with_capacity(apps.len());
+        let mut objective = 0.0;
+        for (i, (curve, nocap)) in curves.iter().enumerate() {
+            let level = (budgets[i].value() / self.step.value()).round() as usize;
+            let point = curve.at_level(level.min(curve.levels() - 1));
+            settings.push(point.best_index);
+            let p = point.perf / nocap;
+            normalized.push(p);
+            objective += p;
+        }
+
+        Allocation {
+            budgets,
+            settings,
+            normalized_perf: normalized,
+            objective,
+        }
+    }
+
+    /// Equal (fair) apportionment: `budget / apps` each, with each app's
+    /// best setting within its share — the Util-Unaware baseline's split.
+    ///
+    /// Models RAPL's best-effort enforcement: when even the family's
+    /// cheapest setting exceeds the share, the hardware bottoms out at
+    /// `f_min` rather than halting the app — the setting is used anyway
+    /// as long as the overshoot stays within 15% of the share (beyond
+    /// that, the operator must duty-cycle, so the app gets no setting).
+    pub fn equal_split(
+        &self,
+        apps: &[(&AppMeasurement, Option<&[usize]>)],
+        budget: Watts,
+    ) -> Allocation {
+        assert!(!apps.is_empty(), "cannot apportion to zero apps");
+        let share = budget / apps.len() as f64;
+        let mut budgets = Vec::with_capacity(apps.len());
+        let mut settings = Vec::with_capacity(apps.len());
+        let mut normalized = Vec::with_capacity(apps.len());
+        let mut objective = 0.0;
+        for (m, family) in apps {
+            let default_family;
+            let fam: &[usize] = match family {
+                Some(f) => f,
+                None => {
+                    default_family = m.feasible_indices();
+                    &default_family
+                }
+            };
+            let best = m.best_within(share, fam).or_else(|| {
+                // Best effort: the cheapest runnable setting, tolerated
+                // up to 15% above the share.
+                fam.iter()
+                    .copied()
+                    .filter(|&i| m.perf(i) > 0.0)
+                    .min_by(|&a, &b| {
+                        m.power(a).partial_cmp(&m.power(b)).expect("finite powers")
+                    })
+                    .filter(|&i| m.power(i) <= share * 1.15)
+                    .map(|i| (i, m.perf(i)))
+            });
+            budgets.push(share);
+            settings.push(best.map(|(i, _)| i));
+            let p = best.map_or(0.0, |(_, p)| p) / m.nocap_perf().max(1e-12);
+            normalized.push(p);
+            objective += p;
+        }
+        Allocation {
+            budgets,
+            settings,
+            normalized_perf: normalized,
+            objective,
+        }
+    }
+}
+
+impl PowerAllocator {
+    /// Apportions `budget` across `apps` while also respecting a joint
+    /// **core capacity**: the chosen settings' core counts must sum to
+    /// at most `total_cores`.
+    ///
+    /// The paper evaluates two-application mixes, where each app's
+    /// six-core maximum fits the twelve-core server by construction and
+    /// the plain [`PowerAllocator::apportion`] suffices. With three or
+    /// more co-located applications the core budget becomes a real
+    /// joint constraint, so this variant runs the dynamic program over
+    /// `(watts, cores)` states, enumerating each app's feasible settings
+    /// directly.
+    ///
+    /// Complexity is `apps × watts × cores × settings` — a few million
+    /// setting evaluations for the paper's platform, still instant.
+    pub fn apportion_with_cores(
+        &self,
+        apps: &[(&AppMeasurement, Option<&[usize]>)],
+        budget: Watts,
+        total_cores: usize,
+    ) -> Allocation {
+        assert!(!apps.is_empty(), "cannot apportion to zero apps");
+        assert!(total_cores >= 1, "need at least one core");
+        let levels = (budget.value() / self.step.value()).floor().max(0.0) as usize;
+
+        // Candidate settings per app: (watt level, cores, normalized
+        // perf, grid index), deduplicated to the best perf per
+        // (level, cores) pair.
+        let mut candidates: Vec<Vec<(usize, usize, f64, usize)>> = Vec::with_capacity(apps.len());
+        for (m, family) in apps {
+            let default_family;
+            let fam: &[usize] = match family {
+                Some(f) => f,
+                None => {
+                    default_family = m.feasible_indices();
+                    &default_family
+                }
+            };
+            let nocap = m.nocap_perf().max(1e-12);
+            let mut best: std::collections::BTreeMap<(usize, usize), (f64, usize)> =
+                std::collections::BTreeMap::new();
+            for &idx in fam {
+                let level = (m.power(idx).value() / self.step.value()).ceil() as usize;
+                if level > levels || m.perf(idx) <= 0.0 {
+                    continue;
+                }
+                let cores = m.grid().get(idx).map(|k| k.cores()).unwrap_or(usize::MAX);
+                if cores > total_cores {
+                    continue;
+                }
+                let perf = m.perf(idx) / nocap;
+                let entry = best.entry((level, cores)).or_insert((perf, idx));
+                if perf > entry.0 {
+                    *entry = (perf, idx);
+                }
+            }
+            candidates.push(
+                best.into_iter()
+                    .map(|((l, c), (p, i))| (l, c, p, i))
+                    .collect(),
+            );
+        }
+
+        // DP over (watt level, cores used). `table[b][c]` is the best
+        // objective using at most b watt-levels and c cores.
+        let width = total_cores + 1;
+        let mut table = vec![0.0f64; (levels + 1) * width];
+        // choices[i][b][c] = Some((give_levels, give_cores, grid idx)).
+        let mut choices: Vec<Vec<Option<(usize, usize, usize)>>> = Vec::with_capacity(apps.len());
+        for cand in &candidates {
+            let mut next = vec![f64::NEG_INFINITY; (levels + 1) * width];
+            let mut choice = vec![None; (levels + 1) * width];
+            for b in 0..=levels {
+                for c in 0..=total_cores {
+                    // Option: suspend this app.
+                    let mut v = table[b * width + c];
+                    let mut ch = None;
+                    for &(l, cores, perf, idx) in cand {
+                        if l <= b && cores <= c {
+                            let cv = table[(b - l) * width + (c - cores)] + perf;
+                            if cv > v {
+                                v = cv;
+                                ch = Some((l, cores, idx));
+                            }
+                        }
+                    }
+                    next[b * width + c] = v;
+                    choice[b * width + c] = ch;
+                }
+            }
+            table = next;
+            choices.push(choice);
+        }
+
+        // Backtrack.
+        let mut budgets = vec![Watts::ZERO; apps.len()];
+        let mut settings = vec![None; apps.len()];
+        let mut normalized = vec![0.0; apps.len()];
+        let mut b = levels;
+        let mut c = total_cores;
+        let mut objective = 0.0;
+        for i in (0..apps.len()).rev() {
+            if let Some((l, cores, idx)) = choices[i][b * width + c] {
+                budgets[i] = self.step * l as f64;
+                settings[i] = Some(idx);
+                let perf = apps[i].0.perf(idx) / apps[i].0.nocap_perf().max(1e-12);
+                normalized[i] = perf;
+                objective += perf;
+                b -= l;
+                c -= cores;
+            }
+        }
+
+        Allocation {
+            budgets,
+            settings,
+            normalized_perf: normalized,
+            objective,
+        }
+    }
+}
+
+impl Default for PowerAllocator {
+    fn default() -> Self {
+        Self::new(Watts::new(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_server::ServerSpec;
+    use powermed_workloads::catalog;
+    use proptest::prelude::*;
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    fn m(p: powermed_workloads::AppProfile) -> AppMeasurement {
+        AppMeasurement::exhaustive(&spec(), &p)
+    }
+
+    #[test]
+    fn dp_dominates_equal_split_on_every_mix() {
+        let alloc = PowerAllocator::default();
+        for mix in powermed_workloads::mixes::table2() {
+            let a = m(mix.app1.clone());
+            let b = m(mix.app2.clone());
+            let apps = [(&a, None), (&b, None)];
+            let dp = alloc.apportion(&apps, Watts::new(30.0));
+            let eq = alloc.equal_split(&apps, Watts::new(30.0));
+            assert!(
+                dp.objective >= eq.objective - 1e-9,
+                "{}: DP {} < equal {}",
+                mix.label(),
+                dp.objective,
+                eq.objective
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_never_exceed_total() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::stream());
+        let b = m(catalog::kmeans());
+        let out = alloc.apportion(&[(&a, None), (&b, None)], Watts::new(30.0));
+        let total: Watts = out.budgets.iter().copied().sum();
+        assert!(total <= Watts::new(30.0) + Watts::new(1e-9));
+    }
+
+    #[test]
+    fn chosen_settings_respect_budgets() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::bfs());
+        let b = m(catalog::x264());
+        let out = alloc.apportion(&[(&a, None), (&b, None)], Watts::new(30.0));
+        for (i, app) in [&a, &b].iter().enumerate() {
+            if let Some(idx) = out.settings[i] {
+                assert!(app.power(idx) <= out.budgets[i] + Watts::new(1e-9));
+            }
+        }
+        assert!(out.all_feasible());
+    }
+
+    #[test]
+    fn unequal_split_for_differing_utilities() {
+        // Mix-10 (pagerank + kmeans): the paper reports a ~55/45 split.
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::pagerank());
+        let b = m(catalog::kmeans());
+        let out = alloc.apportion(&[(&a, None), (&b, None)], Watts::new(30.0));
+        let split = out.budgets[0] / (out.budgets[0] + out.budgets[1]);
+        assert!(
+            (split - 0.5).abs() > 0.015,
+            "expected an unequal split, got {split:.3}"
+        );
+    }
+
+    #[test]
+    fn stringent_budget_starves_someone() {
+        // 10 W cannot host two apps with ~6 W floors: the allocator
+        // gives one of them everything.
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::stream());
+        let b = m(catalog::kmeans());
+        let out = alloc.apportion(&[(&a, None), (&b, None)], Watts::new(10.0));
+        assert!(!out.all_feasible(), "10 W cannot run both: {out:?}");
+        assert!(
+            out.settings.iter().filter(|s| s.is_some()).count() <= 1,
+            "at most one app runs"
+        );
+    }
+
+    #[test]
+    fn single_app_gets_everything_useful() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::kmeans());
+        let out = alloc.apportion(&[(&a, None)], Watts::new(50.0));
+        assert!(out.normalized_perf[0] > 0.99, "{out:?}");
+    }
+
+    #[test]
+    fn restricted_family_is_respected() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::stream());
+        let fam = a.frequency_family(&spec());
+        let out = alloc.apportion(&[(&a, Some(fam.as_slice()))], Watts::new(30.0));
+        if let Some(idx) = out.settings[0] {
+            assert!(fam.contains(&idx));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero apps")]
+    fn empty_apps_rejected() {
+        let _ = PowerAllocator::default().apportion(&[], Watts::new(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = PowerAllocator::new(Watts::ZERO);
+    }
+
+    #[test]
+    fn core_capacity_binds_with_three_apps() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::kmeans());
+        let b = m(catalog::stream());
+        let c = m(catalog::x264());
+        let apps = [(&a, None), (&b, None), (&c, None)];
+        let out = alloc.apportion_with_cores(&apps, Watts::new(40.0), 12);
+        // All three run, and the chosen settings respect the joint
+        // core budget.
+        let total_cores: usize = out
+            .settings
+            .iter()
+            .zip([&a, &b, &c])
+            .filter_map(|(s, m)| s.map(|i| m.grid().get(i).unwrap().cores()))
+            .sum();
+        assert!(total_cores <= 12, "core budget violated: {total_cores}");
+        assert!(out.all_feasible(), "{out:?}");
+        // The plain core-blind DP would hand out 6+ cores to multiple
+        // apps (its per-app optima), overcommitting the server.
+        let blind = alloc.apportion(&apps, Watts::new(40.0));
+        let blind_cores: usize = blind
+            .settings
+            .iter()
+            .zip([&a, &b, &c])
+            .filter_map(|(s, m)| s.map(|i| m.grid().get(i).unwrap().cores()))
+            .sum();
+        assert!(blind_cores > 12, "expected the blind DP to overcommit");
+    }
+
+    #[test]
+    fn core_aware_matches_plain_dp_for_two_apps() {
+        // With two apps the core constraint never binds (6 + 6 = 12),
+        // so both formulations reach the same objective.
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::pagerank());
+        let b = m(catalog::kmeans());
+        let apps = [(&a, None), (&b, None)];
+        let plain = alloc.apportion(&apps, Watts::new(30.0));
+        let aware = alloc.apportion_with_cores(&apps, Watts::new(30.0), 12);
+        assert!((plain.objective - aware.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_core_budget_forces_consolidation() {
+        let alloc = PowerAllocator::default();
+        let a = m(catalog::kmeans());
+        let b = m(catalog::pagerank());
+        let apps = [(&a, None), (&b, None)];
+        // Only 8 cores for two 4-core-minimum apps: both must run at 4.
+        let out = alloc.apportion_with_cores(&apps, Watts::new(40.0), 8);
+        for (s, m) in out.settings.iter().zip([&a, &b]) {
+            let cores = s.map(|i| m.grid().get(i).unwrap().cores()).unwrap();
+            assert_eq!(cores, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let a = m(catalog::kmeans());
+        let _ = PowerAllocator::default().apportion_with_cores(&[(&a, None)], Watts::new(10.0), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The DP is optimal for two apps: no integer split beats it.
+        #[test]
+        fn prop_dp_beats_all_two_way_splits(budget in 8u32..40, pair in 0usize..15) {
+            let mix = &powermed_workloads::mixes::table2()[pair];
+            let a = m(mix.app1.clone());
+            let b = m(mix.app2.clone());
+            let alloc = PowerAllocator::default();
+            let apps = [(&a, None), (&b, None)];
+            let budget = Watts::new(budget as f64);
+            let dp = alloc.apportion(&apps, budget);
+            let fam_a = a.feasible_indices();
+            let fam_b = b.feasible_indices();
+            let na = a.nocap_perf();
+            let nb = b.nocap_perf();
+            let mut best = 0.0f64;
+            for give in 0..=(budget.value() as usize) {
+                let pa = a.best_within(Watts::new(give as f64), &fam_a).map_or(0.0, |(_, p)| p) / na;
+                let pb = b.best_within(budget - Watts::new(give as f64), &fam_b).map_or(0.0, |(_, p)| p) / nb;
+                best = best.max(pa + pb);
+            }
+            prop_assert!(dp.objective >= best - 1e-9, "DP {} < brute force {}", dp.objective, best);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Online calibration of application utility surfaces.
+//!
+//! When an application arrives (event E2) the runtime must learn its
+//! `(power, perf)` surface. Exhaustive measurement (432 settings) is the
+//! ground-truth path; the production path samples a fraction of the
+//! settings (10% after Fig. 7's calibration) and completes the rest by
+//! collaborative filtering against the corpus of previously-seen
+//! applications.
+
+use powermed_cf::als::{Completion, FitConfig};
+use powermed_cf::matrix::UtilityMatrix;
+use powermed_cf::sampler::SparseSampler;
+use powermed_server::knobs::KnobSetting;
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::profile::AppProfile;
+
+use crate::measurement::AppMeasurement;
+
+/// Builds [`AppMeasurement`]s, either exhaustively or by sparse sampling
+/// plus collaborative filtering.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    spec: ServerSpec,
+    /// Fraction of the knob grid measured online.
+    sampling_fraction: f64,
+    fit: FitConfig,
+    corpus: UtilityMatrix,
+    seed: u64,
+}
+
+impl Calibrator {
+    /// Creates a calibrator measuring `sampling_fraction` of the grid
+    /// online (the paper fixes 10%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_fraction` is not within `(0, 1]`.
+    pub fn new(spec: ServerSpec, sampling_fraction: f64) -> Self {
+        assert!(
+            sampling_fraction > 0.0 && sampling_fraction <= 1.0,
+            "sampling fraction in (0, 1]"
+        );
+        let columns = spec.knob_grid().len();
+        Self {
+            spec,
+            sampling_fraction,
+            fit: FitConfig::default(),
+            corpus: UtilityMatrix::new(columns),
+            seed: 17,
+        }
+    }
+
+    /// Overrides the RNG seed for sampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured sampling fraction.
+    pub fn sampling_fraction(&self) -> f64 {
+        self.sampling_fraction
+    }
+
+    /// Number of previously-seen applications in the corpus.
+    pub fn corpus_size(&self) -> usize {
+        self.corpus.app_count()
+    }
+
+    /// Adds a fully measured application to the corpus (dense row).
+    pub fn add_to_corpus(&mut self, m: &AppMeasurement) {
+        for (i, _) in m.grid().iter().enumerate() {
+            self.corpus.insert(m.name(), i, m.power(i), m.perf(i));
+        }
+    }
+
+    /// Seeds the corpus by exhaustively profiling `profiles` (the
+    /// "previously seen applications" the paper's matrix starts with).
+    pub fn seed_corpus(&mut self, profiles: &[AppProfile]) {
+        for p in profiles {
+            let m = AppMeasurement::exhaustive(&self.spec, p);
+            self.add_to_corpus(&m);
+        }
+    }
+
+    /// Ground-truth calibration: probe every grid setting.
+    pub fn calibrate_exhaustive(
+        &self,
+        name: &str,
+        min_cores: usize,
+        mut probe: impl FnMut(KnobSetting) -> (Watts, f64),
+    ) -> AppMeasurement {
+        let grid = self.spec.knob_grid();
+        let mut power = Vec::with_capacity(grid.len());
+        let mut perf = Vec::with_capacity(grid.len());
+        for knob in grid.iter() {
+            let (p, q) = probe(knob);
+            power.push(p);
+            perf.push(q);
+        }
+        AppMeasurement::from_vectors(name, grid, power, perf, min_cores)
+    }
+
+    /// Online calibration: probe `sampling_fraction` of the grid and
+    /// estimate the rest by collaborative filtering against the corpus.
+    ///
+    /// Falls back to exhaustive calibration when the corpus has fewer
+    /// than two applications (nothing to collaborate with).
+    ///
+    /// Returns the surface plus the number of settings actually probed.
+    pub fn calibrate_online(
+        &self,
+        name: &str,
+        min_cores: usize,
+        mut probe: impl FnMut(KnobSetting) -> (Watts, f64),
+    ) -> (AppMeasurement, usize) {
+        let grid = self.spec.knob_grid();
+        if self.corpus.app_count() < 2 {
+            let m = self.calibrate_exhaustive(name, min_cores, probe);
+            let n = m.grid().len();
+            return (m, n);
+        }
+        let sampler = SparseSampler::new(grid.len(), self.seed);
+        let cols = sampler.columns_for(self.sampling_fraction);
+
+        let mut power_obs = Vec::with_capacity(cols.len());
+        let mut perf_obs = Vec::with_capacity(cols.len());
+        for &c in &cols {
+            let knob = grid.get(c).expect("sampled column on grid");
+            let (p, q) = probe(knob);
+            power_obs.push((c, p.value()));
+            perf_obs.push((c, q));
+        }
+
+        let (_, power_entries) = self.corpus.power_channel();
+        let (_, perf_entries) = self.corpus.perf_channel();
+        let rows = self.corpus.app_count();
+        let power_model = Completion::fit(rows, grid.len(), &power_entries, self.fit);
+        let perf_model = Completion::fit(rows, grid.len(), &perf_entries, self.fit);
+
+        let mut power_pred = power_model.predict_row(&power_model.fold_in(&power_obs));
+        let mut perf_pred = perf_model.predict_row(&perf_model.fold_in(&perf_obs));
+        for (c, v) in &power_obs {
+            power_pred[*c] = *v;
+        }
+        for (c, v) in &perf_obs {
+            perf_pred[*c] = *v;
+        }
+        for v in power_pred.iter_mut().chain(perf_pred.iter_mut()) {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let probed = cols.len();
+        let m = AppMeasurement::from_vectors(
+            name,
+            grid,
+            power_pred.into_iter().map(Watts::new).collect(),
+            perf_pred,
+            min_cores,
+        );
+        (m, probed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_workloads::catalog;
+    use powermed_workloads::generator::WorkloadGenerator;
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    fn probe_for(profile: AppProfile) -> impl FnMut(KnobSetting) -> (Watts, f64) {
+        let spec = spec();
+        move |knob| {
+            let op = profile.evaluate(&spec, knob);
+            (op.dynamic_power, op.throughput)
+        }
+    }
+
+    #[test]
+    fn exhaustive_matches_direct_measurement() {
+        let cal = Calibrator::new(spec(), 0.1);
+        let m = cal.calibrate_exhaustive("kmeans", 4, probe_for(catalog::kmeans()));
+        let direct = AppMeasurement::exhaustive(&spec(), &catalog::kmeans());
+        for i in 0..m.grid().len() {
+            assert_eq!(m.power(i), direct.power(i));
+            assert_eq!(m.perf(i), direct.perf(i));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_falls_back_to_exhaustive() {
+        let cal = Calibrator::new(spec(), 0.1);
+        let (m, probed) = cal.calibrate_online("stream", 4, probe_for(catalog::stream()));
+        assert_eq!(probed, 432, "no corpus: every setting measured");
+        assert_eq!(m.name(), "stream");
+    }
+
+    #[test]
+    fn online_probes_only_the_sampled_fraction() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        assert_eq!(cal.corpus_size(), 12);
+        let mut count = 0usize;
+        let mut probe = probe_for(catalog::stream());
+        let (_, probed) = cal.calibrate_online("stream2", 4, |k| {
+            count += 1;
+            probe(k)
+        });
+        assert_eq!(probed, count);
+        assert!((40..=48).contains(&count), "≈10% of 432, got {count}");
+    }
+
+    #[test]
+    fn online_estimate_close_to_truth_at_ten_percent() {
+        // Corpus: catalog variants (the new app itself is NOT in it).
+        let mut cal = Calibrator::new(spec(), 0.1);
+        let mut gen = WorkloadGenerator::new(5);
+        let corpus_profiles: Vec<AppProfile> = gen.variant_corpus(24, 0.25);
+        cal.seed_corpus(&corpus_profiles);
+
+        let target = catalog::bfs();
+        let truth = AppMeasurement::exhaustive(&spec(), &target);
+        let (est, _) = cal.calibrate_online("bfs-new", 4, probe_for(target));
+
+        // Relative power error averaged over the grid should be small
+        // (Fig. 7: at 10% sampling the system stays within its cap).
+        let mut rel_err = 0.0;
+        for i in 0..truth.grid().len() {
+            let t = truth.power(i).value();
+            rel_err += (est.power(i).value() - t).abs() / t;
+        }
+        rel_err /= truth.grid().len() as f64;
+        assert!(rel_err < 0.15, "mean relative power error {rel_err:.3}");
+    }
+
+    #[test]
+    fn estimates_are_physical() {
+        let mut cal = Calibrator::new(spec(), 0.05);
+        cal.seed_corpus(&catalog::all());
+        let (est, _) = cal.calibrate_online("x264-new", 4, probe_for(catalog::x264()));
+        for i in 0..est.grid().len() {
+            assert!(est.power(i).value() >= 0.0);
+            assert!(est.perf(i) >= 0.0);
+            assert!(est.power(i).is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling fraction")]
+    fn bad_fraction_rejected() {
+        let _ = Calibrator::new(spec(), 0.0);
+    }
+}

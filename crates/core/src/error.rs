@@ -1,0 +1,71 @@
+//! Error types for the power-mediation runtime.
+
+use powermed_server::ServerError;
+
+/// Errors raised by the mediation runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying server rejected an actuation.
+    Server(ServerError),
+    /// The referenced application has no measurement/calibration state.
+    Uncalibrated(String),
+    /// No feasible schedule exists under the cap (even temporal
+    /// coordination with the available ESD cannot fit).
+    Infeasible {
+        /// The cap that could not be met, in watts.
+        cap_w: f64,
+        /// The minimum net draw achievable, in watts.
+        floor_w: f64,
+    },
+    /// The policy was asked to plan with no applications hosted.
+    NothingToPlan,
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Server(e) => write!(f, "server actuation failed: {e}"),
+            Self::Uncalibrated(app) => write!(f, "no calibration state for {app:?}"),
+            Self::Infeasible { cap_w, floor_w } => write!(
+                f,
+                "cap {cap_w} W below achievable floor {floor_w} W; no feasible schedule"
+            ),
+            Self::NothingToPlan => write!(f, "no applications to plan for"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServerError> for CoreError {
+    fn from(e: ServerError) -> Self {
+        Self::Server(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(ServerError::UnknownApp("x".into()));
+        assert!(e.to_string().contains("server actuation"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::Infeasible {
+            cap_w: 40.0,
+            floor_w: 50.0,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(CoreError::Uncalibrated("a".into()).to_string().contains("a"));
+        assert!(!CoreError::NothingToPlan.to_string().is_empty());
+    }
+}

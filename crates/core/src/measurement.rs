@@ -1,0 +1,401 @@
+//! Per-application `(power, performance)` surfaces over the knob grid.
+//!
+//! Everything the runtime knows about an application is one of these
+//! surfaces — either measured exhaustively (ground truth, used by the
+//! figure harness and as the "optimal strategy" reference in Fig. 7) or
+//! estimated online from a sparse sample via collaborative filtering
+//! ([`crate::calibration`]).
+
+use powermed_server::knobs::{KnobGrid, KnobSetting};
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::profile::AppProfile;
+use serde::{Deserialize, Serialize};
+
+/// An application's power and performance at every knob-grid setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMeasurement {
+    name: String,
+    grid: KnobGrid,
+    power: Vec<Watts>,
+    perf: Vec<f64>,
+    min_cores: usize,
+    slo: Option<f64>,
+}
+
+impl AppMeasurement {
+    /// Builds the ground-truth surface by evaluating `profile` at every
+    /// grid setting (the simulation analogue of exhaustive offline
+    /// profiling).
+    pub fn exhaustive(spec: &ServerSpec, profile: &AppProfile) -> Self {
+        let grid = spec.knob_grid();
+        let mut power = Vec::with_capacity(grid.len());
+        let mut perf = Vec::with_capacity(grid.len());
+        for knob in grid.iter() {
+            let op = profile.evaluate(spec, knob);
+            power.push(op.dynamic_power);
+            perf.push(op.throughput);
+        }
+        Self {
+            name: profile.name().to_string(),
+            grid,
+            power,
+            perf,
+            min_cores: profile.min_cores(),
+            slo: profile.slo(),
+        }
+    }
+
+    /// Builds a surface from externally produced vectors (e.g. the
+    /// collaborative-filtering estimates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths do not match the grid.
+    pub fn from_vectors(
+        name: impl Into<String>,
+        grid: KnobGrid,
+        power: Vec<Watts>,
+        perf: Vec<f64>,
+        min_cores: usize,
+    ) -> Self {
+        assert_eq!(power.len(), grid.len(), "power vector length");
+        assert_eq!(perf.len(), grid.len(), "perf vector length");
+        assert!(min_cores >= 1);
+        Self {
+            name: name.into(),
+            grid,
+            power,
+            perf,
+            min_cores,
+            slo: None,
+        }
+    }
+
+    /// Marks the measured application latency-critical with `slo` as its
+    /// minimum normalized-throughput objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slo` is outside `(0, 1]`.
+    pub fn with_slo(mut self, slo: f64) -> Self {
+        assert!(slo > 0.0 && slo <= 1.0, "slo must lie in (0, 1]");
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The latency-critical SLO, if any.
+    pub fn slo(&self) -> Option<f64> {
+        self.slo
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The knob grid the surface is indexed by.
+    pub fn grid(&self) -> &KnobGrid {
+        &self.grid
+    }
+
+    /// The app's minimum feasible core count.
+    pub fn min_cores(&self) -> usize {
+        self.min_cores
+    }
+
+    /// Power at grid index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn power(&self, idx: usize) -> Watts {
+        self.power[idx]
+    }
+
+    /// Performance at grid index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn perf(&self, idx: usize) -> f64 {
+        self.perf[idx]
+    }
+
+    /// Grid indices the app can actually run at (core count at or above
+    /// its minimum).
+    pub fn feasible_indices(&self) -> Vec<usize> {
+        self.grid
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.cores() >= self.min_cores)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Grid indices of the frequency-only knob family: all cores, max
+    /// DRAM limit, every DVFS state. This is the restricted family that
+    /// RAPL-style policies (Util-Unaware, App-Aware) actuate.
+    pub fn frequency_family(&self, spec: &ServerSpec) -> Vec<usize> {
+        spec.ladder()
+            .states()
+            .filter_map(|f| {
+                self.grid.index_of(KnobSetting::new(
+                    f,
+                    spec.max_app_cores(),
+                    spec.dram_limit_max(),
+                ))
+            })
+            .collect()
+    }
+
+    /// The settings a utility-*unaware* RAPL enforcement path actuates.
+    ///
+    /// Package RAPL cannot gate cores, so all cores stay online; to meet
+    /// a total budget the hardware/OS reduce the frequency and DRAM
+    /// domains *in balance* (fair reduction across domains — no
+    /// knowledge of which domain this app values). For each integer-watt
+    /// budget the most-balanced feasible `(f, m)` pair is chosen; the
+    /// de-duplicated chain of those choices is returned as a knob family
+    /// usable by the allocator.
+    pub fn balanced_family(&self, spec: &ServerSpec) -> Vec<usize> {
+        let n = spec.max_app_cores();
+        let steps = spec.ladder().steps();
+        let m_levels = spec.dram_levels();
+        let max_budget = spec.rated_power().value().ceil() as usize;
+        let mut chain = Vec::new();
+        for b in 0..=max_budget {
+            let budget = Watts::new(b as f64);
+            let mut best: Option<((f64, f64), usize)> = None;
+            for f in spec.ladder().states() {
+                for level in 0..m_levels {
+                    let m = spec.dram_limit_min() + Watts::new(level as f64);
+                    let Some(idx) = self.grid.index_of(KnobSetting::new(f, n, m)) else {
+                        continue;
+                    };
+                    if self.power[idx] > budget + Watts::new(1e-9) || self.perf[idx] <= 0.0 {
+                        continue;
+                    }
+                    let f_norm = f.index() as f64 / (steps - 1) as f64;
+                    let m_norm = level as f64 / (m_levels - 1) as f64;
+                    let key = (f_norm.min(m_norm), f_norm + m_norm);
+                    if best.is_none_or(|(k, _)| key > k) {
+                        best = Some((key, idx));
+                    }
+                }
+            }
+            if let Some((_, idx)) = best {
+                chain.push(idx);
+            }
+        }
+        chain.sort_unstable();
+        chain.dedup();
+        chain
+    }
+
+    /// The uncapped performance (`Perf_nocap`): perf at the maximal knob,
+    /// which by grid construction is the last setting (top frequency,
+    /// all cores, highest DRAM limit).
+    pub fn nocap_perf(&self) -> f64 {
+        *self.perf.last().expect("grid is non-empty")
+    }
+
+    /// The least power at which the app can run at all (cheapest
+    /// feasible setting with non-zero performance).
+    pub fn min_feasible_power(&self) -> Option<Watts> {
+        self.feasible_indices()
+            .into_iter()
+            .filter(|&i| self.perf[i] > 0.0)
+            .map(|i| self.power[i])
+            .min_by(|a, b| a.partial_cmp(b).expect("finite powers"))
+    }
+
+    /// The best feasible setting with power within `budget`:
+    /// `(grid index, perf)` — or `None` when the budget is below the
+    /// app's floor.
+    pub fn best_within(&self, budget: Watts, family: &[usize]) -> Option<(usize, f64)> {
+        family
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.power[i] <= budget + Watts::new(1e-9)
+                    && self.grid.get(i).map(|k| k.cores() >= self.min_cores) == Some(true)
+            })
+            .map(|i| (i, self.perf[i]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite perf"))
+    }
+
+    /// Averages several apps' surfaces into a synthetic "server-average"
+    /// surface (the Server+Res-Aware baseline's view of the world). Perf
+    /// values are normalized per-app before averaging so fast apps do
+    /// not dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or grids differ in size.
+    pub fn server_average(apps: &[AppMeasurement]) -> AppMeasurement {
+        assert!(!apps.is_empty(), "need at least one app to average");
+        let n = apps[0].grid.len();
+        for a in apps {
+            assert_eq!(a.grid.len(), n, "grids must match");
+        }
+        let mut power = vec![Watts::ZERO; n];
+        let mut perf = vec![0.0; n];
+        for a in apps {
+            let nocap = a.nocap_perf().max(1e-12);
+            for i in 0..n {
+                power[i] += a.power[i] / apps.len() as f64;
+                perf[i] += a.perf[i] / nocap / apps.len() as f64;
+            }
+        }
+        let min_cores = apps.iter().map(|a| a.min_cores).max().expect("non-empty");
+        AppMeasurement {
+            name: "server-average".to_string(),
+            grid: apps[0].grid.clone(),
+            power,
+            perf,
+            min_cores,
+            slo: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_workloads::catalog;
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    #[test]
+    fn exhaustive_covers_grid() {
+        let spec = spec();
+        let m = AppMeasurement::exhaustive(&spec, &catalog::kmeans());
+        assert_eq!(m.grid().len(), 432);
+        assert_eq!(m.name(), "kmeans");
+        assert!(m.nocap_perf() > 0.0);
+    }
+
+    #[test]
+    fn feasible_indices_respect_min_cores() {
+        let spec = spec();
+        let m = AppMeasurement::exhaustive(&spec, &catalog::kmeans());
+        let feasible = m.feasible_indices();
+        assert!(feasible.len() < 432, "some settings excluded");
+        for i in &feasible {
+            assert!(m.grid().get(*i).unwrap().cores() >= 4);
+        }
+        // 3 of 6 core counts remain: 9 freq * 3 cores * 8 dram = 216.
+        assert_eq!(feasible.len(), 9 * 3 * 8);
+    }
+
+    #[test]
+    fn min_feasible_power_in_paper_regime() {
+        let spec = spec();
+        for p in catalog::all() {
+            let m = AppMeasurement::exhaustive(&spec, &p);
+            let floor = m.min_feasible_power().unwrap().value();
+            assert!(
+                (4.5..=12.0).contains(&floor),
+                "{}: floor {floor} W",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn best_within_grows_with_budget() {
+        let spec = spec();
+        let m = AppMeasurement::exhaustive(&spec, &catalog::bfs());
+        let family = m.feasible_indices();
+        let lo = m.best_within(Watts::new(8.0), &family);
+        let hi = m.best_within(Watts::new(25.0), &family);
+        let (_, perf_lo) = lo.unwrap();
+        let (_, perf_hi) = hi.unwrap();
+        assert!(perf_hi > perf_lo);
+        assert!(m.best_within(Watts::new(1.0), &family).is_none());
+    }
+
+    #[test]
+    fn frequency_family_is_the_dvfs_ladder() {
+        let spec = spec();
+        let m = AppMeasurement::exhaustive(&spec, &catalog::x264());
+        let fam = m.frequency_family(&spec);
+        assert_eq!(fam.len(), 9);
+        for i in &fam {
+            let k = m.grid().get(*i).unwrap();
+            assert_eq!(k.cores(), 6);
+            assert_eq!(k.dram_limit(), spec.dram_limit_max());
+        }
+    }
+
+    #[test]
+    fn server_average_normalizes_perf() {
+        let spec = spec();
+        let apps: Vec<AppMeasurement> = [catalog::stream(), catalog::kmeans()]
+            .iter()
+            .map(|p| AppMeasurement::exhaustive(&spec, p))
+            .collect();
+        let avg = AppMeasurement::server_average(&apps);
+        // Normalized perf at the max knob is exactly 1.0 for every app,
+        // so the average is 1.0 too.
+        assert!((avg.nocap_perf() - 1.0).abs() < 1e-9);
+        assert_eq!(avg.grid().len(), 432);
+    }
+
+    #[test]
+    fn from_vectors_validates_lengths() {
+        let spec = spec();
+        let grid = spec.knob_grid();
+        let n = grid.len();
+        let m = AppMeasurement::from_vectors(
+            "est",
+            grid.clone(),
+            vec![Watts::new(5.0); n],
+            vec![1.0; n],
+            4,
+        );
+        assert_eq!(m.power(0), Watts::new(5.0));
+        assert_eq!(m.perf(n - 1), 1.0);
+    }
+
+    #[test]
+    fn balanced_family_is_a_monotone_all_cores_chain() {
+        let spec = spec();
+        for profile in [catalog::stream(), catalog::kmeans(), catalog::bfs()] {
+            let m = AppMeasurement::exhaustive(&spec, &profile);
+            let chain = m.balanced_family(&spec);
+            assert!(!chain.is_empty(), "{}", profile.name());
+            for idx in &chain {
+                let knob = m.grid().get(*idx).unwrap();
+                assert_eq!(knob.cores(), 6, "RAPL cannot gate cores");
+                assert!(m.power(*idx).value() > 0.0);
+            }
+            // The chain tops out at the maximal setting.
+            let top = chain.last().unwrap();
+            let knob = m.grid().get(*top).unwrap();
+            assert_eq!(knob.dvfs(), spec.ladder().top_state());
+            assert_eq!(knob.dram_limit(), spec.dram_limit_max());
+        }
+    }
+
+    #[test]
+    fn slo_carried_from_profile() {
+        let spec = spec();
+        let m = AppMeasurement::exhaustive(&spec, &catalog::x264().with_slo(0.9));
+        assert_eq!(m.slo(), Some(0.9));
+        let m = AppMeasurement::exhaustive(&spec, &catalog::x264());
+        assert_eq!(m.slo(), None);
+        assert_eq!(m.with_slo(0.5).slo(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power vector length")]
+    fn mismatched_vectors_panic() {
+        let spec = spec();
+        let grid = spec.knob_grid();
+        let _ = AppMeasurement::from_vectors("bad", grid, vec![], vec![], 4);
+    }
+}

@@ -1,0 +1,407 @@
+//! The five evaluated power-management schemes (Sec. IV).
+//!
+//! | Scheme | App-level utilities | Resource-level utilities | ESD |
+//! |---|---|---|---|
+//! | `UtilUnaware` (baseline 1) | no — equal split | no — package-RAPL frequency throttling | no |
+//! | `ServerResAware` (baseline 2) | no — equal split | server-averaged only | no |
+//! | `AppAware` | yes — DP apportionment | no — frequency throttling within the share | no |
+//! | `AppResAware` | yes | yes — full `(f, n, m)` grid per app | no |
+//! | `AppResEsdAware` | yes | yes | yes — Eq. 5 consolidated cycling |
+
+use powermed_server::ServerSpec;
+use powermed_units::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::allocator::{Allocation, PowerAllocator};
+use crate::coordinator::{Coordinator, EsdParams, Schedule};
+use crate::measurement::AppMeasurement;
+use powermed_workloads::catalog;
+
+/// Which of the five evaluated schemes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Fair power split, RAPL-style frequency enforcement (baseline 1).
+    UtilUnaware,
+    /// Fair split, knobs picked by server-averaged resource utilities
+    /// (baseline 2).
+    ServerResAware,
+    /// Utility-aware apportionment across apps, frequency-only knobs.
+    AppAware,
+    /// Apportionment across apps *and* across each app's resources.
+    AppResAware,
+    /// `AppResAware` plus ESD-backed temporal coordination.
+    AppResEsdAware,
+}
+
+impl PolicyKind {
+    /// All five schemes in the paper's presentation order.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            Self::UtilUnaware,
+            Self::ServerResAware,
+            Self::AppAware,
+            Self::AppResAware,
+            Self::AppResEsdAware,
+        ]
+    }
+
+    /// The scheme's display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::UtilUnaware => "Util-Unaware",
+            Self::ServerResAware => "Server+Res-Aware",
+            Self::AppAware => "App-Aware",
+            Self::AppResAware => "App+Res-Aware",
+            Self::AppResEsdAware => "App+Res+ESD-Aware",
+        }
+    }
+
+    /// Whether the scheme exploits energy storage.
+    pub fn uses_esd(self) -> bool {
+        matches!(self, Self::AppResEsdAware)
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A configured power policy: apportions the budget and produces a
+/// [`Schedule`] for the coordinator's modes.
+#[derive(Debug, Clone)]
+pub struct PowerPolicy {
+    kind: PolicyKind,
+    spec: ServerSpec,
+    allocator: PowerAllocator,
+    coordinator: Coordinator,
+    /// The catalog-averaged utility surface used by `ServerResAware`
+    /// (computed only for that scheme).
+    server_average: Option<AppMeasurement>,
+}
+
+impl PowerPolicy {
+    /// Creates a policy of `kind` for the platform `spec`, with a 10 s
+    /// nominal duty cycle.
+    pub fn new(kind: PolicyKind, spec: ServerSpec) -> Self {
+        let coordinator = Coordinator::new(
+            spec.idle_power(),
+            spec.chip_maintenance_power(),
+            Seconds::new(10.0),
+        )
+        .with_core_capacity(spec.topology().total_cores());
+        let server_average = matches!(
+            kind,
+            PolicyKind::ServerResAware | PolicyKind::AppAware
+        )
+        .then(|| {
+            let all: Vec<AppMeasurement> = catalog::all()
+                .iter()
+                .map(|p| AppMeasurement::exhaustive(&spec, p))
+                .collect();
+            AppMeasurement::server_average(&all)
+        });
+        Self {
+            kind,
+            spec,
+            allocator: PowerAllocator::default(),
+            coordinator,
+            server_average,
+        }
+    }
+
+    /// Overrides the nominal duty-cycle period used by temporal
+    /// schedules (default 10 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn with_cycle_period(mut self, period: Seconds) -> Self {
+        self.coordinator = Coordinator::new(
+            self.spec.idle_power(),
+            self.spec.chip_maintenance_power(),
+            period,
+        )
+        .with_core_capacity(self.spec.topology().total_cores());
+        self
+    }
+
+    /// The scheme this policy implements.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// The knob family this scheme actuates for `app`.
+    ///
+    /// * `UtilUnaware` enforces budgets through RAPL's balanced
+    ///   reduction of the frequency and DRAM domains with all cores
+    ///   online — no utility knowledge at all.
+    /// * `ServerResAware` and `AppAware` pick knobs from the
+    ///   catalog-averaged utility surface: resource utilities are known
+    ///   only *on average*, not per application (App-Aware adds
+    ///   app-level budget apportionment on top).
+    /// * The resource-aware schemes search the whole feasible
+    ///   `(f, n, m)` grid per application.
+    pub fn family(&self, app: &AppMeasurement) -> Vec<usize> {
+        match self.kind {
+            PolicyKind::UtilUnaware => app.balanced_family(&self.spec),
+            PolicyKind::ServerResAware | PolicyKind::AppAware => self.average_family(),
+            PolicyKind::AppResAware | PolicyKind::AppResEsdAware => app.feasible_indices(),
+        }
+    }
+
+    /// The chain of settings the catalog-averaged surface prefers at
+    /// each integer-watt budget.
+    fn average_family(&self) -> Vec<usize> {
+        let avg = self
+            .server_average
+            .as_ref()
+            .expect("average-surface schemes carry the catalog average");
+        let feasible = avg.feasible_indices();
+        let max_budget = self.spec.rated_power().value().ceil() as usize;
+        let mut chain: Vec<usize> = (0..=max_budget)
+            .filter_map(|b| avg.best_within(Watts::new(b as f64), &feasible))
+            .map(|(i, _)| i)
+            .collect();
+        chain.sort_unstable();
+        chain.dedup();
+        chain
+    }
+
+    /// Apportions the dynamic budget across `apps` the way this scheme
+    /// would.
+    pub fn apportion(&self, apps: &[(&str, &AppMeasurement)], budget: Watts) -> Allocation {
+        let families: Vec<Vec<usize>> = apps.iter().map(|(_, m)| self.family(m)).collect();
+        match self.kind {
+            PolicyKind::UtilUnaware => {
+                let ms: Vec<(&AppMeasurement, Option<&[usize]>)> = apps
+                    .iter()
+                    .zip(&families)
+                    .map(|((_, m), f)| (*m, Some(f.as_slice())))
+                    .collect();
+                self.allocator.equal_split(&ms, budget)
+            }
+            PolicyKind::ServerResAware => self.server_res_aware(apps, budget),
+            PolicyKind::AppAware | PolicyKind::AppResAware | PolicyKind::AppResEsdAware => {
+                let ms: Vec<(&AppMeasurement, Option<&[usize]>)> = apps
+                    .iter()
+                    .zip(&families)
+                    .map(|((_, m), f)| (*m, Some(f.as_slice())))
+                    .collect();
+                let total_cores = self.spec.topology().total_cores();
+                if apps.len() * self.spec.max_app_cores() > total_cores {
+                    // Three or more apps can overcommit the cores: run
+                    // the joint (watts, cores) program.
+                    self.allocator.apportion_with_cores(&ms, budget, total_cores)
+                } else {
+                    self.allocator.apportion(&ms, budget)
+                }
+            }
+        }
+    }
+
+    /// Baseline 2: equal budgets; one knob setting chosen from the
+    /// server-level utility surface — resource utilities *averaged
+    /// across all applications* the server has seen (the catalog), with
+    /// no knowledge of the co-located apps' individual preferences — and
+    /// applied to every app.
+    fn server_res_aware(&self, apps: &[(&str, &AppMeasurement)], budget: Watts) -> Allocation {
+        let avg = self
+            .server_average
+            .as_ref()
+            .expect("ServerResAware policy carries the catalog average");
+        let share = budget / apps.len() as f64;
+        let choice = avg.best_within(share, &avg.feasible_indices());
+        let mut settings = Vec::with_capacity(apps.len());
+        let mut normalized = Vec::with_capacity(apps.len());
+        let mut objective = 0.0;
+        for (_, m) in apps {
+            let s = choice.map(|(i, _)| i);
+            settings.push(s);
+            let p = s.map_or(0.0, |i| m.perf(i)) / m.nocap_perf().max(1e-12);
+            normalized.push(p);
+            objective += p;
+        }
+        Allocation {
+            budgets: vec![share; apps.len()],
+            settings,
+            normalized_perf: normalized,
+            objective,
+        }
+    }
+
+    /// Plans the full schedule for `apps` under `p_cap`.
+    ///
+    /// `esd` is only consulted by ESD-aware schemes.
+    pub fn plan(
+        &self,
+        apps: &[(&str, &AppMeasurement)],
+        p_cap: Watts,
+        esd: Option<EsdParams>,
+    ) -> Schedule {
+        if apps.is_empty() {
+            return Schedule::Space {
+                settings: Default::default(),
+            };
+        }
+        let budget =
+            (p_cap - self.spec.idle_power() - self.spec.chip_maintenance_power()).max_zero();
+        let allocation = self.apportion(apps, budget);
+        let families: Vec<Vec<usize>> = apps.iter().map(|(_, m)| self.family(m)).collect();
+        let esd = if self.kind.uses_esd() { esd } else { None };
+        self.coordinator
+            .schedule(apps, &families, &allocation, p_cap, esd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_units::Ratio;
+    use powermed_workloads::{catalog, mixes};
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    fn measure(p: powermed_workloads::AppProfile) -> AppMeasurement {
+        AppMeasurement::exhaustive(&spec(), &p)
+    }
+
+    fn lead_acid() -> EsdParams {
+        EsdParams {
+            efficiency: Ratio::new(0.75),
+            max_discharge: Watts::new(100.0),
+            max_charge: Watts::new(50.0),
+        }
+    }
+
+    #[test]
+    fn names_and_esd_flags() {
+        assert_eq!(PolicyKind::all().len(), 5);
+        assert_eq!(PolicyKind::UtilUnaware.to_string(), "Util-Unaware");
+        assert_eq!(PolicyKind::AppResEsdAware.name(), "App+Res+ESD-Aware");
+        assert!(PolicyKind::AppResEsdAware.uses_esd());
+        assert!(!PolicyKind::AppResAware.uses_esd());
+    }
+
+    #[test]
+    fn families_match_scheme_capability() {
+        let m = measure(catalog::stream());
+        let spec = spec();
+        let rapl = PowerPolicy::new(PolicyKind::UtilUnaware, spec.clone());
+        let chain = rapl.family(&m);
+        // The balanced RAPL chain is a small 1-D path through the
+        // (f, m) plane with all cores online.
+        assert!(chain.len() >= 5 && chain.len() <= 72, "chain {}", chain.len());
+        for idx in &chain {
+            assert_eq!(m.grid().get(*idx).unwrap().cores(), 6);
+        }
+        let full = PowerPolicy::new(PolicyKind::AppResAware, spec);
+        assert_eq!(full.family(&m).len(), 216);
+    }
+
+    #[test]
+    fn policy_hierarchy_at_loose_cap() {
+        // Fig. 8a's ordering: each added awareness level helps, averaged
+        // across the Table II mixes at P_cap = 100 W.
+        let spec = spec();
+        let budget = Watts::new(30.0);
+        let mut objs = std::collections::BTreeMap::new();
+        for kind in [
+            PolicyKind::UtilUnaware,
+            PolicyKind::ServerResAware,
+            PolicyKind::AppAware,
+            PolicyKind::AppResAware,
+        ] {
+            let policy = PowerPolicy::new(kind, spec.clone());
+            let mut total = 0.0;
+            for mix in mixes::table2() {
+                let a = measure(mix.app1.clone());
+                let b = measure(mix.app2.clone());
+                let apps = [(mix.app1.name(), &a), (mix.app2.name(), &b)];
+                total += policy.apportion(&apps, budget).objective;
+            }
+            objs.insert(kind.name(), total / 15.0);
+        }
+        let uu = objs["Util-Unaware"];
+        let aa = objs["App-Aware"];
+        let ar = objs["App+Res-Aware"];
+        assert!(aa >= uu - 1e-9, "App-Aware {aa} vs Util-Unaware {uu}");
+        assert!(ar >= aa - 1e-9, "App+Res {ar} vs App-Aware {aa}");
+        assert!(
+            ar > uu * 1.05,
+            "resource+app awareness should clearly beat the baseline: {ar} vs {uu}"
+        );
+    }
+
+    #[test]
+    fn app_res_beats_app_aware_on_memory_mixes() {
+        // Mix-1 (STREAM + kmeans): the paper highlights that resource
+        // awareness is what helps here, not app-level splitting.
+        let spec = spec();
+        let a = measure(catalog::stream());
+        let b = measure(catalog::kmeans());
+        let apps = [("stream", &a), ("kmeans", &b)];
+        let budget = Watts::new(30.0);
+        let app_aware = PowerPolicy::new(PolicyKind::AppAware, spec.clone())
+            .apportion(&apps, budget)
+            .objective;
+        let app_res = PowerPolicy::new(PolicyKind::AppResAware, spec)
+            .apportion(&apps, budget)
+            .objective;
+        assert!(
+            app_res > app_aware * 1.015,
+            "App+Res {app_res} should beat App-Aware {app_aware} on mix-1"
+        );
+    }
+
+    #[test]
+    fn plan_modes_follow_cap() {
+        let spec = spec();
+        let a = measure(catalog::pagerank());
+        let b = measure(catalog::kmeans());
+        let apps = [("pagerank", &a), ("kmeans", &b)];
+        let policy = PowerPolicy::new(PolicyKind::AppResAware, spec.clone());
+        assert!(matches!(
+            policy.plan(&apps, Watts::new(100.0), None),
+            Schedule::Space { .. }
+        ));
+        assert!(matches!(
+            policy.plan(&apps, Watts::new(80.0), None),
+            Schedule::Alternate { .. }
+        ));
+        let esd_policy = PowerPolicy::new(PolicyKind::AppResEsdAware, spec);
+        assert!(matches!(
+            esd_policy.plan(&apps, Watts::new(80.0), Some(lead_acid())),
+            Schedule::EsdCycle { .. }
+        ));
+        // Non-ESD schemes ignore the device even if present.
+        let no_esd = PowerPolicy::new(PolicyKind::AppResAware, ServerSpec::xeon_e5_2620());
+        assert!(matches!(
+            no_esd.plan(&apps, Watts::new(80.0), Some(lead_acid())),
+            Schedule::Alternate { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_plan_is_trivial_space() {
+        let policy = PowerPolicy::new(PolicyKind::AppResAware, spec());
+        match policy.plan(&[], Watts::new(100.0), None) {
+            Schedule::Space { settings } => assert!(settings.is_empty()),
+            other => panic!("expected empty Space, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_res_aware_applies_one_setting_to_all() {
+        let a = measure(catalog::stream());
+        let b = measure(catalog::kmeans());
+        let apps = [("stream", &a), ("kmeans", &b)];
+        let policy = PowerPolicy::new(PolicyKind::ServerResAware, spec());
+        let alloc = policy.apportion(&apps, Watts::new(30.0));
+        assert_eq!(alloc.settings[0], alloc.settings[1]);
+        assert_eq!(alloc.budgets[0], alloc.budgets[1]);
+    }
+}

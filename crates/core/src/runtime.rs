@@ -1,0 +1,817 @@
+//! The `PowerMediator`: the paper's full runtime (Fig. 6) driving a
+//! simulated server.
+//!
+//! Per control step it (1) executes the current [`Schedule`] — applying
+//! knobs, suspending/resuming applications, commanding the ESD —
+//! (2) advances the simulation, (3) lets the [`Accountant`] poll the
+//! telemetry, and (4) re-plans (and re-calibrates, for E4) whenever an
+//! event fires.
+
+use std::collections::BTreeMap;
+
+use powermed_server::knobs::{KnobGrid, KnobSetting};
+use powermed_server::server::AppRunState;
+use powermed_server::ServerSpec;
+use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
+use powermed_units::{Ratio, Seconds, Watts};
+use powermed_workloads::profile::AppProfile;
+
+use crate::accountant::{Accountant, Event, Observation};
+use crate::calibration::Calibrator;
+use crate::coordinator::{EsdParams, Schedule};
+use crate::error::CoreError;
+use crate::measurement::AppMeasurement;
+use crate::policy::{PolicyKind, PowerPolicy};
+use crate::slo::SloPlanner;
+
+/// Which part of a temporal schedule is currently actuated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Actuation {
+    None,
+    Space,
+    Slot(usize),
+    HybridSlot(usize),
+    /// Hybrid with no batch slots: pinned apps only.
+    HybridPinned,
+    EsdOff,
+    EsdOn,
+    Parked,
+}
+
+/// The mediation runtime: one policy, one server, one cap.
+#[derive(Debug)]
+pub struct PowerMediator {
+    policy: PowerPolicy,
+    spec: ServerSpec,
+    grid: KnobGrid,
+    calibrator: Calibrator,
+    accountant: Accountant,
+    measurements: BTreeMap<String, AppMeasurement>,
+    schedule: Schedule,
+    schedule_anchor: Seconds,
+    /// A freshly planned schedule that has not taken effect yet (the
+    /// paper observes ~800 ms between a triggering event and the new
+    /// allocation being in force; the latency is configurable and
+    /// defaults to zero).
+    pending: Option<(Schedule, Seconds)>,
+    actuation_latency: Seconds,
+    actuation: Actuation,
+    /// When the actuation last changed (heartbeat windows spanning a
+    /// knob change are not clean drift evidence).
+    last_actuation_at: Seconds,
+    online_calibration: bool,
+    /// When set, planning honours per-application SLOs through the
+    /// [`SloPlanner`] instead of the plain policy (latency-critical
+    /// extension; ESD coordination is not combined with SLO pinning).
+    slo_planner: Option<SloPlanner>,
+    /// Count of online probes performed (calibration overhead metric).
+    probes: usize,
+    /// Count of re-planning events handled.
+    replans: usize,
+}
+
+impl PowerMediator {
+    /// Creates a mediator running `kind` under the initial `cap`, using
+    /// exhaustive (ground-truth) calibration.
+    pub fn new(kind: PolicyKind, spec: ServerSpec, cap: Watts) -> Self {
+        let grid = spec.knob_grid();
+        Self {
+            policy: PowerPolicy::new(kind, spec.clone()),
+            calibrator: Calibrator::new(spec.clone(), 0.10),
+            spec,
+            grid,
+            accountant: Accountant::new(cap, Ratio::new(0.10), 3),
+            measurements: BTreeMap::new(),
+            schedule: Schedule::Space {
+                settings: BTreeMap::new(),
+            },
+            schedule_anchor: Seconds::ZERO,
+            pending: None,
+            actuation_latency: Seconds::ZERO,
+            actuation: Actuation::None,
+            last_actuation_at: Seconds::ZERO,
+            online_calibration: false,
+            slo_planner: None,
+            probes: 0,
+            replans: 0,
+        }
+    }
+
+    /// Sets the delay between a re-planning event and the new schedule
+    /// taking effect (the paper reports ~800 ms on its platform for
+    /// calibration + actuation; default zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is negative.
+    pub fn with_actuation_latency(mut self, latency: Seconds) -> Self {
+        assert!(latency.value() >= 0.0, "latency must be non-negative");
+        self.actuation_latency = latency;
+        self
+    }
+
+    /// Enables SLO-aware planning: applications admitted with an SLO
+    /// (see `AppProfile::with_slo`) are guaranteed their SLO budget and
+    /// never duty-cycled; batch applications absorb the shortfall.
+    pub fn with_slo_awareness(mut self) -> Self {
+        self.slo_planner = Some(SloPlanner::new(self.spec.clone()));
+        self
+    }
+
+    /// Overrides the nominal duty-cycle period for temporal schedules
+    /// (default 10 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn with_cycle_period(mut self, period: Seconds) -> Self {
+        self.policy = self.policy.with_cycle_period(period);
+        self
+    }
+
+    /// Overrides the E4 drift threshold (relative deviation of measured
+    /// power from the allocation that triggers re-calibration; default
+    /// 10% sustained over three polls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn with_drift_threshold(mut self, threshold: Ratio) -> Self {
+        self.accountant = Accountant::new(self.accountant.cap(), threshold, 3);
+        self
+    }
+
+    /// Switches to online calibration (sparse sampling + collaborative
+    /// filtering) seeded with a corpus of previously-seen applications.
+    pub fn with_online_calibration(mut self, corpus: &[AppProfile], fraction: f64) -> Self {
+        self.calibrator = Calibrator::new(self.spec.clone(), fraction);
+        self.calibrator.seed_corpus(corpus);
+        self.online_calibration = true;
+        self
+    }
+
+    /// The policy being run.
+    pub fn kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The accountant (cap, allocations on record).
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Number of online calibration probes performed so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Number of re-planning events handled so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// The utility surface on record for `name`.
+    pub fn measurement(&self, name: &str) -> Option<&AppMeasurement> {
+        self.measurements.get(name)
+    }
+
+    /// E2: admits `profile` onto the server, calibrates it, and
+    /// re-plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] when placement fails (duplicate
+    /// name or insufficient cores for the app's minimum).
+    pub fn admit(&mut self, sim: &mut ServerSim, profile: AppProfile) -> Result<(), CoreError> {
+        let name = profile.name().to_string();
+        let min_cores = profile.min_cores();
+        let slo = profile.slo();
+        let initial = KnobSetting::min_for(&self.spec).with_cores(min_cores);
+        if let Err(first_try) = sim.host(profile.clone(), initial) {
+            // The incumbents may be holding every core; shrink each to
+            // its floor (the arrival reallocation will regrow whoever
+            // deserves it) and retry once.
+            if !matches!(
+                first_try,
+                powermed_server::ServerError::InsufficientCores { .. }
+            ) {
+                return Err(first_try.into());
+            }
+            for existing in sim.app_names() {
+                let Some(assignment) = sim.server().assignment(&existing) else {
+                    continue;
+                };
+                let knob = assignment.knob();
+                let floor = self
+                    .measurements
+                    .get(&existing)
+                    .map(|m| m.min_cores())
+                    .unwrap_or(1);
+                if knob.cores() > floor {
+                    let _ = sim
+                        .server_mut()
+                        .set_knobs(&existing, knob.with_cores(floor));
+                }
+            }
+            sim.host(profile, initial)?;
+        }
+        self.accountant.arrival(&name);
+        self.calibrate(sim, &name, min_cores);
+        if let Some(target) = slo {
+            if let Some(m) = self.measurements.remove(&name) {
+                self.measurements.insert(name.clone(), m.with_slo(target));
+            }
+        }
+        self.replan(sim);
+        Ok(())
+    }
+
+    /// E1: the server's cap changed.
+    pub fn set_cap(&mut self, sim: &mut ServerSim, cap: Watts) {
+        self.accountant.cap_changed(cap);
+        self.replan(sim);
+    }
+
+    /// Runs one control step of `dt`.
+    pub fn step(&mut self, sim: &mut ServerSim, dt: Seconds) -> StepReport {
+        self.ensure_cap(sim);
+        self.actuate(sim);
+        let report = sim.step(dt);
+
+        // Accountant polling. Heartbeat evidence is only clean in
+        // steady spatial operation: duty-cycled windows and windows
+        // spanning a knob change mix rates from different settings.
+        let now = sim.now();
+        let heartbeat_clean = matches!(self.actuation, Actuation::Space)
+            && (now - self.last_actuation_at) > Seconds::new(2.5);
+        let mut observations = BTreeMap::new();
+        for name in sim.app_names() {
+            let power = report
+                .breakdown
+                .apps
+                .get(&name)
+                .copied()
+                .unwrap_or(Watts::ZERO);
+            let completed = sim.app(&name).map(|a| a.completed()).unwrap_or(false);
+            let suspended = sim
+                .server()
+                .assignment(&name)
+                .map(|a| a.run_state() == AppRunState::Suspended)
+                .unwrap_or(true);
+            let heartbeat = if heartbeat_clean && !suspended && !completed {
+                sim.app_mut(&name).and_then(|a| a.heartbeat_rate(now))
+            } else {
+                None
+            };
+            observations.insert(
+                name,
+                Observation {
+                    power,
+                    heartbeat,
+                    completed,
+                    suspended,
+                },
+            );
+        }
+        let events = self.accountant.poll(&observations);
+        if !events.is_empty() {
+            self.handle_events(sim, events);
+        }
+        report
+    }
+
+    /// Runs for `duration` in control steps of `dt`.
+    pub fn run_for(&mut self, sim: &mut ServerSim, duration: Seconds, dt: Seconds) {
+        let steps = (duration.value() / dt.value()).round().max(1.0) as u64;
+        for _ in 0..steps {
+            self.step(sim, dt);
+        }
+    }
+
+    fn ensure_cap(&mut self, sim: &mut ServerSim) {
+        let cap = self.accountant.cap();
+        if sim.cap() != Some(cap) {
+            sim.set_cap(Some(cap));
+        }
+    }
+
+    fn handle_events(&mut self, sim: &mut ServerSim, events: Vec<Event>) {
+        let mut need_replan = false;
+        for event in events {
+            match event {
+                Event::Departure(name) => {
+                    let _ = sim.remove(&name);
+                    self.accountant.remove(&name);
+                    self.measurements.remove(&name);
+                    need_replan = true;
+                }
+                Event::Drift(name) => {
+                    let min_cores = self
+                        .measurements
+                        .get(&name)
+                        .map(|m| m.min_cores())
+                        .unwrap_or(1);
+                    self.calibrate(sim, &name, min_cores);
+                    need_replan = true;
+                }
+                Event::CapChanged(_) | Event::Arrival(_) => {
+                    need_replan = true;
+                }
+            }
+        }
+        if need_replan {
+            self.replan(sim);
+        }
+    }
+
+    fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) {
+        let measurement = if self.online_calibration {
+            let (m, probed) = {
+                let sim_ref: &ServerSim = sim;
+                self.calibrator.calibrate_online(name, min_cores, |knob| {
+                    sim_ref
+                        .probe(name, knob)
+                        .expect("app is hosted during calibration")
+                })
+            };
+            self.probes += probed;
+            m
+        } else {
+            let sim_ref: &ServerSim = sim;
+            let m = self.calibrator.calibrate_exhaustive(name, min_cores, |knob| {
+                sim_ref
+                    .probe(name, knob)
+                    .expect("app is hosted during calibration")
+            });
+            self.probes += m.grid().len();
+            m
+        };
+        self.measurements.insert(name.to_string(), measurement);
+    }
+
+    fn replan(&mut self, sim: &mut ServerSim) {
+        self.replans += 1;
+        let names: Vec<String> = sim.app_names();
+        let apps: Vec<(&str, &AppMeasurement)> = names
+            .iter()
+            .filter_map(|n| self.measurements.get(n).map(|m| (n.as_str(), m)))
+            .collect();
+        let esd = self.esd_params(sim);
+        let slo_relevant = self
+            .slo_planner
+            .as_ref()
+            .map(|_| apps.iter().any(|(_, m)| m.slo().is_some()))
+            .unwrap_or(false);
+        let planned = if slo_relevant {
+            self.slo_planner
+                .as_ref()
+                .expect("checked above")
+                .plan(&apps, self.accountant.cap())
+        } else {
+            self.policy.plan(&apps, self.accountant.cap(), esd)
+        };
+        if self.actuation_latency.value() > 0.0 && self.actuation != Actuation::None {
+            // Keep executing the old schedule until the actuation
+            // completes (the paper's ~800 ms window).
+            self.pending = Some((planned, sim.now() + self.actuation_latency));
+        } else {
+            self.install_schedule(planned, sim.now());
+        }
+    }
+
+    /// Installs a schedule as the one in force and records the expected
+    /// draws/rates so E4 drift is measured against the operating points
+    /// actually actuated.
+    fn install_schedule(&mut self, schedule: Schedule, now: Seconds) {
+        self.schedule = schedule;
+        self.schedule_anchor = now;
+        self.actuation = Actuation::None;
+        self.pending = None;
+        if let Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } =
+            &self.schedule
+        {
+            for (name, idx) in settings {
+                if let Some(m) = self.measurements.get(name) {
+                    self.accountant.note_allocation(name, m.power(*idx));
+                    self.accountant.note_expected_perf(name, m.perf(*idx));
+                }
+            }
+        }
+        if let Schedule::Alternate { slots } = &self.schedule {
+            for slot in slots {
+                if let Some(m) = self.measurements.get(&slot.app) {
+                    self.accountant.note_allocation(&slot.app, m.power(slot.setting));
+                }
+            }
+        }
+        if let Schedule::Hybrid { pinned, slots } = &self.schedule {
+            for (name, idx) in pinned {
+                if let Some(m) = self.measurements.get(name) {
+                    self.accountant.note_allocation(name, m.power(*idx));
+                    self.accountant.note_expected_perf(name, m.perf(*idx));
+                }
+            }
+            for slot in slots {
+                if let Some(m) = self.measurements.get(&slot.app) {
+                    self.accountant.note_allocation(&slot.app, m.power(slot.setting));
+                }
+            }
+        }
+    }
+
+    fn esd_params(&self, sim: &ServerSim) -> Option<EsdParams> {
+        let esd = sim.esd();
+        if esd.capacity().value() <= 0.0 {
+            return None;
+        }
+        Some(EsdParams {
+            efficiency: esd.round_trip_efficiency(),
+            max_discharge: esd.max_discharge_power(),
+            max_charge: esd.max_charge_power(),
+        })
+    }
+
+    /// Applies the schedule for the current instant: knob settings,
+    /// suspend/resume, ESD command. Only acts on phase transitions.
+    fn actuate(&mut self, sim: &mut ServerSim) {
+        if let Some((_, effective_at)) = &self.pending {
+            if sim.now() >= *effective_at {
+                let (schedule, _) = self.pending.take().expect("checked above");
+                self.install_schedule(schedule, sim.now());
+            }
+        }
+        let since = sim.now() - self.schedule_anchor;
+        let schedule = self.schedule.clone();
+        match &schedule {
+            Schedule::Space { settings } => {
+                if self.actuation != Actuation::Space {
+                    for (name, idx) in Self::shrinks_first(sim, settings) {
+                        self.apply_setting(sim, &name, idx);
+                        let _ = sim.server_mut().resume_app(&name);
+                    }
+                    // Suspend anything without a setting (should not
+                    // happen in Space, but stay safe).
+                    for name in sim.app_names() {
+                        if !settings.contains_key(&name) {
+                            let _ = sim.server_mut().suspend_app(&name);
+                        }
+                    }
+                    sim.set_esd_command(EsdCommand::Idle);
+                    self.actuation = Actuation::Space;
+                    self.last_actuation_at = sim.now();
+                }
+            }
+            Schedule::Alternate { slots } => {
+                let cycle: Seconds = slots.iter().map(|s| s.duration).sum();
+                if cycle.value() <= 0.0 {
+                    return;
+                }
+                let mut pos = Seconds::new(since.value().rem_euclid(cycle.value()));
+                let mut active = 0usize;
+                for (i, slot) in slots.iter().enumerate() {
+                    if pos < slot.duration {
+                        active = i;
+                        break;
+                    }
+                    pos -= slot.duration;
+                }
+                if self.actuation != Actuation::Slot(active) {
+                    let slot = &slots[active];
+                    for name in sim.app_names() {
+                        if name != slot.app {
+                            let _ = sim.server_mut().suspend_app(&name);
+                        }
+                    }
+                    self.apply_setting(sim, &slot.app.clone(), slot.setting);
+                    let _ = sim.server_mut().resume_app(&slot.app);
+                    sim.set_esd_command(EsdCommand::Idle);
+                    self.actuation = Actuation::Slot(active);
+                    self.last_actuation_at = sim.now();
+                }
+            }
+            Schedule::Hybrid { pinned, slots } => {
+                if slots.is_empty() {
+                    if self.actuation != Actuation::HybridPinned {
+                        for (name, idx) in Self::shrinks_first(sim, pinned) {
+                            self.apply_setting(sim, &name, idx);
+                            let _ = sim.server_mut().resume_app(&name);
+                        }
+                        for name in sim.app_names() {
+                            if !pinned.contains_key(&name) {
+                                let _ = sim.server_mut().suspend_app(&name);
+                            }
+                        }
+                        sim.set_esd_command(EsdCommand::Idle);
+                        self.actuation = Actuation::HybridPinned;
+                        self.last_actuation_at = sim.now();
+                    }
+                    return;
+                }
+                let cycle: Seconds = slots.iter().map(|s| s.duration).sum();
+                if cycle.value() <= 0.0 {
+                    return;
+                }
+                let mut pos = Seconds::new(since.value().rem_euclid(cycle.value()));
+                let mut active = 0usize;
+                for (i, slot) in slots.iter().enumerate() {
+                    if pos < slot.duration {
+                        active = i;
+                        break;
+                    }
+                    pos -= slot.duration;
+                }
+                if self.actuation != Actuation::HybridSlot(active) {
+                    let slot = &slots[active];
+                    for name in sim.app_names() {
+                        if name != slot.app && !pinned.contains_key(&name) {
+                            let _ = sim.server_mut().suspend_app(&name);
+                        }
+                    }
+                    for (name, idx) in Self::shrinks_first(sim, pinned) {
+                        self.apply_setting(sim, &name, idx);
+                        let _ = sim.server_mut().resume_app(&name);
+                    }
+                    self.apply_setting(sim, &slot.app.clone(), slot.setting);
+                    let _ = sim.server_mut().resume_app(&slot.app);
+                    sim.set_esd_command(EsdCommand::Idle);
+                    self.actuation = Actuation::HybridSlot(active);
+                    self.last_actuation_at = sim.now();
+                }
+            }
+            Schedule::EsdCycle {
+                off,
+                on,
+                settings,
+                charge,
+                ..
+            } => {
+                let cycle = *off + *on;
+                if cycle.value() <= 0.0 {
+                    return;
+                }
+                let pos = since.value().rem_euclid(cycle.value());
+                let in_off = pos < off.value() && off.value() > 0.0;
+                if in_off && self.actuation != Actuation::EsdOff {
+                    for name in sim.app_names() {
+                        let _ = sim.server_mut().suspend_app(&name);
+                    }
+                    sim.set_esd_command(EsdCommand::Charge(*charge));
+                    self.actuation = Actuation::EsdOff;
+                    self.last_actuation_at = sim.now();
+                } else if !in_off && self.actuation != Actuation::EsdOn {
+                    for (name, idx) in Self::shrinks_first(sim, settings) {
+                        self.apply_setting(sim, &name, idx);
+                        let _ = sim.server_mut().resume_app(&name);
+                    }
+                    sim.set_esd_command(EsdCommand::DischargeToCap);
+                    self.actuation = Actuation::EsdOn;
+                    self.last_actuation_at = sim.now();
+                }
+            }
+            Schedule::Infeasible => {
+                if self.actuation != Actuation::Parked {
+                    for name in sim.app_names() {
+                        let _ = sim.server_mut().suspend_app(&name);
+                    }
+                    sim.set_esd_command(EsdCommand::Idle);
+                    self.actuation = Actuation::Parked;
+                    self.last_actuation_at = sim.now();
+                }
+            }
+        }
+    }
+
+    /// Orders simultaneous knob applications so core releases happen
+    /// before core grabs: growing one app before its neighbour shrinks
+    /// would fail on a fully-committed server and silently leave a stale
+    /// knob in force.
+    fn shrinks_first(
+        sim: &ServerSim,
+        settings: &BTreeMap<String, usize>,
+    ) -> Vec<(String, usize)> {
+        let grid = sim.server().spec().knob_grid();
+        let mut ordered: Vec<(String, usize)> =
+            settings.iter().map(|(n, i)| (n.clone(), *i)).collect();
+        ordered.sort_by_key(|(name, idx)| {
+            let current = sim
+                .server()
+                .assignment(name)
+                .map(|a| a.cores().len())
+                .unwrap_or(0);
+            let target = grid.get(*idx).map(|k| k.cores()).unwrap_or(current);
+            // Negative growth (shrinks) sort first.
+            target as isize - current as isize
+        });
+        ordered
+    }
+
+    /// Applies grid setting `idx` to `name`. Suspended applications do
+    /// not need their cores (their processes are stopped), so when the
+    /// target setting cannot fit, suspended apps are parked on a single
+    /// core each — the `taskset` reshuffle of Sec. III-B — and the
+    /// setting is retried.
+    fn apply_setting(&self, sim: &mut ServerSim, name: &str, idx: usize) {
+        let Some(knob) = self.grid.get(idx) else {
+            return;
+        };
+        if sim.server_mut().set_knobs(name, knob).is_ok() {
+            return;
+        }
+        for other in sim.app_names() {
+            if other == name {
+                continue;
+            }
+            let Some(a) = sim.server().assignment(&other) else {
+                continue;
+            };
+            if a.run_state() == AppRunState::Suspended && a.knob().cores() > 1 {
+                let parked = a.knob().with_cores(1);
+                let _ = sim.server_mut().set_knobs(&other, parked);
+            }
+        }
+        let _ = sim.server_mut().set_knobs(name, knob);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_esd::{LeadAcidBattery, NoEsd};
+    use powermed_workloads::catalog;
+
+    const DT: Seconds = Seconds::new(0.1);
+
+    fn sim_no_esd() -> ServerSim {
+        ServerSim::new(ServerSpec::xeon_e5_2620(), Box::new(NoEsd))
+    }
+
+    fn sim_with_battery() -> ServerSim {
+        ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(LeadAcidBattery::server_ups().with_soc(0.2)),
+        )
+    }
+
+    fn mediator(kind: PolicyKind, cap: f64) -> PowerMediator {
+        PowerMediator::new(kind, ServerSpec::xeon_e5_2620(), Watts::new(cap))
+    }
+
+    #[test]
+    fn space_mode_respects_cap_at_100w() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        assert!(matches!(med.schedule(), Schedule::Space { .. }));
+        med.run_for(&mut sim, Seconds::new(5.0), DT);
+        let violations = sim.meter().compliance().violation_fraction();
+        assert!(violations < 0.01, "violation fraction {violations}");
+        assert!(sim.ops_done("pagerank") > 0.0);
+        assert!(sim.ops_done("kmeans") > 0.0);
+    }
+
+    #[test]
+    fn alternate_mode_at_80w_runs_one_at_a_time() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 80.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        assert!(matches!(med.schedule(), Schedule::Alternate { .. }));
+        med.run_for(&mut sim, Seconds::new(12.0), DT);
+        // Both made progress (they alternate across the 10 s cycle).
+        assert!(sim.ops_done("stream") > 0.0);
+        assert!(sim.ops_done("kmeans") > 0.0);
+        let violations = sim.meter().compliance().violation_fraction();
+        assert!(violations < 0.01, "violation fraction {violations}");
+    }
+
+    #[test]
+    fn esd_mode_at_80w_consolidates_and_uses_battery() {
+        let mut sim = sim_with_battery();
+        let mut med = mediator(PolicyKind::AppResEsdAware, 80.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        assert!(matches!(med.schedule(), Schedule::EsdCycle { .. }));
+        med.run_for(&mut sim, Seconds::new(20.0), DT);
+        assert!(sim.ops_done("stream") > 0.0);
+        assert!(sim.ops_done("kmeans") > 0.0);
+        // Battery cycled.
+        assert!(sim.esd().stats().charged.value() > 0.0);
+        assert!(sim.esd().stats().discharged.value() > 0.0);
+        // The ESD keeps net draw at or below the cap.
+        let violations = sim.meter().compliance().violation_fraction();
+        assert!(violations < 0.05, "violation fraction {violations}");
+    }
+
+    #[test]
+    fn departure_triggers_reallocation() {
+        let mut sim = sim_no_esd();
+        let spec = sim.server().spec().clone();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        // kmeans finishes after ~2 s of uncapped-rate work.
+        let short = catalog::finite(catalog::kmeans(), &spec, Seconds::new(2.0));
+        med.admit(&mut sim, short).unwrap();
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        let replans_before = med.replans();
+        med.run_for(&mut sim, Seconds::new(10.0), DT);
+        assert_eq!(sim.app_names(), vec!["pagerank".to_string()]);
+        assert!(med.replans() > replans_before, "departure replanned");
+        // The survivor now holds (close to) the whole budget.
+        match med.schedule() {
+            Schedule::Space { settings } => {
+                let idx = settings["pagerank"];
+                let m = med.measurement("pagerank").unwrap();
+                assert!(
+                    m.perf(idx) / m.nocap_perf() > 0.95,
+                    "survivor should run nearly uncapped"
+                );
+            }
+            other => panic!("expected Space after departure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_drop_switches_modes() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        assert!(matches!(med.schedule(), Schedule::Space { .. }));
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        med.set_cap(&mut sim, Watts::new(80.0));
+        assert!(matches!(med.schedule(), Schedule::Alternate { .. }));
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        assert_eq!(sim.cap(), Some(Watts::new(80.0)));
+    }
+
+    #[test]
+    fn online_calibration_probes_fraction_of_grid() {
+        let mut sim = sim_no_esd();
+        let corpus = catalog::all();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        assert!(
+            med.probes() < 60,
+            "10% sampling should probe ~43 settings, got {}",
+            med.probes()
+        );
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        assert!(sim.ops_done("stream") > 0.0);
+    }
+
+    #[test]
+    fn util_unaware_never_gates_cores() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::UtilUnaware, 100.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(1.0), DT);
+        for name in ["stream", "kmeans"] {
+            let knob = sim.server().assignment(name).unwrap().knob();
+            assert_eq!(knob.cores(), 6, "{name}: RAPL baseline keeps all cores");
+        }
+    }
+
+    #[test]
+    fn actuation_latency_defers_the_new_schedule() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_actuation_latency(Seconds::new(0.8));
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        let before = sim.server().assignment("kmeans").unwrap().knob();
+
+        // E1 fires; the old knobs must stay in force for ~0.8 s.
+        med.set_cap(&mut sim, Watts::new(85.0));
+        med.run_for(&mut sim, Seconds::new(0.5), DT);
+        assert_eq!(
+            sim.server().assignment("kmeans").unwrap().knob(),
+            before,
+            "old allocation still in force during the actuation window"
+        );
+        med.run_for(&mut sim, Seconds::new(0.5), DT);
+        assert_ne!(
+            sim.server().assignment("kmeans").unwrap().knob(),
+            before,
+            "new allocation applied after the window"
+        );
+    }
+
+    #[test]
+    fn infeasible_cap_parks_everything() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 45.0);
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        assert_eq!(*med.schedule(), Schedule::Infeasible);
+        let r = med.step(&mut sim, DT);
+        assert_eq!(r.gross_power, Watts::new(50.0), "server idles");
+        assert_eq!(sim.ops_done("kmeans"), 0.0);
+    }
+}

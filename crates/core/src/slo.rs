@@ -1,0 +1,311 @@
+//! SLO-aware planning for latency-critical co-locations.
+//!
+//! The paper's footnote 1 notes that all four requirements extend to
+//! latency-critical applications. This module makes that concrete: an
+//! application marked with an SLO (a minimum normalized throughput,
+//! standing in for a latency objective) is guaranteed its SLO budget
+//! *first*, and is never duty-cycled; batch applications receive the
+//! surplus and absorb all temporal coordination.
+//!
+//! Planning is lexicographic: maximize the number of satisfied SLOs,
+//! then the paper's Eq. 1 batch objective — implemented by adding a
+//! large constant bonus to allocations that meet an SLO, which the same
+//! exact dynamic program then optimizes.
+
+use std::collections::BTreeMap;
+
+use powermed_server::ServerSpec;
+use powermed_units::{Seconds, Watts};
+
+use crate::coordinator::{Schedule, TimeSlot};
+use crate::measurement::AppMeasurement;
+use crate::utility::UtilityCurve;
+
+/// Bonus added per satisfied SLO (performance terms lie in `[0, 1]`, so
+/// any value above the number of co-located apps makes SLO satisfaction
+/// lexicographically dominant).
+const SLO_BONUS: f64 = 100.0;
+
+/// An SLO-aware planner for one server.
+#[derive(Debug, Clone)]
+pub struct SloPlanner {
+    spec: ServerSpec,
+    cycle: Seconds,
+    step: Watts,
+}
+
+impl SloPlanner {
+    /// Creates a planner for `spec` with a 10 s nominal batch duty
+    /// cycle.
+    pub fn new(spec: ServerSpec) -> Self {
+        Self {
+            spec,
+            cycle: Seconds::new(10.0),
+            step: Watts::new(1.0),
+        }
+    }
+
+    /// Plans a schedule for `apps` under `p_cap`, honouring each
+    /// measurement's SLO (see [`AppMeasurement::slo`]).
+    ///
+    /// Latency-critical apps appear pinned in the resulting schedule;
+    /// batch apps run spatially when the surplus allows, otherwise they
+    /// alternate in [`Schedule::Hybrid`] slots.
+    pub fn plan(&self, apps: &[(&str, &AppMeasurement)], p_cap: Watts) -> Schedule {
+        if apps.is_empty() {
+            return Schedule::Space {
+                settings: BTreeMap::new(),
+            };
+        }
+        let budget =
+            (p_cap - self.spec.idle_power() - self.spec.chip_maintenance_power()).max_zero();
+        let levels = (budget.value() / self.step.value()).floor() as usize;
+
+        // Per-app curves with the lexicographic SLO bonus.
+        let curves: Vec<(UtilityCurve, f64, Option<f64>)> = apps
+            .iter()
+            .map(|(_, m)| {
+                let family = m.feasible_indices();
+                let curve = UtilityCurve::build(m, &family, budget, self.step);
+                (curve, m.nocap_perf().max(1e-12), m.slo())
+            })
+            .collect();
+        let value = |ci: usize, level: usize| -> f64 {
+            let (curve, nocap, slo) = &curves[ci];
+            let point = curve.at_level(level.min(curve.levels() - 1));
+            let norm = point.perf / nocap;
+            match slo {
+                Some(target) if norm + 1e-9 >= *target => norm + SLO_BONUS,
+                _ => norm,
+            }
+        };
+
+        // Exact DP over watt levels with the bonus-augmented values.
+        let mut best = vec![0.0f64; levels + 1];
+        let mut keep: Vec<Vec<usize>> = Vec::with_capacity(apps.len());
+        for ci in 0..apps.len() {
+            let mut next = vec![f64::NEG_INFINITY; levels + 1];
+            let mut choice = vec![0usize; levels + 1];
+            for b in 0..=levels {
+                for give in 0..=b {
+                    let v = best[b - give] + value(ci, give);
+                    if v > next[b] {
+                        next[b] = v;
+                        choice[b] = give;
+                    }
+                }
+            }
+            best = next;
+            keep.push(choice);
+        }
+        let mut allocations = vec![0usize; apps.len()];
+        let mut b = levels;
+        for i in (0..apps.len()).rev() {
+            allocations[i] = keep[i][b];
+            b -= allocations[i];
+        }
+
+        // Partition the outcome: pinned latency-critical apps, spatial
+        // batch apps, and starved batch apps that must rotate.
+        let mut pinned = BTreeMap::new();
+        let mut spatial = BTreeMap::new();
+        let mut starved: Vec<usize> = Vec::new();
+        for (i, (name, _m)) in apps.iter().enumerate() {
+            let (curve, _, slo) = &curves[i];
+            let point = curve.at_level(allocations[i].min(curve.levels() - 1));
+            match (slo, point.best_index) {
+                (Some(_), Some(idx)) => {
+                    pinned.insert(name.to_string(), idx);
+                }
+                (None, Some(idx)) => {
+                    spatial.insert(name.to_string(), idx);
+                }
+                (_, None) => starved.push(i),
+            }
+        }
+
+        // Every app (including LC apps whose SLO could not be met but
+        // that still got a feasible budget) runs spatially when nothing
+        // starved.
+        if starved.is_empty() {
+            let mut settings = pinned;
+            settings.append(&mut spatial);
+            return Schedule::Space { settings };
+        }
+
+        // Some batch app starved: all batch apps rotate fairly through
+        // the budget left after the pinned latency-critical apps (the
+        // paper's alternate duty-cycling, with LC apps exempted). LC
+        // apps are never placed in slots.
+        let pinned_used: Watts = pinned
+            .iter()
+            .filter_map(|(name, idx)| {
+                apps.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, m)| m.power(*idx))
+            })
+            .sum();
+        let leftover = (budget - pinned_used).max_zero();
+        let mut slots = Vec::new();
+        let mut rotating = Vec::new();
+        for (name, m) in apps {
+            if pinned.contains_key(*name) {
+                // Pinned latency-critical apps never rotate.
+                continue;
+            }
+            // Batch apps rotate; so does a latency-critical app whose
+            // budget could not be met at all — running it degraded in
+            // the rotation beats parking it forever.
+            if let Some((idx, _)) = m.best_within(leftover, &m.feasible_indices()) {
+                rotating.push((name.to_string(), idx));
+            }
+        }
+        spatial.clear();
+        if rotating.is_empty() && pinned.is_empty() && spatial.is_empty() {
+            return Schedule::Infeasible;
+        }
+        let slot_len = if rotating.is_empty() {
+            Seconds::ZERO
+        } else {
+            self.cycle / rotating.len() as f64
+        };
+        for (app, setting) in rotating {
+            slots.push(TimeSlot {
+                app,
+                setting,
+                duration: slot_len,
+            });
+        }
+        let mut all_pinned = pinned;
+        all_pinned.append(&mut spatial);
+        Schedule::Hybrid {
+            pinned: all_pinned,
+            slots,
+        }
+    }
+
+    /// The minimum budget (in watts) at which `m` meets its SLO, if it
+    /// has one and the SLO is achievable at all.
+    pub fn slo_floor(&self, m: &AppMeasurement) -> Option<Watts> {
+        let target = m.slo()?;
+        let family = m.feasible_indices();
+        let nocap = m.nocap_perf().max(1e-12);
+        let max_budget = self.spec.rated_power();
+        let curve = UtilityCurve::build(m, &family, max_budget, self.step);
+        curve
+            .points()
+            .iter()
+            .find(|p| p.perf / nocap + 1e-9 >= target)
+            .map(|p| p.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_workloads::catalog;
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    fn measure(p: powermed_workloads::AppProfile) -> AppMeasurement {
+        AppMeasurement::exhaustive(&spec(), &p)
+    }
+
+    #[test]
+    fn slo_app_gets_its_floor_first() {
+        let planner = SloPlanner::new(spec());
+        let lc = measure(catalog::x264().with_slo(0.85));
+        let batch = measure(catalog::bfs());
+        let apps = [("x264", &lc), ("bfs", &batch)];
+        // 95 W: budget 25 W. x264 needs its SLO budget before bfs eats in.
+        let schedule = planner.plan(&apps, Watts::new(95.0));
+        match &schedule {
+            Schedule::Space { settings } => {
+                let idx = settings["x264"];
+                let norm = lc.perf(idx) / lc.nocap_perf();
+                assert!(norm >= 0.85, "x264 SLO not met: {norm:.3}");
+            }
+            other => panic!("expected Space at 95 W, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stringent_cap_pins_lc_and_rotates_batch() {
+        let planner = SloPlanner::new(spec());
+        let lc = measure(catalog::x264().with_slo(0.5));
+        let b1 = measure(catalog::bfs());
+        let b2 = measure(catalog::kmeans());
+        let apps = [("x264", &lc), ("bfs", &b1), ("kmeans", &b2)];
+        // 92 W: budget 22 W. LC floor ~9 W leaves ~13 W: not enough for
+        // both batch apps simultaneously.
+        let schedule = planner.plan(&apps, Watts::new(92.0));
+        match &schedule {
+            Schedule::Hybrid { pinned, slots } => {
+                assert!(pinned.contains_key("x264"), "LC app pinned");
+                let idx = pinned["x264"];
+                assert!(lc.perf(idx) / lc.nocap_perf() >= 0.5);
+                assert!(!slots.is_empty(), "batch apps rotate");
+                for slot in slots {
+                    assert_ne!(slot.app, "x264", "LC app never in a slot");
+                }
+            }
+            other => panic!("expected Hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slo_floor_increases_with_target() {
+        let planner = SloPlanner::new(spec());
+        let lo = planner
+            .slo_floor(&measure(catalog::x264().with_slo(0.5)))
+            .unwrap();
+        let hi = planner
+            .slo_floor(&measure(catalog::x264().with_slo(0.95)))
+            .unwrap();
+        assert!(hi > lo, "tighter SLO needs more watts: {lo:?} vs {hi:?}");
+        assert_eq!(planner.slo_floor(&measure(catalog::x264())), None);
+    }
+
+    #[test]
+    fn impossible_slo_degrades_gracefully() {
+        let planner = SloPlanner::new(spec());
+        // Two apps each demanding 95% of uncapped under a budget that
+        // cannot host both: one SLO is satisfied, everyone still runs or
+        // rotates.
+        let a = measure(catalog::x264().with_slo(0.95));
+        let b = measure(catalog::kmeans().with_slo(0.95));
+        let apps = [("x264", &a), ("kmeans", &b)];
+        let schedule = planner.plan(&apps, Watts::new(95.0));
+        let met = match &schedule {
+            Schedule::Space { settings } => settings
+                .iter()
+                .filter(|(n, idx)| {
+                    let m = if *n == "x264" { &a } else { &b };
+                    m.perf(**idx) / m.nocap_perf() >= 0.95
+                })
+                .count(),
+            Schedule::Hybrid { pinned, .. } => pinned
+                .iter()
+                .filter(|(n, idx)| {
+                    let m = if *n == "x264" { &a } else { &b };
+                    m.perf(**idx) / m.nocap_perf() >= 0.95
+                })
+                .count(),
+            other => panic!("unexpected schedule {other:?}"),
+        };
+        assert_eq!(met, 1, "exactly one of the two SLOs is satisfiable");
+    }
+
+    #[test]
+    fn pure_batch_group_behaves_like_plain_planning() {
+        let planner = SloPlanner::new(spec());
+        let a = measure(catalog::stream());
+        let b = measure(catalog::kmeans());
+        let apps = [("stream", &a), ("kmeans", &b)];
+        let schedule = planner.plan(&apps, Watts::new(100.0));
+        assert!(matches!(schedule, Schedule::Space { .. }));
+        assert!(planner.plan(&[], Watts::new(100.0)) == Schedule::Space { settings: BTreeMap::new() });
+    }
+}

@@ -1,0 +1,39 @@
+//! Energy storage device (ESD) models for server-local power
+//! time-shifting.
+//!
+//! The paper's Requirement R4 exploits a server-local Lead-Acid UPS to
+//! bank energy during OFF periods (when the sockets deep-sleep and the
+//! cap leaves `P_cap − P_idle` of headroom) and spend it during ON
+//! periods to run *above* the cap, amortizing the non-convex
+//! chip-maintenance power `P_cm` across co-located applications.
+//!
+//! This crate models the devices themselves. The scheduling logic
+//! (Eq. 5's OFF:ON ratio) lives in `powermed-core`'s coordinator; all it
+//! needs from a device is its power limits, capacity and round-trip
+//! efficiency `η`, which the [`EnergyStorage`] trait exposes.
+//!
+//! # Example
+//!
+//! ```
+//! use powermed_esd::{EnergyStorage, LeadAcidBattery};
+//! use powermed_units::{Joules, Seconds, Watts};
+//!
+//! let mut ups = LeadAcidBattery::server_ups();
+//! // Bank with 20 W of headroom for 10 s.
+//! let drawn = ups.charge(Watts::new(20.0), Seconds::new(10.0));
+//! assert_eq!(drawn, Watts::new(20.0));
+//! // Less than 200 J lands in the battery (charge losses).
+//! assert!(ups.stored() < Joules::new(200.0));
+//! assert!(ups.stored() > Joules::new(150.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ideal;
+mod lead_acid;
+mod storage;
+
+pub use ideal::{IdealEsd, NoEsd};
+pub use lead_acid::LeadAcidBattery;
+pub use storage::{EnergyStorage, StorageStats};

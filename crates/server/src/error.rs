@@ -1,0 +1,114 @@
+//! Error types for the server substrate.
+
+use crate::topology::{CoreId, SocketId};
+
+/// Errors raised when configuring or operating the simulated server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// A frequency outside the platform's DVFS ladder was requested.
+    FrequencyOutOfRange {
+        /// Requested frequency in GHz.
+        requested_ghz: f64,
+        /// Minimum supported frequency in GHz.
+        min_ghz: f64,
+        /// Maximum supported frequency in GHz.
+        max_ghz: f64,
+    },
+    /// A core count outside the per-application allocation range.
+    CoreCountOutOfRange {
+        /// Requested number of cores.
+        requested: usize,
+        /// Maximum cores available to one application.
+        max: usize,
+    },
+    /// A DRAM power limit outside the RAPL-supported window.
+    DramPowerOutOfRange {
+        /// Requested per-DIMM limit in watts.
+        requested_w: f64,
+        /// Minimum supported limit in watts.
+        min_w: f64,
+        /// Maximum supported limit in watts.
+        max_w: f64,
+    },
+    /// Not enough free cores to satisfy an allocation request.
+    InsufficientCores {
+        /// Cores requested.
+        requested: usize,
+        /// Cores currently free.
+        available: usize,
+    },
+    /// The referenced core does not exist on this server.
+    UnknownCore(CoreId),
+    /// The referenced socket does not exist on this server.
+    UnknownSocket(SocketId),
+    /// The referenced application is not hosted on this server.
+    UnknownApp(String),
+    /// An application with this identifier is already hosted.
+    DuplicateApp(String),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::FrequencyOutOfRange {
+                requested_ghz,
+                min_ghz,
+                max_ghz,
+            } => write!(
+                f,
+                "frequency {requested_ghz} GHz outside DVFS range [{min_ghz}, {max_ghz}] GHz"
+            ),
+            Self::CoreCountOutOfRange { requested, max } => {
+                write!(f, "core count {requested} outside range [1, {max}]")
+            }
+            Self::DramPowerOutOfRange {
+                requested_w,
+                min_w,
+                max_w,
+            } => write!(
+                f,
+                "DRAM power limit {requested_w} W outside RAPL range [{min_w}, {max_w}] W"
+            ),
+            Self::InsufficientCores {
+                requested,
+                available,
+            } => write!(f, "requested {requested} cores but only {available} free"),
+            Self::UnknownCore(id) => write!(f, "unknown core {id}"),
+            Self::UnknownSocket(id) => write!(f, "unknown socket {id}"),
+            Self::UnknownApp(name) => write!(f, "unknown application {name:?}"),
+            Self::DuplicateApp(name) => write!(f, "application {name:?} already hosted"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ServerError::FrequencyOutOfRange {
+            requested_ghz: 2.5,
+            min_ghz: 1.2,
+            max_ghz: 2.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2.5"));
+        assert!(msg.contains("1.2"));
+
+        let err = ServerError::InsufficientCores {
+            requested: 8,
+            available: 3,
+        };
+        assert!(err.to_string().contains("8"));
+        assert!(err.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ServerError>();
+    }
+}

@@ -1,0 +1,537 @@
+//! The fixed-timestep server simulation.
+
+use std::collections::BTreeMap;
+
+use powermed_esd::EnergyStorage;
+use powermed_server::server::{AppDemand, AppRunState, PowerBreakdown};
+use powermed_server::{KnobSetting, Server, ServerError, ServerSpec};
+use powermed_telemetry::meter::PowerMeter;
+use powermed_telemetry::recorder::TraceRecorder;
+use powermed_units::{Seconds, Watts};
+use powermed_workloads::profile::AppProfile;
+
+use crate::app::RunningApp;
+use crate::clock::SimClock;
+
+/// What the policy asked the ESD to do until further notice.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum EsdCommand {
+    /// Neither charge nor discharge.
+    #[default]
+    Idle,
+    /// Charge at up to the given bus power (clamped by headroom under
+    /// the cap and by the device).
+    Charge(Watts),
+    /// Discharge at up to the given bus power (clamped by the device).
+    Discharge(Watts),
+    /// Discharge exactly as much as needed to bring net draw down to the
+    /// cap (no-op when already under the cap or no cap is set).
+    DischargeToCap,
+}
+
+/// What happened during one simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Simulation time at the *end* of the step.
+    pub now: Seconds,
+    /// Power drawn by the server itself (idle + uncore + apps).
+    pub gross_power: Watts,
+    /// Net draw seen by the provisioned feed: gross + ESD charge − ESD
+    /// discharge. This is what the cap constrains (Eq. 2).
+    pub net_power: Watts,
+    /// Power the ESD absorbed this step.
+    pub esd_charge: Watts,
+    /// Power the ESD delivered this step.
+    pub esd_discharge: Watts,
+    /// Whether net power exceeded the cap this step.
+    pub cap_violated: bool,
+    /// Applications that reached completion during this step (E3
+    /// triggers for the Accountant).
+    pub completed: Vec<String>,
+    /// The full per-component breakdown.
+    pub breakdown: PowerBreakdown,
+}
+
+/// The simulated server, its hosted applications, its energy storage and
+/// its meters, advanced by a fixed-timestep loop.
+#[derive(Debug)]
+pub struct ServerSim {
+    server: Server,
+    apps: BTreeMap<String, RunningApp>,
+    esd: Box<dyn EnergyStorage>,
+    esd_command: EsdCommand,
+    cap: Option<Watts>,
+    clock: SimClock,
+    meter: PowerMeter,
+    recorder: TraceRecorder,
+}
+
+impl ServerSim {
+    /// Creates a simulation of a server with the given storage device
+    /// (use [`powermed_esd::NoEsd`] for none).
+    pub fn new(spec: ServerSpec, esd: Box<dyn EnergyStorage>) -> Self {
+        Self {
+            server: Server::new(spec),
+            apps: BTreeMap::new(),
+            esd,
+            esd_command: EsdCommand::Idle,
+            cap: None,
+            clock: SimClock::new(),
+            meter: PowerMeter::new(),
+            recorder: TraceRecorder::new(),
+        }
+    }
+
+    /// The server being simulated.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Mutable access to the server for knob actuation,
+    /// suspend/resume, etc. (the policy's enforcement path).
+    pub fn server_mut(&mut self) -> &mut Server {
+        &mut self.server
+    }
+
+    /// The energy storage device.
+    pub fn esd(&self) -> &dyn EnergyStorage {
+        self.esd.as_ref()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Seconds {
+        self.clock.now()
+    }
+
+    /// The active power cap, if any.
+    pub fn cap(&self) -> Option<Watts> {
+        self.cap
+    }
+
+    /// Sets or clears the server power cap (event E1).
+    pub fn set_cap(&mut self, cap: Option<Watts>) {
+        self.cap = cap;
+        if let Some(c) = cap {
+            self.recorder.push("cap_w", self.clock.now(), c.value());
+        }
+    }
+
+    /// Sets the standing ESD command (applied every step until changed).
+    pub fn set_esd_command(&mut self, command: EsdCommand) {
+        self.esd_command = command;
+    }
+
+    /// The standing ESD command.
+    pub fn esd_command(&self) -> EsdCommand {
+        self.esd_command
+    }
+
+    /// Hosts an application (event E2), placing it on the server with
+    /// the given initial knob setting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerError`] from placement (duplicate name,
+    /// invalid knob, insufficient cores).
+    pub fn host(&mut self, profile: AppProfile, knob: KnobSetting) -> Result<(), ServerError> {
+        let name = profile.name().to_string();
+        self.server.host_app(&name, knob)?;
+        self.apps
+            .insert(name, RunningApp::new(profile, self.clock.now()));
+        Ok(())
+    }
+
+    /// Removes an application (event E3 handling), releasing its cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownApp`] when `name` is not hosted.
+    pub fn remove(&mut self, name: &str) -> Result<(), ServerError> {
+        self.server.remove_app(name)?;
+        self.apps.remove(name);
+        Ok(())
+    }
+
+    /// Names of hosted applications.
+    pub fn app_names(&self) -> Vec<String> {
+        self.apps.keys().cloned().collect()
+    }
+
+    /// The runtime state of `name`.
+    pub fn app(&self, name: &str) -> Option<&RunningApp> {
+        self.apps.get(name)
+    }
+
+    /// Mutable runtime state of `name` (heartbeat reads need `&mut`).
+    pub fn app_mut(&mut self, name: &str) -> Option<&mut RunningApp> {
+        self.apps.get_mut(name)
+    }
+
+    /// Instantaneously measures `(dynamic power, throughput)` of `name`
+    /// at `knob` — the simulation analogue of the paper's short online
+    /// calibration run at one sample setting. The app is not disturbed.
+    ///
+    /// Returns `None` for unknown apps.
+    pub fn probe(&self, name: &str, knob: KnobSetting) -> Option<(Watts, f64)> {
+        let app = self.apps.get(name)?;
+        let op = app.operating_point(self.server.spec(), knob);
+        Some((op.dynamic_power, op.throughput))
+    }
+
+    /// The cumulative power meter.
+    pub fn meter(&self) -> &PowerMeter {
+        &self.meter
+    }
+
+    /// The recorded time series.
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the recorder (policies may add their own
+    /// series).
+    pub fn recorder_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.recorder
+    }
+
+    /// Advances the simulation by `dt`.
+    pub fn step(&mut self, dt: Seconds) -> StepReport {
+        self.clock.advance(dt);
+        let now = self.clock.now();
+
+        // 1. Applications run (or idle) at their assigned knobs.
+        let mut demands: BTreeMap<String, AppDemand> = BTreeMap::new();
+        let mut completed = Vec::new();
+        let spec = self.server.spec().clone();
+        for (name, app) in &mut self.apps {
+            let Some(assignment) = self.server.assignment(name) else {
+                continue;
+            };
+            let knob = assignment.knob();
+            match assignment.run_state() {
+                AppRunState::Running => {
+                    let was_done = app.completed();
+                    let demand = app.step(&spec, knob, now, dt);
+                    demands.insert(name.clone(), demand);
+                    if !was_done && app.completed() {
+                        completed.push(name.clone());
+                    }
+                }
+                AppRunState::Suspended => {
+                    app.step_suspended(now);
+                }
+            }
+        }
+        // An application that just completed has exited its process: its
+        // cores idle and its socket may deep-sleep. Model that by
+        // suspending it on the server (the Accountant's E3 will remove
+        // it properly).
+        for name in &completed {
+            let _ = self.server.suspend_app(name);
+        }
+
+        // 2. Server power accounting.
+        let breakdown = self.server.power_draw(&demands, dt);
+        let gross = breakdown.total();
+
+        // 3. ESD command execution. Charging is clamped to headroom under
+        //    the cap (charging must never itself violate Eq. 3).
+        let (esd_charge, esd_discharge) = match self.esd_command {
+            EsdCommand::Idle => (Watts::ZERO, Watts::ZERO),
+            EsdCommand::Charge(p) => {
+                let headroom = match self.cap {
+                    Some(cap) => (cap - gross).max_zero(),
+                    None => p,
+                };
+                (self.esd.charge(p.min(headroom), dt), Watts::ZERO)
+            }
+            EsdCommand::Discharge(p) => (Watts::ZERO, self.esd.discharge(p, dt)),
+            EsdCommand::DischargeToCap => {
+                let deficit = match self.cap {
+                    Some(cap) => (gross - cap).max_zero(),
+                    None => Watts::ZERO,
+                };
+                if deficit.is_zero() {
+                    (Watts::ZERO, Watts::ZERO)
+                } else {
+                    (Watts::ZERO, self.esd.discharge(deficit, dt))
+                }
+            }
+        };
+        self.esd.tick(dt);
+
+        let net = gross + esd_charge - esd_discharge;
+        self.meter.sample(net, self.cap, dt);
+        let cap_violated = match self.cap {
+            Some(cap) => net.value() > cap.value() + 1e-9,
+            None => false,
+        };
+
+        // 4. Record the standard series.
+        self.recorder.push("gross_w", now, gross.value());
+        self.recorder.push("net_w", now, net.value());
+        self.recorder
+            .push("esd_soc", now, self.esd.soc().value());
+        for (name, p) in &breakdown.apps {
+            self.recorder
+                .push(&format!("app_power_w.{name}"), now, p.value());
+        }
+
+        StepReport {
+            now,
+            gross_power: gross,
+            net_power: net,
+            esd_charge,
+            esd_discharge,
+            cap_violated,
+            completed,
+            breakdown,
+        }
+    }
+
+    /// Runs for `duration` in steps of `dt`, returning the last report.
+    /// Panics if `duration < dt` would give zero steps.
+    pub fn run_for(&mut self, duration: Seconds, dt: Seconds) -> StepReport {
+        let steps = (duration.value() / dt.value()).round().max(1.0) as u64;
+        let mut last = None;
+        for _ in 0..steps {
+            last = Some(self.step(dt));
+        }
+        last.expect("at least one step")
+    }
+
+    /// Total work completed by `name` so far (0 for unknown apps).
+    pub fn ops_done(&self, name: &str) -> f64 {
+        self.apps.get(name).map_or(0.0, RunningApp::ops_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_esd::{IdealEsd, LeadAcidBattery, NoEsd};
+    use powermed_units::Joules;
+    use powermed_workloads::catalog;
+
+    fn sim() -> ServerSim {
+        ServerSim::new(ServerSpec::xeon_e5_2620(), Box::new(NoEsd))
+    }
+
+    const DT: Seconds = Seconds::new(0.1);
+
+    #[test]
+    fn empty_server_idles_at_p_idle() {
+        let mut s = sim();
+        let r = s.step(DT);
+        assert_eq!(r.gross_power, Watts::new(50.0));
+        assert_eq!(r.net_power, r.gross_power);
+        assert!(!r.cap_violated);
+    }
+
+    #[test]
+    fn hosted_app_progresses_and_draws_power() {
+        let mut s = sim();
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        let r = s.run_for(Seconds::new(1.0), DT);
+        assert!(r.gross_power.value() > 80.0, "gross {:?}", r.gross_power);
+        assert!(s.ops_done("kmeans") > 0.0);
+        assert_eq!(s.app_names(), vec!["kmeans".to_string()]);
+    }
+
+    #[test]
+    fn suspended_app_stops_drawing() {
+        let mut s = sim();
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.server_mut().suspend_app("kmeans").unwrap();
+        let r = s.step(DT);
+        assert_eq!(r.gross_power, Watts::new(50.0), "socket deep sleeps");
+        assert_eq!(s.ops_done("kmeans"), 0.0);
+    }
+
+    #[test]
+    fn cap_violation_flagged() {
+        let mut s = sim();
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.set_cap(Some(Watts::new(60.0)));
+        let r = s.step(DT);
+        assert!(r.cap_violated);
+        assert!(s.meter().compliance().violation_fraction() > 0.99);
+    }
+
+    #[test]
+    fn completion_reported_once() {
+        let mut s = sim();
+        let spec = s.server().spec().clone();
+        let knob = KnobSetting::max_for(&spec);
+        let short = catalog::finite(catalog::kmeans(), &spec, Seconds::new(0.5));
+        s.host(short, knob).unwrap();
+        let mut completions = 0;
+        for _ in 0..20 {
+            completions += s.step(DT).completed.len();
+        }
+        assert_eq!(completions, 1);
+        assert!(s.app("kmeans").unwrap().completed());
+        // Completed-but-not-removed app draws only background.
+        let r = s.step(DT);
+        let app_power = r.breakdown.apps["kmeans"];
+        assert!(app_power.value() < 5.0, "exited app draws {app_power:?}");
+    }
+
+    #[test]
+    fn esd_charge_respects_cap_headroom() {
+        let mut s = ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(IdealEsd::new(Joules::new(1000.0), Watts::new(100.0))),
+        );
+        s.set_cap(Some(Watts::new(70.0)));
+        s.set_esd_command(EsdCommand::Charge(Watts::new(100.0)));
+        let r = s.step(DT);
+        // Idle 50 W, cap 70 W: only 20 W of charge headroom.
+        assert!((r.esd_charge - Watts::new(20.0)).abs() < Watts::new(1e-9));
+        assert!((r.net_power - Watts::new(70.0)).abs() < Watts::new(1e-9));
+        assert!(!r.cap_violated);
+    }
+
+    #[test]
+    fn esd_discharge_lowers_net_power() {
+        let mut s = ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(IdealEsd::new(Joules::new(1000.0), Watts::new(100.0)).with_soc(1.0)),
+        );
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.set_esd_command(EsdCommand::Discharge(Watts::new(20.0)));
+        let r = s.step(DT);
+        assert_eq!(r.esd_discharge, Watts::new(20.0));
+        assert!((r.net_power - (r.gross_power - Watts::new(20.0))).abs() < Watts::new(1e-9));
+    }
+
+    #[test]
+    fn lead_acid_bank_and_spend_cycle() {
+        let mut s = ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(LeadAcidBattery::server_ups()),
+        );
+        s.set_cap(Some(Watts::new(70.0)));
+        s.set_esd_command(EsdCommand::Charge(Watts::new(50.0)));
+        s.run_for(Seconds::new(10.0), DT);
+        let banked = s.esd().stored();
+        assert!(banked.value() > 150.0, "banked {banked:?}");
+        s.set_esd_command(EsdCommand::Discharge(Watts::new(40.0)));
+        let r = s.step(DT);
+        assert!(r.esd_discharge.value() > 0.0);
+        assert!(s.esd().stored() < banked);
+    }
+
+    #[test]
+    fn probe_matches_model() {
+        let mut s = sim();
+        let spec = s.server().spec().clone();
+        let knob = KnobSetting::max_for(&spec);
+        s.host(catalog::stream(), knob).unwrap();
+        let (p, t) = s.probe("stream", knob).unwrap();
+        let op = catalog::stream().evaluate(&spec, knob);
+        assert_eq!(p, op.dynamic_power);
+        assert_eq!(t, op.throughput);
+        assert!(s.probe("ghost", knob).is_none());
+    }
+
+    #[test]
+    fn recorder_captures_series() {
+        let mut s = sim();
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::bfs(), knob).unwrap();
+        s.set_cap(Some(Watts::new(100.0)));
+        s.run_for(Seconds::new(0.5), DT);
+        let r = s.recorder();
+        assert!(r.series("gross_w").unwrap().len() >= 5);
+        assert!(r.series("app_power_w.bfs").is_some());
+        assert!(r.series("cap_w").is_some());
+    }
+
+    #[test]
+    fn remove_frees_cores() {
+        let mut s = sim();
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.host(catalog::stream(), knob).unwrap();
+        s.remove("kmeans").unwrap();
+        assert_eq!(s.app_names(), vec!["stream".to_string()]);
+        assert!(s.remove("kmeans").is_err());
+        // A third app can now fit.
+        s.host(catalog::bfs(), knob).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use powermed_esd::NoEsd;
+    use powermed_units::Ratio;
+    use powermed_workloads::catalog;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For any sequence of suspend/resume/knob actuations, gross
+        /// power stays within the physical envelope
+        /// `[P_idle, rated power]` and energy accounting is monotone.
+        #[test]
+        fn prop_gross_power_within_envelope(
+            ops in proptest::collection::vec((0u8..4, 0usize..2, 0usize..432), 1..40),
+        ) {
+            let spec = ServerSpec::xeon_e5_2620();
+            let grid = spec.knob_grid();
+            let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+            let start = KnobSetting::min_for(&spec).with_cores(4);
+            sim.host(catalog::kmeans(), start).unwrap();
+            sim.host(catalog::stream(), start).unwrap();
+            let names = ["kmeans", "stream"];
+            let mut prev_energy = sim.meter().energy();
+            for (kind, which, idx) in ops {
+                let name = names[which];
+                match kind {
+                    0 => { let _ = sim.server_mut().suspend_app(name); }
+                    1 => { let _ = sim.server_mut().resume_app(name); }
+                    2 => {
+                        let knob = grid.get(idx).unwrap();
+                        let cores_ok = knob.cores() <= 4
+                            || sim.server().assignment(name).is_some();
+                        if cores_ok {
+                            let _ = sim.server_mut().set_knobs(name, knob);
+                        }
+                    }
+                    _ => {}
+                }
+                let report = sim.step(Seconds::new(0.1));
+                prop_assert!(report.gross_power >= spec.idle_power() - Watts::new(1e-9));
+                prop_assert!(report.gross_power <= spec.rated_power() + Watts::new(1e-6));
+                prop_assert!(sim.meter().energy() >= prev_energy);
+                prev_energy = sim.meter().energy();
+            }
+        }
+
+        /// Progress is conserved: total ops equal the integral of the
+        /// per-step throughput, and never decrease.
+        #[test]
+        fn prop_ops_monotone(steps in 1usize..60, busy in 0.0f64..1.0) {
+            let spec = ServerSpec::xeon_e5_2620();
+            let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+            let knob = KnobSetting::max_for(&spec);
+            sim.host(catalog::bfs(), knob).unwrap();
+            let _ = Ratio::new(busy);
+            let mut prev = 0.0;
+            for _ in 0..steps {
+                sim.step(Seconds::new(0.1));
+                let done = sim.ops_done("bfs");
+                prop_assert!(done >= prev);
+                prev = done;
+            }
+            prop_assert!(prev > 0.0);
+        }
+    }
+}

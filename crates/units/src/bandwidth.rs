@@ -1,0 +1,71 @@
+//! Memory bandwidth.
+
+use crate::{Ratio, Seconds};
+
+quantity!(
+    /// Data rate in bytes per second.
+    ///
+    /// The DRAM power model maps a RAPL memory power limit to an available
+    /// memory bandwidth; application roofline models consume it.
+    ///
+    /// ```
+    /// use powermed_units::BytesPerSec;
+    /// let bw = BytesPerSec::from_gib_per_sec(12.8);
+    /// assert!(bw.as_gib_per_sec() > 12.0);
+    /// ```
+    BytesPerSec,
+    "B/s"
+);
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+impl BytesPerSec {
+    /// Creates a bandwidth from GiB/s.
+    #[inline]
+    pub fn from_gib_per_sec(gib: f64) -> Self {
+        Self::new(gib * GIB)
+    }
+
+    /// Returns the bandwidth in GiB/s.
+    #[inline]
+    pub fn as_gib_per_sec(self) -> f64 {
+        self.value() / GIB
+    }
+
+    /// Bytes transferred over `duration` at this rate.
+    #[inline]
+    pub fn bytes_over(self, duration: Seconds) -> f64 {
+        self.value() * duration.value()
+    }
+}
+
+impl core::ops::Mul<Ratio> for BytesPerSec {
+    type Output = BytesPerSec;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> BytesPerSec {
+        BytesPerSec::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gib_conversion_roundtrip() {
+        let bw = BytesPerSec::from_gib_per_sec(10.0);
+        assert!((bw.as_gib_per_sec() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_over_duration() {
+        let bw = BytesPerSec::new(100.0);
+        assert_eq!(bw.bytes_over(Seconds::new(2.5)), 250.0);
+    }
+
+    #[test]
+    fn throttled_by_ratio() {
+        let bw = BytesPerSec::new(100.0) * Ratio::new(0.5);
+        assert_eq!(bw, BytesPerSec::new(50.0));
+    }
+}

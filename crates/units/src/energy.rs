@@ -1,0 +1,111 @@
+//! Electrical energy.
+
+use crate::{Ratio, Seconds, Watts};
+
+quantity!(
+    /// Energy in joules (watt-seconds).
+    ///
+    /// Used for energy-storage state of charge and for accounting how much
+    /// work a banked battery can sustain (Fig. 5 of the paper).
+    ///
+    /// ```
+    /// use powermed_units::{Joules, Watts};
+    /// let bank = Joules::new(200.0);
+    /// // A 20 W draw empties a 200 J bank in 10 s.
+    /// assert_eq!((bank / Watts::new(20.0)).value(), 10.0);
+    /// ```
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Energy in watt-hours, the customary unit for battery capacity.
+    ///
+    /// ```
+    /// use powermed_units::{Joules, WattHours};
+    /// assert_eq!(WattHours::new(1.0).to_joules(), Joules::new(3600.0));
+    /// ```
+    WattHours,
+    "Wh"
+);
+
+impl Joules {
+    /// Converts to watt-hours.
+    #[inline]
+    pub fn to_watt_hours(self) -> WattHours {
+        WattHours::new(self.value() / 3600.0)
+    }
+}
+
+impl WattHours {
+    /// Converts to joules.
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.value() * 3600.0)
+    }
+}
+
+impl From<WattHours> for Joules {
+    #[inline]
+    fn from(wh: WattHours) -> Joules {
+        wh.to_joules()
+    }
+}
+
+impl From<Joules> for WattHours {
+    #[inline]
+    fn from(j: Joules) -> WattHours {
+        j.to_watt_hours()
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+impl core::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl core::ops::Mul<Ratio> for Joules {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watt_hour_conversion_roundtrip() {
+        let e = Joules::new(7200.0);
+        assert_eq!(e.to_watt_hours(), WattHours::new(2.0));
+        assert_eq!(e.to_watt_hours().to_joules(), e);
+        assert_eq!(Joules::from(WattHours::new(0.5)), Joules::new(1800.0));
+        assert_eq!(WattHours::from(Joules::new(3600.0)), WattHours::new(1.0));
+    }
+
+    #[test]
+    fn energy_division() {
+        let e = Joules::new(100.0);
+        assert_eq!(e / Seconds::new(4.0), Watts::new(25.0));
+        assert_eq!(e / Watts::new(25.0), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn energy_scaled_by_efficiency() {
+        // Charging 100 J through a 75%-efficient battery banks 75 J.
+        assert_eq!(Joules::new(100.0) * Ratio::new(0.75), Joules::new(75.0));
+    }
+}

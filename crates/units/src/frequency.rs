@@ -1,0 +1,69 @@
+//! CPU clock frequency.
+
+quantity!(
+    /// Frequency in hertz.
+    ///
+    /// Per-core DVFS settings are expressed in hertz internally; the
+    /// human-facing constructors on [`Gigahertz`] cover the paper's
+    /// 1.2–2.0 GHz range.
+    Hertz,
+    "Hz"
+);
+
+quantity!(
+    /// Frequency in gigahertz, the customary unit for DVFS states.
+    ///
+    /// ```
+    /// use powermed_units::{Gigahertz, Hertz};
+    /// assert_eq!(Gigahertz::new(2.0).to_hertz(), Hertz::new(2.0e9));
+    /// ```
+    Gigahertz,
+    "GHz"
+);
+
+impl Hertz {
+    /// Converts to gigahertz.
+    #[inline]
+    pub fn to_gigahertz(self) -> Gigahertz {
+        Gigahertz::new(self.value() / 1e9)
+    }
+}
+
+impl Gigahertz {
+    /// Converts to hertz.
+    #[inline]
+    pub fn to_hertz(self) -> Hertz {
+        Hertz::new(self.value() * 1e9)
+    }
+}
+
+impl From<Gigahertz> for Hertz {
+    #[inline]
+    fn from(g: Gigahertz) -> Hertz {
+        g.to_hertz()
+    }
+}
+
+impl From<Hertz> for Gigahertz {
+    #[inline]
+    fn from(h: Hertz) -> Gigahertz {
+        h.to_gigahertz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_roundtrip() {
+        let f = Gigahertz::new(1.4);
+        assert!((f.to_hertz().to_gigahertz() - f).abs() < Gigahertz::new(1e-12));
+        assert_eq!(Hertz::from(Gigahertz::new(1.0)), Hertz::new(1.0e9));
+    }
+
+    #[test]
+    fn ordering_matches_physical_meaning() {
+        assert!(Gigahertz::new(1.2) < Gigahertz::new(2.0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Electrical power.
+
+use crate::{Joules, Ratio, Seconds};
+
+quantity!(
+    /// Electrical power in watts.
+    ///
+    /// The central quantity of the workspace: server caps (`P_cap`), idle
+    /// power (`P_idle`), chip-maintenance power (`P_cm`), per-application
+    /// dynamic power and ESD charge/discharge rates are all [`Watts`].
+    ///
+    /// ```
+    /// use powermed_units::{Seconds, Watts};
+    /// let draw = Watts::new(90.0);
+    /// assert_eq!((draw * Seconds::new(2.0)).value(), 180.0);
+    /// ```
+    Watts,
+    "W"
+);
+
+impl Watts {
+    /// Energy delivered by holding this power for `duration`.
+    #[inline]
+    pub fn for_duration(self, duration: Seconds) -> Joules {
+        self * duration
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Ratio> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        assert_eq!(Watts::new(50.0) * Seconds::new(3.0), Joules::new(150.0));
+        assert_eq!(
+            Watts::new(50.0).for_duration(Seconds::new(3.0)),
+            Joules::new(150.0)
+        );
+    }
+
+    #[test]
+    fn power_scaled_by_ratio() {
+        assert_eq!(Watts::new(80.0) * Ratio::new(0.25), Watts::new(20.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Dimensionless ratios, fractions and efficiencies.
+
+quantity!(
+    /// A dimensionless ratio.
+    ///
+    /// Used for normalized performance (performance under a cap divided by
+    /// uncapped performance, the paper's Eq. 1 objective), power-split
+    /// fractions, battery round-trip efficiency `η`, and duty-cycle
+    /// fractions.
+    ///
+    /// A [`Ratio`] is *not* restricted to `[0, 1]` — normalized cluster
+    /// throughput can exceed 1 when a policy beats its baseline — but
+    /// [`Ratio::fraction`] offers a checked constructor for genuine
+    /// fractions.
+    ///
+    /// ```
+    /// use powermed_units::Ratio;
+    /// let eta = Ratio::fraction(0.75).unwrap();
+    /// assert_eq!((eta * 2.0).value(), 1.5);
+    /// ```
+    Ratio,
+    ""
+);
+
+impl Ratio {
+    /// The unit ratio (100%).
+    pub const ONE: Self = Self::new(1.0);
+
+    /// Creates a ratio checked to lie in `[0, 1]`.
+    ///
+    /// Returns `None` when `value` is NaN or outside the unit interval.
+    #[inline]
+    pub fn fraction(value: f64) -> Option<Self> {
+        if (0.0..=1.0).contains(&value) {
+            Some(Self::new(value))
+        } else {
+            None
+        }
+    }
+
+    /// The complementary fraction `1 - self`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self::new(1.0 - self.value())
+    }
+
+    /// Expresses the ratio as a percentage value (`0.25` → `25.0`).
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.value() * 100.0
+    }
+
+    /// Creates a ratio from a percentage (`25.0` → `0.25`).
+    #[inline]
+    pub fn from_percent(pct: f64) -> Self {
+        Self::new(pct / 100.0)
+    }
+}
+
+impl core::ops::Mul for Ratio {
+    type Output = Ratio;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_validation() {
+        assert!(Ratio::fraction(0.0).is_some());
+        assert!(Ratio::fraction(1.0).is_some());
+        assert!(Ratio::fraction(-0.1).is_none());
+        assert!(Ratio::fraction(1.1).is_none());
+        assert!(Ratio::fraction(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn complement_and_percent() {
+        let r = Ratio::new(0.6);
+        assert!((r.complement().value() - 0.4).abs() < 1e-12);
+        assert_eq!(r.as_percent(), 60.0);
+        assert_eq!(Ratio::from_percent(45.0), Ratio::new(0.45));
+    }
+
+    #[test]
+    fn ratio_product() {
+        assert_eq!(Ratio::new(0.5) * Ratio::new(0.5), Ratio::new(0.25));
+        assert_eq!(Ratio::ONE * Ratio::new(0.3), Ratio::new(0.3));
+    }
+}

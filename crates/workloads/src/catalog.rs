@@ -1,0 +1,325 @@
+//! The benchmark catalog: analytic stand-ins for the paper's twelve
+//! evaluation applications plus betweenness centrality (used in mixes 5
+//! and 7 of Table II).
+//!
+//! Parameters are chosen to reproduce each benchmark's published
+//! character rather than its absolute speed:
+//!
+//! * **STREAM** saturates DRAM bandwidth and barely notices frequency;
+//! * **kmeans, PageRank, X264, ferret** are compute-bound and climb with
+//!   frequency and cores;
+//! * **GAP graph kernels** sit in between, with irregular access giving
+//!   them meaningful utility in *both* core and DRAM watts;
+//! * parallel fractions differ so core-consolidation (`n`) utilities
+//!   differ across apps.
+//!
+//! `instr_per_op` is normalized to 10⁶ for every profile, so "ops" are
+//! comparable across apps and throughput ratios are meaningful.
+
+use powermed_server::ServerSpec;
+use powermed_units::Seconds;
+
+use crate::profile::{AppProfile, Category};
+
+const MEGA: f64 = 1e6;
+
+/// kmeans clustering (MineBench): compute-bound data analytics.
+pub fn kmeans() -> AppProfile {
+    AppProfile::new(
+        "kmeans",
+        Category::DataAnalytics,
+        MEGA,
+        0.55,
+        3e4,
+        0.97,
+        0.9,
+    )
+}
+
+/// Apriori association-rule mining (MineBench, "APR").
+pub fn apr() -> AppProfile {
+    AppProfile::new(
+        "apr",
+        Category::DataAnalytics,
+        MEGA,
+        0.80,
+        3e5,
+        0.85,
+        0.7,
+    )
+}
+
+/// Breadth-first search (GAP): irregular, bandwidth-hungry.
+pub fn bfs() -> AppProfile {
+    AppProfile::new(
+        "bfs",
+        Category::GraphAnalytics,
+        MEGA,
+        0.80,
+        2.2e6,
+        0.78,
+        0.4,
+    )
+}
+
+/// Single-source shortest paths (GAP).
+pub fn sssp() -> AppProfile {
+    AppProfile::new(
+        "sssp",
+        Category::GraphAnalytics,
+        MEGA,
+        0.85,
+        1.6e6,
+        0.7,
+        0.4,
+    )
+}
+
+/// Betweenness centrality (GAP).
+pub fn betweenness() -> AppProfile {
+    AppProfile::new(
+        "betweenness",
+        Category::GraphAnalytics,
+        MEGA,
+        0.75,
+        1.2e6,
+        0.82,
+        0.45,
+    )
+}
+
+/// Connected components (GAP).
+pub fn connected() -> AppProfile {
+    AppProfile::new(
+        "connected",
+        Category::GraphAnalytics,
+        MEGA,
+        0.78,
+        1.9e6,
+        0.75,
+        0.4,
+    )
+}
+
+/// Triangle counting (GAP): the most compute-leaning graph kernel.
+pub fn triangle() -> AppProfile {
+    AppProfile::new(
+        "triangle",
+        Category::GraphAnalytics,
+        MEGA,
+        0.70,
+        8e5,
+        0.88,
+        0.55,
+    )
+}
+
+/// PageRank (GAP, used as the search-indexing representative).
+pub fn pagerank() -> AppProfile {
+    AppProfile::new(
+        "pagerank",
+        Category::SearchIndexing,
+        MEGA,
+        0.90,
+        4e5,
+        0.88,
+        0.7,
+    )
+}
+
+/// STREAM (McCalpin): pure memory streaming.
+pub fn stream() -> AppProfile {
+    AppProfile::new(
+        "stream",
+        Category::MemoryStreaming,
+        MEGA,
+        1.00,
+        4.0e6,
+        0.99,
+        0.85,
+    )
+}
+
+/// X264 video encoding (PARSEC).
+pub fn x264() -> AppProfile {
+    AppProfile::new(
+        "x264",
+        Category::MediaProcessing,
+        MEGA,
+        0.62,
+        1.2e5,
+        0.9,
+        0.85,
+    )
+}
+
+/// facesim physics simulation (PARSEC): mixed compute/memory media code.
+pub fn facesim() -> AppProfile {
+    AppProfile::new(
+        "facesim",
+        Category::MediaProcessing,
+        MEGA,
+        0.85,
+        7e5,
+        0.84,
+        0.55,
+    )
+}
+
+/// ferret content-similarity search (PARSEC).
+pub fn ferret() -> AppProfile {
+    AppProfile::new(
+        "ferret",
+        Category::MediaProcessing,
+        MEGA,
+        0.72,
+        1.8e5,
+        0.93,
+        0.85,
+    )
+}
+
+/// All catalog profiles in a stable order.
+pub fn all() -> Vec<AppProfile> {
+    vec![
+        kmeans(),
+        apr(),
+        bfs(),
+        sssp(),
+        betweenness(),
+        connected(),
+        triangle(),
+        pagerank(),
+        stream(),
+        x264(),
+        facesim(),
+        ferret(),
+    ]
+}
+
+/// Looks a profile up by its name.
+pub fn by_name(name: &str) -> Option<AppProfile> {
+    all().into_iter().find(|p| p.name() == name)
+}
+
+/// Gives `profile` a finite length chosen so that its uncapped solo run
+/// on `spec` lasts `duration` (used to script departures, Fig. 11b).
+pub fn finite(profile: AppProfile, spec: &ServerSpec, duration: Seconds) -> AppProfile {
+    let rate = profile.uncapped(spec).throughput;
+    profile.with_total_ops(rate * duration.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_server::KnobSetting;
+    use powermed_units::{Ratio, Watts};
+
+    fn spec() -> ServerSpec {
+        ServerSpec::xeon_e5_2620()
+    }
+
+    #[test]
+    fn catalog_has_twelve_unique_profiles() {
+        let profiles = all();
+        assert_eq!(profiles.len(), 12);
+        let mut names: Vec<&str> = profiles.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn by_name_finds_every_profile() {
+        for p in all() {
+            assert_eq!(by_name(p.name()).unwrap().name(), p.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn stream_is_memory_bound_and_kmeans_is_not() {
+        let spec = spec();
+        assert!(stream().is_memory_bound(&spec));
+        assert!(!kmeans().is_memory_bound(&spec));
+        assert!(!pagerank().is_memory_bound(&spec));
+        assert!(!x264().is_memory_bound(&spec));
+    }
+
+    #[test]
+    fn stream_prefers_dram_watts_over_frequency() {
+        let spec = spec();
+        let app = stream();
+        let max = KnobSetting::max_for(&spec);
+        let full = app.evaluate(&spec, max).throughput;
+        // Losing all frequency costs STREAM < 25%.
+        let slow = app
+            .evaluate(&spec, max.with_dvfs(spec.ladder().bottom_state()))
+            .throughput;
+        assert!(slow > full * 0.75, "slow={slow} full={full}");
+        // Losing DRAM watts costs it > 60%.
+        let starved = app
+            .evaluate(&spec, max.with_dram_limit(Watts::new(3.0)))
+            .throughput;
+        assert!(starved < full * 0.4, "starved={starved} full={full}");
+    }
+
+    #[test]
+    fn kmeans_prefers_frequency_over_dram_watts() {
+        let spec = spec();
+        let app = kmeans();
+        let max = KnobSetting::max_for(&spec);
+        let full = app.evaluate(&spec, max).throughput;
+        let slow = app
+            .evaluate(&spec, max.with_dvfs(spec.ladder().bottom_state()))
+            .throughput;
+        assert!(slow < full * 0.75, "frequency matters for kmeans");
+        let starved = app
+            .evaluate(&spec, max.with_dram_limit(Watts::new(3.0)))
+            .throughput;
+        assert!(starved > full * 0.8, "DRAM watts barely matter for kmeans");
+    }
+
+    #[test]
+    fn graph_kernels_sit_between_extremes() {
+        let spec = spec();
+        for app in [bfs(), sssp(), connected(), betweenness()] {
+            let max = KnobSetting::max_for(&spec);
+            let full = app.evaluate(&spec, max).throughput;
+            let slow = app
+                .evaluate(&spec, max.with_dvfs(spec.ladder().bottom_state()))
+                .throughput;
+            let starved = app
+                .evaluate(&spec, max.with_dram_limit(Watts::new(3.0)))
+                .throughput;
+            // Both knobs matter for graph codes.
+            assert!(slow < full * 0.95, "{}: frequency matters", app.name());
+            assert!(starved < full * 0.8, "{}: DRAM watts matter", app.name());
+        }
+    }
+
+    #[test]
+    fn profiles_draw_sane_dynamic_power() {
+        let spec = spec();
+        for app in all() {
+            let op = app.uncapped(&spec);
+            let p = op.dynamic_power.value();
+            assert!(
+                (5.0..=30.0).contains(&p),
+                "{} draws {p} W uncapped",
+                app.name()
+            );
+            assert!(op.throughput > 0.0);
+            assert!(op.demand.core_busy > Ratio::ZERO);
+        }
+    }
+
+    #[test]
+    fn finite_profiles_complete_on_schedule() {
+        let spec = spec();
+        let app = finite(pagerank(), &spec, Seconds::new(40.0));
+        let total = app.total_ops().unwrap();
+        let rate = app.uncapped(&spec).throughput;
+        assert!((total / rate - 40.0).abs() < 1e-9);
+    }
+}

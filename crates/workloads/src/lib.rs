@@ -1,0 +1,45 @@
+//! Application models for `powermed`: the datacenter benchmarks the paper
+//! evaluates with, as analytic roofline profiles.
+//!
+//! The paper runs real binaries — data analytics (kmeans, APR from
+//! MineBench), graph analytics (BFS, SSSP, betweenness, connected
+//! components, triangle counting, PageRank from the GAP suite), memory
+//! streaming (STREAM), and media processing (X264, facesim, ferret from
+//! PARSEC). We have none of those here, so each benchmark is modelled by
+//! an [`profile::AppProfile`]: how many instructions and memory bytes one
+//! unit of work costs, how well it scales across cores (Amdahl), and how
+//! much of its compute/memory time overlaps.
+//!
+//! The model is deliberately simple — a roofline — because the paper's
+//! policies consume nothing richer: they only ever observe *(power,
+//! performance)* pairs at knob settings `(f, n, m)`. What matters is that
+//! the profiles reproduce the *diversity* the paper exploits: STREAM is
+//! memory-bound (its utility lives in DRAM watts), kmeans compute-bound
+//! (its utility lives in frequency/cores), graph codes in between — which
+//! is exactly what yields Figs. 2, 3 and 9.
+//!
+//! # Example
+//!
+//! ```
+//! use powermed_server::ServerSpec;
+//! use powermed_server::knobs::KnobSetting;
+//! use powermed_workloads::catalog;
+//!
+//! let spec = ServerSpec::xeon_e5_2620();
+//! let stream = catalog::stream();
+//! let knob = KnobSetting::max_for(&spec);
+//! let op = stream.evaluate(&spec, knob);
+//! assert!(op.demand.core_busy.value() < 0.5, "STREAM stalls on memory");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod generator;
+pub mod mixes;
+pub mod phases;
+pub mod profile;
+
+pub use mixes::{Mix, MixId};
+pub use profile::{AppProfile, OperatingPoint};

@@ -1,0 +1,103 @@
+//! Demand response on one server: the datacenter tightens and relaxes
+//! this server's power cap over a (compressed) day, and the mediator
+//! rides the changes — spatial coordination under the loose cap,
+//! duty-cycling under the tight one, and battery-backed consolidated
+//! cycling during the emergency window.
+//!
+//! ```text
+//! cargo run --release --example demand_response_day
+//! ```
+
+use powermed::esd::LeadAcidBattery;
+use powermed::mediator::coordinator::Schedule;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::mediator::CoreError;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::mixes;
+
+/// The day's cap schedule: (start second, cap).
+const SCHEDULE: [(f64, f64); 5] = [
+    (0.0, 110.0),  // overnight slack
+    (30.0, 100.0), // morning: loose cap
+    (60.0, 80.0),  // afternoon peak shaving
+    (90.0, 70.0),  // demand-response emergency
+    (120.0, 100.0), // evening recovery
+];
+
+fn main() -> Result<(), CoreError> {
+    let spec = ServerSpec::xeon_e5_2620();
+    let battery = LeadAcidBattery::server_ups().with_soc(0.25);
+    let mut sim = ServerSim::new(spec.clone(), Box::new(battery));
+    let mut mediator = PowerMediator::new(
+        PolicyKind::AppResEsdAware,
+        spec.clone(),
+        Watts::new(SCHEDULE[0].1),
+    );
+
+    let mix = mixes::mix(1).expect("mix 1: stream + kmeans");
+    println!("workload: {}", mix.label());
+    for app in mix.apps() {
+        mediator.admit(&mut sim, app.clone())?;
+    }
+
+    let dt = Seconds::from_millis(100.0);
+    let end = 150.0;
+    let mut next_change = 1; // index into SCHEDULE
+    let mut next_report = 10.0;
+    println!(
+        "{:>6} {:>7} {:>9} {:>9} {:>7}  mode",
+        "t", "cap", "net", "soc", "work%"
+    );
+    while sim.now().value() < end {
+        if next_change < SCHEDULE.len() && sim.now().value() >= SCHEDULE[next_change].0 {
+            let cap = Watts::new(SCHEDULE[next_change].1);
+            println!("--- cap changes to {cap:.0} ---");
+            mediator.set_cap(&mut sim, cap);
+            next_change += 1;
+        }
+        let report = mediator.step(&mut sim, dt);
+        if sim.now().value() >= next_report {
+            next_report += 10.0;
+            let mode = match mediator.schedule() {
+                Schedule::Space { .. } => "space",
+                Schedule::Alternate { .. } => "alternate",
+                Schedule::Hybrid { .. } => "hybrid (pinned + rotating)",
+                Schedule::EsdCycle { off, on, .. } => {
+                    &format!("esd-cycle (off {:.1}s / on {:.1}s)", off.value(), on.value())
+                }
+                Schedule::Infeasible => "parked",
+            };
+            let total_ops: f64 = mix.apps().iter().map(|a| sim.ops_done(a.name())).sum();
+            let total_nocap: f64 = mix
+                .apps()
+                .iter()
+                .map(|a| a.uncapped(&spec).throughput * sim.now().value())
+                .sum();
+            println!(
+                "{:>5.0}s {:>6.0}W {:>8.1}W {:>8.1}% {:>6.1}%  {}",
+                sim.now().value(),
+                sim.cap().unwrap_or(Watts::ZERO).value(),
+                report.net_power.value(),
+                sim.esd().soc().value() * 100.0,
+                100.0 * total_ops / total_nocap,
+                mode
+            );
+        }
+    }
+
+    let meter = sim.meter();
+    println!(
+        "\nday summary: avg draw {:.1}, energy {:.0} kJ, cap violations {:.2}% of time",
+        meter.average().unwrap_or(Watts::ZERO),
+        meter.energy().value() / 1000.0,
+        meter.compliance().violation_fraction() * 100.0
+    );
+    println!(
+        "battery: {:.2} equivalent cycles over the day",
+        sim.esd().stats().equivalent_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Online calibration in action: an unknown application arrives, the
+//! runtime samples 10% of its knob settings and completes the rest by
+//! collaborative filtering against previously seen applications, then
+//! allocates power from the estimated utilities.
+//!
+//! ```text
+//! cargo run --release --example online_calibration
+//! ```
+
+use powermed::esd::NoEsd;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::mediator::CoreError;
+use powermed::server::{KnobSetting, ServerSpec};
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::catalog;
+use powermed::workloads::generator::WorkloadGenerator;
+
+fn main() -> Result<(), CoreError> {
+    let spec = ServerSpec::xeon_e5_2620();
+
+    // A corpus of previously-profiled applications (perturbed variants,
+    // so the arriving app itself is *not* in the corpus).
+    let mut gen = WorkloadGenerator::new(7);
+    let corpus = gen.variant_corpus(24, 0.25);
+    println!("corpus: {} previously seen applications", corpus.len());
+
+    let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+    let mut mediator = PowerMediator::new(PolicyKind::AppResAware, spec.clone(), Watts::new(100.0))
+        .with_online_calibration(&corpus, 0.10);
+
+    // Two "new" applications arrive.
+    mediator.admit(&mut sim, catalog::bfs())?;
+    mediator.admit(&mut sim, catalog::x264())?;
+    println!(
+        "online probes used: {} (vs {} for exhaustive profiling of both)",
+        mediator.probes(),
+        2 * spec.knob_grid().len()
+    );
+
+    // Compare the estimate against ground truth at a few settings.
+    println!("\nestimate quality for bfs:");
+    let truth = powermed::mediator::measurement::AppMeasurement::exhaustive(&spec, &catalog::bfs());
+    let est = mediator.measurement("bfs").expect("calibrated");
+    for (label, knob) in [
+        ("min", KnobSetting::min_for(&spec)),
+        ("mid", KnobSetting::max_for(&spec).with_cores(4).with_dram_limit(Watts::new(6.0))),
+        ("max", KnobSetting::max_for(&spec)),
+    ] {
+        let idx = est.grid().index_of(knob).expect("on grid");
+        println!(
+            "  {label}: power {:.1} est vs {:.1} true; perf {:.0} est vs {:.0} true",
+            est.power(idx),
+            truth.power(idx),
+            est.perf(idx),
+            truth.perf(idx)
+        );
+    }
+
+    // Run under the estimated utilities and check the cap held.
+    mediator.run_for(&mut sim, Seconds::new(15.0), Seconds::from_millis(100.0));
+    println!(
+        "\nafter 15 s: bfs {:.0} ops, x264 {:.0} ops, violations {:.2}% of time",
+        sim.ops_done("bfs"),
+        sim.ops_done("x264"),
+        sim.meter().compliance().violation_fraction() * 100.0
+    );
+    Ok(())
+}

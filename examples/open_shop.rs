@@ -1,0 +1,99 @@
+//! Open shop: a stream of finite jobs arrives at a capped server; the
+//! mediator admits what fits (shrinking incumbents to make room), queues
+//! the rest, and reapportions power on every arrival and departure —
+//! events E2 and E3 under sustained churn.
+//!
+//! ```text
+//! cargo run --release --example open_shop [seed]
+//! ```
+
+use std::collections::VecDeque;
+
+use powermed::esd::NoEsd;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::mediator::CoreError;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::generator::WorkloadGenerator;
+use powermed::workloads::profile::AppProfile;
+
+const CAP: Watts = Watts::new(100.0);
+const HORIZON: Seconds = Seconds::new(120.0);
+const DT: Seconds = Seconds::new(0.1);
+/// At most three co-located apps (12 cores / 4-core minimum).
+const MAX_COLOCATED: usize = 3;
+
+fn main() -> Result<(), CoreError> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+    let spec = ServerSpec::xeon_e5_2620();
+
+    // Script: ten arrivals over the horizon, each a finite job sized to
+    // ~15 s of uncapped work, uniquely named so repeats of the same
+    // benchmark can coexist.
+    let mut gen = WorkloadGenerator::new(seed);
+    let mut pending: VecDeque<(Seconds, AppProfile)> = gen
+        .arrival_script(10, Seconds::new(HORIZON.value() * 0.6))
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            let rate = arrival.profile.uncapped(&spec).throughput;
+            let job = arrival
+                .profile
+                .clone()
+                .with_name(format!("{}#{i}", arrival.profile.name()))
+                .with_total_ops(rate * 15.0);
+            (arrival.at, job)
+        })
+        .collect();
+
+    let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+    let mut med = PowerMediator::new(PolicyKind::AppResAware, spec.clone(), CAP);
+    let mut queue: VecDeque<AppProfile> = VecDeque::new();
+    let mut admitted = 0usize;
+    let mut finished = 0usize;
+
+    println!(
+        "open shop at {CAP:.0}, seed {seed}: 10 jobs over {:.0} s",
+        HORIZON.value() * 0.6
+    );
+    while sim.now() < HORIZON {
+        // New arrivals join the queue.
+        while pending.front().map(|(t, _)| *t <= sim.now()).unwrap_or(false) {
+            let (_, job) = pending.pop_front().expect("checked");
+            println!("{:>6.1}s  arrive  {}", sim.now().value(), job.name());
+            queue.push_back(job);
+        }
+        // Admit from the queue while there is room.
+        while sim.app_names().len() < MAX_COLOCATED {
+            let Some(job) = queue.pop_front() else { break };
+            let name = job.name().to_string();
+            med.admit(&mut sim, job)?;
+            admitted += 1;
+            println!("{:>6.1}s  admit   {name}", sim.now().value());
+        }
+        let report = med.step(&mut sim, DT);
+        for done in &report.completed {
+            finished += 1;
+            println!("{:>6.1}s  finish  {done}", sim.now().value());
+        }
+    }
+
+    println!(
+        "\n{admitted} admitted, {finished} finished, {} still hosted, {} queued",
+        sim.app_names().len(),
+        queue.len() + pending.len()
+    );
+    let meter = sim.meter();
+    println!(
+        "avg draw {:.1}, violations {:.2}% of time, {} replans",
+        meter.average().unwrap_or(Watts::ZERO),
+        meter.compliance().violation_fraction() * 100.0,
+        med.replans()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Face-off: every power-management scheme on the same mix and cap.
+//!
+//! ```text
+//! cargo run --release --example policy_faceoff [mix 1-15] [cap watts]
+//! cargo run --release --example policy_faceoff 14 80
+//! ```
+
+use powermed::esd::{LeadAcidBattery, NoEsd};
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::mediator::CoreError;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::mixes;
+
+fn main() -> Result<(), CoreError> {
+    let mut args = std::env::args().skip(1);
+    let mix_id: usize = args
+        .next()
+        .map(|s| s.parse().expect("mix id must be 1-15"))
+        .unwrap_or(1);
+    let cap_w: f64 = args
+        .next()
+        .map(|s| s.parse().expect("cap must be a number of watts"))
+        .unwrap_or(100.0);
+    let mix = mixes::mix(mix_id).expect("mix id must be 1-15");
+    let cap = Watts::new(cap_w);
+    let duration = Seconds::new(40.0);
+    let spec = ServerSpec::xeon_e5_2620();
+
+    println!("{} at P_cap = {cap:.0}, {duration:.0} simulated\n", mix.label());
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "policy",
+        mix.app1.name(),
+        mix.app2.name(),
+        "mean",
+        "violations",
+        "avg power"
+    );
+
+    for kind in PolicyKind::all() {
+        let mut sim = if kind.uses_esd() {
+            ServerSim::new(
+                spec.clone(),
+                Box::new(LeadAcidBattery::server_ups().with_soc(0.3)),
+            )
+        } else {
+            ServerSim::new(spec.clone(), Box::new(NoEsd))
+        };
+        let mut mediator = PowerMediator::new(kind, spec.clone(), cap);
+        for app in mix.apps() {
+            mediator.admit(&mut sim, app.clone())?;
+        }
+        mediator.run_for(&mut sim, duration, Seconds::from_millis(100.0));
+
+        let norm = |name: &str, nocap: f64| sim.ops_done(name) / (nocap * duration.value());
+        let n1 = norm(mix.app1.name(), mix.app1.uncapped(&spec).throughput);
+        let n2 = norm(mix.app2.name(), mix.app2.uncapped(&spec).throughput);
+        println!(
+            "{:<20} {:>9.1}% {:>9.1}% {:>9.1}% {:>10.2}% {:>10.1}",
+            kind.name(),
+            n1 * 100.0,
+            n2 * 100.0,
+            (n1 + n2) / 2.0 * 100.0,
+            sim.meter().compliance().violation_fraction() * 100.0,
+            sim.meter()
+                .average()
+                .map(|w| w.value())
+                .unwrap_or_default()
+        );
+    }
+    println!("\n(normalized to each app's uncapped solo throughput)");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: mediate a power struggle between two co-located
+//! applications under a 100 W server cap.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use powermed::esd::NoEsd;
+use powermed::mediator::coordinator::Schedule;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::mediator::CoreError;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::mixes;
+
+fn main() -> Result<(), CoreError> {
+    let spec = ServerSpec::xeon_e5_2620();
+    let cap = Watts::new(100.0);
+    println!("platform: {} cores, P_idle {:.0}, P_cm {:.0}, cap {:.0}",
+        spec.topology().total_cores(),
+        spec.idle_power(),
+        spec.chip_maintenance_power(),
+        cap,
+    );
+
+    // A shared server with no battery, running the paper's mix-10.
+    let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+    let mut mediator = PowerMediator::new(PolicyKind::AppResAware, spec.clone(), cap);
+
+    let mix = mixes::mix(10).expect("Table II has 15 mixes");
+    println!("hosting {}", mix.label());
+    for app in mix.apps() {
+        mediator.admit(&mut sim, app.clone())?;
+    }
+
+    // Show what the allocator decided.
+    match mediator.schedule() {
+        Schedule::Space { settings } => {
+            println!("spatial coordination; per-app knobs:");
+            for (name, idx) in settings {
+                let knob = spec.knob_grid().get(*idx).expect("grid index");
+                let power = mediator.measurement(name).expect("calibrated").power(*idx);
+                println!("  {name:<10} {knob}  -> {power:.1}");
+            }
+        }
+        other => println!("coordination: {other:?}"),
+    }
+
+    // Run for 20 seconds of simulated time.
+    mediator.run_for(&mut sim, Seconds::new(20.0), Seconds::from_millis(100.0));
+
+    println!("\nafter 20 s:");
+    for app in mix.apps() {
+        let done = sim.ops_done(app.name());
+        let nocap = app.uncapped(&spec).throughput * 20.0;
+        println!(
+            "  {:<10} {:>12.0} ops ({:.1}% of uncapped)",
+            app.name(),
+            done,
+            100.0 * done / nocap
+        );
+    }
+    let meter = sim.meter();
+    println!(
+        "server: avg {:.1}, peak {:.1}, cap violations {:.2}% of time",
+        meter.average().unwrap_or(Watts::ZERO),
+        meter.peak(),
+        meter.compliance().violation_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Cluster-scale integration tests (Sec. IV-D): peak shaving across a
+//! small fleet with all three cluster policies.
+
+use powermed::cluster::manager::{ClusterManager, ClusterPolicy};
+use powermed::cluster::trace::ClusterPowerTrace;
+use powermed::units::{Ratio, Seconds, Watts};
+
+fn trace(servers: usize, shave: f64) -> ClusterPowerTrace {
+    ClusterPowerTrace::synthetic_diurnal(servers, Seconds::new(120.0), 5)
+        .peak_shaved(Ratio::new(shave))
+        .clamped_below(Watts::new(78.0 * servers as f64))
+}
+
+#[test]
+fn all_policies_produce_sane_aggregates() {
+    let mgr = ClusterManager::new(3, 1);
+    for policy in [
+        ClusterPolicy::EqualRapl,
+        ClusterPolicy::EqualOurs,
+        ClusterPolicy::ConsolidationMigration,
+    ] {
+        let report = mgr.run(policy, &trace(3, 0.30), Seconds::new(0.5));
+        assert!(
+            report.aggregate_normalized_perf > 0.0
+                && report.aggregate_normalized_perf <= 1.001,
+            "{policy}: {report:?}"
+        );
+        assert_eq!(report.per_app_perf.len(), 6, "{policy}: 2 apps x 3 servers");
+        assert!(report.energy.value() > 0.0);
+    }
+}
+
+#[test]
+fn stringency_ordering_for_our_policy() {
+    let mgr = ClusterManager::new(3, 1);
+    let mild = mgr
+        .run(ClusterPolicy::EqualOurs, &trace(3, 0.15), Seconds::new(0.5))
+        .aggregate_normalized_perf;
+    let harsh = mgr
+        .run(ClusterPolicy::EqualOurs, &trace(3, 0.45), Seconds::new(0.5))
+        .aggregate_normalized_perf;
+    assert!(
+        mild > harsh,
+        "tighter shaving must cost performance: {mild:.3} vs {harsh:.3}"
+    );
+}
+
+#[test]
+fn ours_is_more_power_efficient_than_rapl() {
+    let mgr = ClusterManager::new(3, 1);
+    let t = trace(3, 0.45);
+    let rapl = mgr.run(ClusterPolicy::EqualRapl, &t, Seconds::new(0.5));
+    let ours = mgr.run(ClusterPolicy::EqualOurs, &t, Seconds::new(0.5));
+    assert!(
+        ours.perf_per_kilojoule > rapl.perf_per_kilojoule,
+        "ours {:.5} vs rapl {:.5} perf/kJ",
+        ours.perf_per_kilojoule,
+        rapl.perf_per_kilojoule
+    );
+}

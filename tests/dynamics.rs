@@ -1,0 +1,143 @@
+//! Integration tests for the Accountant's dynamic events (Sec. III-C):
+//! cap changes (E1), arrivals (E2), departures (E3) and phase-driven
+//! drift (E4), exercised end-to-end through the mediator.
+
+use powermed::esd::NoEsd;
+use powermed::mediator::coordinator::Schedule;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::catalog;
+use powermed::workloads::phases::{Phase, PhaseTrack};
+
+const DT: Seconds = Seconds::new(0.1);
+
+fn setup(kind: PolicyKind, cap: f64) -> (ServerSim, PowerMediator) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+    let med = PowerMediator::new(kind, spec, Watts::new(cap));
+    (sim, med)
+}
+
+#[test]
+fn e1_cap_drop_and_recovery_switch_modes() {
+    let (mut sim, mut med) = setup(PolicyKind::AppResAware, 100.0);
+    med.admit(&mut sim, catalog::stream()).unwrap();
+    med.admit(&mut sim, catalog::kmeans()).unwrap();
+    assert!(matches!(med.schedule(), Schedule::Space { .. }));
+
+    med.set_cap(&mut sim, Watts::new(80.0));
+    assert!(matches!(med.schedule(), Schedule::Alternate { .. }));
+    med.run_for(&mut sim, Seconds::new(5.0), DT);
+
+    med.set_cap(&mut sim, Watts::new(100.0));
+    assert!(matches!(med.schedule(), Schedule::Space { .. }));
+    med.run_for(&mut sim, Seconds::new(5.0), DT);
+    assert!(sim.meter().compliance().violation_fraction() < 0.02);
+}
+
+#[test]
+fn e2_arrival_forces_existing_app_to_share() {
+    let (mut sim, mut med) = setup(PolicyKind::AppResAware, 100.0);
+    med.admit(&mut sim, catalog::sssp()).unwrap();
+    med.run_for(&mut sim, Seconds::new(5.0), DT);
+    let solo_power = med
+        .accountant()
+        .allocation("sssp")
+        .expect("allocated")
+        .value();
+
+    med.admit(&mut sim, catalog::x264()).unwrap();
+    med.run_for(&mut sim, Seconds::new(5.0), DT);
+    let shared_power = med
+        .accountant()
+        .allocation("sssp")
+        .expect("still allocated")
+        .value();
+    assert!(
+        shared_power < solo_power,
+        "sssp must shed power: {solo_power:.1} -> {shared_power:.1}"
+    );
+    assert!(sim.ops_done("x264") > 0.0);
+}
+
+#[test]
+fn e3_departure_frees_the_whole_budget() {
+    let spec = ServerSpec::xeon_e5_2620();
+    let (mut sim, mut med) = setup(PolicyKind::AppResAware, 90.0);
+    let short = catalog::finite(catalog::pagerank(), &spec, Seconds::new(3.0));
+    med.admit(&mut sim, short).unwrap();
+    med.admit(&mut sim, catalog::kmeans()).unwrap();
+    med.run_for(&mut sim, Seconds::new(30.0), DT);
+
+    assert_eq!(sim.app_names(), vec!["kmeans".to_string()]);
+    // kmeans ends up with (nearly) its solo operating point.
+    match med.schedule() {
+        Schedule::Space { settings } => {
+            let idx = settings["kmeans"];
+            let m = med.measurement("kmeans").unwrap();
+            assert!(m.perf(idx) / m.nocap_perf() > 0.9);
+        }
+        other => panic!("expected Space, got {other:?}"),
+    }
+}
+
+#[test]
+fn e4_phase_change_triggers_recalibration() {
+    let (mut sim, mut med) = setup(PolicyKind::AppResAware, 100.0);
+    // A kmeans that turns memory-bound after 5 s of activity: its cores
+    // stall, drawn power departs from the allocation, and E4 must fire.
+    let phased = catalog::kmeans().with_phases(PhaseTrack::new(vec![
+        Phase {
+            compute_scale: 1.0,
+            memory_scale: 1.0,
+            duration: Seconds::new(5.0),
+        },
+        Phase {
+            compute_scale: 0.1,
+            memory_scale: 40.0,
+            duration: Seconds::new(30.0),
+        },
+    ]));
+    med.admit(&mut sim, phased).unwrap();
+    med.admit(&mut sim, catalog::x264()).unwrap();
+    let replans_before = med.replans();
+    let probes_before = med.probes();
+    med.run_for(&mut sim, Seconds::new(12.0), DT);
+    assert!(
+        med.replans() > replans_before,
+        "phase change should trigger re-planning"
+    );
+    assert!(
+        med.probes() > probes_before,
+        "E4 should trigger re-calibration probes"
+    );
+}
+
+#[test]
+fn rapid_event_storm_stays_consistent() {
+    // Hammer the mediator with interleaved events; invariants must hold.
+    let spec = ServerSpec::xeon_e5_2620();
+    let (mut sim, mut med) = setup(PolicyKind::AppResAware, 100.0);
+    med.admit(&mut sim, catalog::stream()).unwrap();
+    for (i, cap) in [95.0, 85.0, 110.0, 80.0, 100.0].iter().enumerate() {
+        med.set_cap(&mut sim, Watts::new(*cap));
+        if i == 1 {
+            med.admit(&mut sim, catalog::bfs()).unwrap();
+        }
+        if i == 3 {
+            let short = catalog::finite(catalog::ferret(), &spec, Seconds::new(0.5));
+            med.admit(&mut sim, short).unwrap();
+        }
+        med.run_for(&mut sim, Seconds::new(4.0), DT);
+    }
+    // Give the tail room to drain, then ferret (0.5 s of work) must
+    // have finished and departed.
+    med.run_for(&mut sim, Seconds::new(10.0), DT);
+    assert!(!sim.app_names().contains(&"ferret".to_string()));
+    // Survivors made progress.
+    assert!(sim.ops_done("stream") > 0.0);
+    assert!(sim.ops_done("bfs") > 0.0);
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: every policy on representative mixes,
+//! checking the global invariants the paper's system must uphold —
+//! caps respected, work progressing, awareness hierarchy intact.
+
+use powermed::esd::{LeadAcidBattery, NoEsd};
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::mixes::{self, Mix};
+
+const DT: Seconds = Seconds::new(0.1);
+
+fn run_mix(kind: PolicyKind, mix: &Mix, cap: f64, secs: f64) -> (ServerSim, f64) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let mut sim = if kind.uses_esd() {
+        ServerSim::new(
+            spec.clone(),
+            Box::new(LeadAcidBattery::server_ups().with_soc(0.3)),
+        )
+    } else {
+        ServerSim::new(spec.clone(), Box::new(NoEsd))
+    };
+    let mut med = PowerMediator::new(kind, spec.clone(), Watts::new(cap));
+    for app in mix.apps() {
+        med.admit(&mut sim, app.clone()).expect("mix fits");
+    }
+    med.run_for(&mut sim, Seconds::new(secs), DT);
+    let mean = mix
+        .apps()
+        .iter()
+        .map(|a| sim.ops_done(a.name()) / (a.uncapped(&spec).throughput * secs))
+        .sum::<f64>()
+        / 2.0;
+    (sim, mean)
+}
+
+#[test]
+fn every_policy_respects_the_loose_cap() {
+    for mix_id in [1, 8, 10] {
+        let mix = mixes::mix(mix_id).unwrap();
+        for kind in PolicyKind::all() {
+            let (sim, mean) = run_mix(kind, &mix, 100.0, 10.0);
+            let violations = sim.meter().compliance().violation_fraction();
+            // The utility-unaware baselines may overshoot slightly —
+            // Util-Unaware from best-effort RAPL, Server+Res-Aware from
+            // picking settings by catalog-average power rather than the
+            // app's own. The utility-aware schemes must be clean.
+            let tolerance = match kind {
+                PolicyKind::UtilUnaware | PolicyKind::ServerResAware => 1.0,
+                _ => 0.02,
+            };
+            assert!(
+                violations <= tolerance,
+                "{kind} on {}: violation fraction {violations}",
+                mix.label()
+            );
+            // Even when tolerated, overshoot must be marginal.
+            assert!(
+                sim.meter().compliance().worst_overshoot < Watts::new(5.0),
+                "{kind} on {}: worst overshoot {:?}",
+                mix.label(),
+                sim.meter().compliance().worst_overshoot
+            );
+            assert!(
+                mean > 0.3,
+                "{kind} on {}: mean normalized perf {mean}",
+                mix.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_policy_survives_the_stringent_cap() {
+    let mix = mixes::mix(1).unwrap();
+    for kind in PolicyKind::all() {
+        let (sim, mean) = run_mix(kind, &mix, 80.0, 30.0);
+        for app in mix.apps() {
+            assert!(
+                sim.ops_done(app.name()) > 0.0,
+                "{kind}: {} starved at 80 W",
+                app.name()
+            );
+        }
+        assert!(mean > 0.1, "{kind}: mean {mean} at 80 W");
+    }
+}
+
+#[test]
+fn awareness_hierarchy_holds_on_average() {
+    // A cheap version of Fig. 8a's ordering over three mixes.
+    let ids = [1, 10, 14];
+    let mut means = std::collections::BTreeMap::new();
+    for kind in [
+        PolicyKind::UtilUnaware,
+        PolicyKind::AppAware,
+        PolicyKind::AppResAware,
+    ] {
+        let total: f64 = ids
+            .iter()
+            .map(|id| run_mix(kind, &mixes::mix(*id).unwrap(), 100.0, 10.0).1)
+            .sum();
+        means.insert(kind.name(), total / ids.len() as f64);
+    }
+    assert!(
+        means["App+Res-Aware"] >= means["App-Aware"] - 1e-9,
+        "{means:?}"
+    );
+    assert!(
+        means["App+Res-Aware"] > means["Util-Unaware"],
+        "{means:?}"
+    );
+}
+
+#[test]
+fn esd_scheme_beats_non_esd_under_emergency_cap() {
+    let mix = mixes::mix(1).unwrap();
+    let (_, without) = run_mix(PolicyKind::AppResAware, &mix, 70.0, 40.0);
+    let (sim, with) = run_mix(PolicyKind::AppResEsdAware, &mix, 70.0, 40.0);
+    assert!(
+        with > without + 0.05,
+        "ESD should rescue the 70 W cap: {with:.3} vs {without:.3}"
+    );
+    assert!(
+        sim.meter().compliance().violation_fraction() < 0.05,
+        "ESD scheme must stay within the cap"
+    );
+}
+
+#[test]
+fn all_fifteen_mixes_complete_under_app_res_aware() {
+    for mix in mixes::table2() {
+        let (sim, mean) = run_mix(PolicyKind::AppResAware, &mix, 100.0, 5.0);
+        assert!(mean > 0.3, "{}: mean {mean}", mix.label());
+        assert!(sim.meter().compliance().violation_fraction() < 0.02);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests on the system's core invariants.
+
+use powermed::esd::{EnergyStorage, LeadAcidBattery, NoEsd};
+use powermed::mediator::allocator::PowerAllocator;
+use powermed::mediator::measurement::AppMeasurement;
+use powermed::mediator::policy::{PolicyKind, PowerPolicy};
+use powermed::mediator::runtime::PowerMediator;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::units::{Joules, Seconds, Watts};
+use powermed::workloads::catalog;
+use proptest::prelude::*;
+
+fn measurements() -> Vec<AppMeasurement> {
+    let spec = ServerSpec::xeon_e5_2620();
+    catalog::all()
+        .iter()
+        .map(|p| AppMeasurement::exhaustive(&spec, p))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any pair of apps and any budget, the DP allocator's chosen
+    /// settings never exceed their budgets, and budgets never exceed
+    /// the total.
+    #[test]
+    fn prop_allocator_respects_budgets(a in 0usize..12, b in 0usize..12, budget in 5u32..45) {
+        prop_assume!(a != b);
+        let ms = measurements();
+        let alloc = PowerAllocator::default();
+        let apps = [(&ms[a], None), (&ms[b], None)];
+        let out = alloc.apportion(&apps, Watts::new(budget as f64));
+        let total: Watts = out.budgets.iter().copied().sum();
+        prop_assert!(total <= Watts::new(budget as f64) + Watts::new(1e-9));
+        for (i, m) in [&ms[a], &ms[b]].iter().enumerate() {
+            if let Some(idx) = out.settings[i] {
+                prop_assert!(m.power(idx) <= out.budgets[i] + Watts::new(1e-9));
+            }
+        }
+    }
+
+    /// The awareness hierarchy is monotone for any mix at any feasible
+    /// spatial budget: App+Res-Aware's planning objective is at least
+    /// App-Aware's, which is at least the fair split's.
+    #[test]
+    fn prop_awareness_monotone(a in 0usize..12, b in 0usize..12, budget in 16u32..40) {
+        prop_assume!(a != b);
+        let spec = ServerSpec::xeon_e5_2620();
+        let ms = measurements();
+        let apps = [("a", &ms[a]), ("b", &ms[b])];
+        let budget = Watts::new(budget as f64);
+        let objective = |kind: PolicyKind| {
+            PowerPolicy::new(kind, spec.clone()).apportion(&apps, budget).objective
+        };
+        let aa = objective(PolicyKind::AppAware);
+        let ar = objective(PolicyKind::AppResAware);
+        prop_assert!(ar >= aa - 1e-9, "AppRes {ar} < AppAware {aa}");
+    }
+
+    /// The battery never fabricates energy, for any charge/discharge
+    /// interleaving.
+    #[test]
+    fn prop_battery_energy_balance(ops in proptest::collection::vec((0u8..2, 5.0f64..90.0, 0.05f64..1.5), 1..40)) {
+        let mut b = LeadAcidBattery::new(
+            Joules::new(5000.0),
+            powermed::units::Ratio::new(0.75),
+            Watts::new(50.0),
+            Watts::new(100.0),
+        );
+        let mut absorbed = Joules::ZERO;
+        let mut delivered = Joules::ZERO;
+        for (kind, p, dt) in ops {
+            let p = Watts::new(p);
+            let dt = Seconds::new(dt);
+            if kind == 0 {
+                absorbed += b.charge(p, dt) * dt;
+            } else {
+                delivered += b.discharge(p, dt) * dt;
+            }
+        }
+        prop_assert!(delivered <= absorbed + Joules::new(1e-6));
+        prop_assert!(b.stored() <= b.capacity() + Joules::new(1e-9));
+    }
+
+    /// Under any cap at or above idle+cm+floor, a mediated run never
+    /// violates the cap by more than the RAPL best-effort margin.
+    #[test]
+    fn prop_mediated_run_respects_cap(cap in 85u32..120, mix_id in 1usize..16) {
+        let spec = ServerSpec::xeon_e5_2620();
+        let mix = powermed::workloads::mixes::mix(mix_id).unwrap();
+        let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+        let mut med = PowerMediator::new(PolicyKind::AppResAware, spec, Watts::new(cap as f64));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).unwrap();
+        }
+        med.run_for(&mut sim, Seconds::new(5.0), Seconds::new(0.1));
+        let c = sim.meter().compliance();
+        prop_assert!(
+            c.violation_fraction() < 0.02,
+            "cap {cap}, {}: violations {}",
+            mix.label(),
+            c.violation_fraction()
+        );
+    }
+}
+
+#[test]
+fn esd_trait_objects_are_interchangeable() {
+    // The mediator must behave identically whether NoEsd or a fully
+    // drained battery is attached (R4 engages only with usable storage).
+    let spec = ServerSpec::xeon_e5_2620();
+    let mix = powermed::workloads::mixes::mix(10).unwrap();
+    let mut results = Vec::new();
+    let esds: Vec<Box<dyn EnergyStorage>> = vec![
+        Box::new(NoEsd),
+        Box::new(LeadAcidBattery::server_ups()), // empty battery
+    ];
+    for esd in esds {
+        let mut sim = ServerSim::new(spec.clone(), esd);
+        let mut med = PowerMediator::new(PolicyKind::AppResAware, spec.clone(), Watts::new(100.0));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).unwrap();
+        }
+        med.run_for(&mut sim, Seconds::new(5.0), Seconds::new(0.1));
+        results.push(sim.ops_done("kmeans"));
+    }
+    assert!((results[0] - results[1]).abs() < 1e-6);
+}
