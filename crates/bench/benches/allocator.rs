@@ -56,7 +56,9 @@ fn bench_allocator(c: &mut Criterion) {
     });
 
     c.bench_function("cluster_dp_ten_servers", |b| {
-        let vals = [0.00, 0.07, 0.13, 0.21, 0.28, 0.36, 0.44, 0.53, 0.58, 0.77, 0.90, 0.99, 1.00, 1.00];
+        let vals = [
+            0.00, 0.07, 0.13, 0.21, 0.28, 0.36, 0.44, 0.53, 0.58, 0.77, 0.90, 0.99, 1.00, 1.00,
+        ];
         let curve: Vec<(Watts, f64)> = ClusterManager::candidate_caps().zip(vals).collect();
         let curves: Vec<Vec<(Watts, f64)>> = vec![curve; 10];
         b.iter(|| ClusterManager::apportion_cluster(&curves, Watts::new(900.0)))

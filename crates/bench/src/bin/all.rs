@@ -1,17 +1,58 @@
-//! Regenerates every table and figure of the paper in order.
+//! Regenerates every table and figure of the paper in order, timing
+//! each experiment and writing the wall-clock breakdown to
+//! `BENCH_harness.json` (see DESIGN.md for the format).
+use std::time::Instant;
+
 use powermed_bench::experiments as ex;
 
 fn main() {
-    ex::table1::print();
-    ex::table2::print();
-    ex::fig2::print();
-    ex::fig3::print();
-    ex::fig4::print();
-    ex::fig5::print();
-    ex::fig7::print();
-    ex::fig8::print();
-    ex::fig9::print();
-    ex::fig10::print();
-    ex::fig11::print();
-    ex::fig12::print();
+    let experiments: Vec<(&str, fn())> = vec![
+        ("table1", ex::table1::print as fn()),
+        ("table2", ex::table2::print),
+        ("fig2", ex::fig2::print),
+        ("fig3", ex::fig3::print),
+        ("fig4", ex::fig4::print),
+        ("fig5", ex::fig5::print),
+        ("fig7", ex::fig7::print),
+        ("fig8", ex::fig8::print),
+        ("fig9", ex::fig9::print),
+        ("fig10", ex::fig10::print),
+        ("fig11", ex::fig11::print),
+        ("fig12", ex::fig12::print),
+    ];
+
+    let total_start = Instant::now();
+    let mut timings: Vec<(&str, f64)> = Vec::with_capacity(experiments.len());
+    for (name, run) in experiments {
+        let start = Instant::now();
+        run();
+        timings.push((name, start.elapsed().as_secs_f64()));
+    }
+    let total = total_start.elapsed().as_secs_f64();
+
+    println!("\n=== harness wall-clock ===");
+    for (name, secs) in &timings {
+        println!("{name:<8} {secs:>8.3} s");
+    }
+    println!("{:<8} {total:>8.3} s", "total");
+
+    let json = harness_json(&timings, total);
+    match std::fs::write("BENCH_harness.json", &json) {
+        Ok(()) => println!("wrote BENCH_harness.json"),
+        Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
+    }
+}
+
+/// Renders the timing breakdown as JSON by hand (the build is offline,
+/// so no serialization crate is available).
+fn harness_json(timings: &[(&str, f64)], total: f64) -> String {
+    let mut out = String::from("{\n  \"experiments\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let sep = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {secs:.6}{sep}\n"));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"total_seconds\": {total:.6},\n  \"unit\": \"seconds\"\n}}\n"
+    ));
+    out
 }

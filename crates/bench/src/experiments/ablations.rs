@@ -19,7 +19,7 @@ use powermed_sim::engine::ServerSim;
 use powermed_units::{Joules, Ratio, Seconds, Watts};
 use powermed_workloads::mixes;
 
-use crate::support::{heading, pct, DT};
+use crate::support::{heading, measure, par_map, pct, DT};
 
 /// One ESD-ablation data point.
 #[derive(Debug, Clone)]
@@ -32,57 +32,52 @@ pub struct EsdPoint {
     pub mean_normalized: f64,
 }
 
-/// A labelled storage-device factory for the sweep.
-type DeviceFactory = (&'static str, Box<dyn Fn() -> Box<dyn EnergyStorage>>);
+/// The storage devices of the sweep, in presentation order. Device
+/// construction happens inside each worker task (a boxed factory
+/// closure would not be `Sync`), keyed by this label.
+const DEVICES: [&str; 3] = ["none", "lead-acid", "ideal"];
 
-/// Sweeps the storage device at the paper's two stringent caps.
+fn build_device(label: &str) -> Box<dyn EnergyStorage> {
+    match label {
+        "none" => Box::new(NoEsd),
+        "lead-acid" => Box::new(LeadAcidBattery::server_ups().with_soc(0.3)),
+        "ideal" => {
+            Box::new(IdealEsd::new(Joules::new(50.0 * 3600.0), Watts::new(100.0)).with_soc(0.3))
+        }
+        other => unreachable!("unknown device label {other}"),
+    }
+}
+
+/// Sweeps the storage device at the paper's two stringent caps, one
+/// `(cap, device)` cell per worker-pool task.
 pub fn esd_device_sweep() -> Vec<EsdPoint> {
     let spec = ServerSpec::xeon_e5_2620();
     let mix = mixes::mix(1).expect("mix 1");
     let duration = Seconds::new(60.0);
-    let mut out = Vec::new();
-    for cap_w in [80.0, 70.0] {
-        let devices: Vec<DeviceFactory> = vec![
-            ("none", Box::new(|| Box::new(NoEsd) as Box<dyn EnergyStorage>)),
-            (
-                "lead-acid",
-                Box::new(|| {
-                    Box::new(LeadAcidBattery::server_ups().with_soc(0.3))
-                        as Box<dyn EnergyStorage>
-                }),
-            ),
-            (
-                "ideal",
-                Box::new(|| {
-                    Box::new(
-                        IdealEsd::new(Joules::new(50.0 * 3600.0), Watts::new(100.0))
-                            .with_soc(0.3),
-                    ) as Box<dyn EnergyStorage>
-                }),
-            ),
-        ];
-        for (device, make) in &devices {
-            let mut sim = ServerSim::new(spec.clone(), make());
-            let mut med =
-                PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), Watts::new(cap_w));
-            for app in mix.apps() {
-                med.admit(&mut sim, app.clone()).expect("mix fits");
-            }
-            med.run_for(&mut sim, duration, DT);
-            let mean = mix
-                .apps()
-                .iter()
-                .map(|a| sim.ops_done(a.name()) / (a.uncapped(&spec).throughput * duration.value()))
-                .sum::<f64>()
-                / 2.0;
-            out.push(EsdPoint {
-                device,
-                cap: Watts::new(cap_w),
-                mean_normalized: mean,
-            });
+    let cells: Vec<(f64, &'static str)> = [80.0, 70.0]
+        .into_iter()
+        .flat_map(|cap_w| DEVICES.iter().map(move |&d| (cap_w, d)))
+        .collect();
+    par_map(cells, |(cap_w, device)| {
+        let mut sim = ServerSim::new(spec.clone(), build_device(device));
+        let mut med =
+            PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), Watts::new(cap_w));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).expect("mix fits");
         }
-    }
-    out
+        med.run_for(&mut sim, duration, DT);
+        let mean = mix
+            .apps()
+            .iter()
+            .map(|a| sim.ops_done(a.name()) / (a.uncapped(&spec).throughput * duration.value()))
+            .sum::<f64>()
+            / 2.0;
+        EsdPoint {
+            device,
+            cap: Watts::new(cap_w),
+            mean_normalized: mean,
+        }
+    })
 }
 
 /// One allocation-granularity data point.
@@ -99,12 +94,7 @@ pub fn dp_step_sweep() -> Vec<StepPoint> {
     let spec = ServerSpec::xeon_e5_2620();
     let measurements: Vec<(AppMeasurement, AppMeasurement)> = mixes::table2()
         .into_iter()
-        .map(|mix| {
-            (
-                AppMeasurement::exhaustive(&spec, &mix.app1),
-                AppMeasurement::exhaustive(&spec, &mix.app2),
-            )
-        })
+        .map(|mix| (measure(&spec, &mix.app1), measure(&spec, &mix.app2)))
         .collect();
     [1.0, 2.0, 5.0]
         .into_iter()
@@ -147,70 +137,57 @@ pub fn cycle_period_sweep() -> Vec<CyclePoint> {
     let spec = ServerSpec::xeon_e5_2620();
     let mix = mixes::mix(1).expect("mix 1");
     let duration = Seconds::new(120.0);
-    [2.0, 10.0, 30.0]
-        .into_iter()
-        .map(|period| {
-            // The PowerMediator's policy embeds a 10 s coordinator; for
-            // the sweep we reproduce its planning with a custom period
-            // and measure through a mediator-free drive of the schedule.
-            let coordinator = Coordinator::new(
-                spec.idle_power(),
-                spec.chip_maintenance_power(),
-                Seconds::new(period),
-            );
-            let a = AppMeasurement::exhaustive(&spec, &mix.app1);
-            let b = AppMeasurement::exhaustive(&spec, &mix.app2);
-            let apps = [(mix.app1.name(), &a), (mix.app2.name(), &b)];
-            let families: Vec<Vec<usize>> =
-                apps.iter().map(|(_, m)| m.feasible_indices()).collect();
-            let allocation =
-                PowerAllocator::default().apportion(&[(&a, None), (&b, None)], Watts::new(10.0));
-            let esd = EsdParams {
-                efficiency: Ratio::new(0.75),
-                max_discharge: Watts::new(100.0),
-                max_charge: Watts::new(50.0),
-            };
-            let schedule = coordinator.schedule(
-                &apps,
-                &families,
-                &allocation,
-                Watts::new(80.0),
-                Some(esd),
-            );
-            let off_fraction = match &schedule {
-                powermed_core::coordinator::Schedule::EsdCycle { off, on, .. } => {
-                    *off / (*off + *on)
-                }
-                _ => 0.0,
-            };
+    par_map(vec![2.0, 10.0, 30.0], |period| {
+        // The PowerMediator's policy embeds a 10 s coordinator; for
+        // the sweep we reproduce its planning with a custom period
+        // and measure through a mediator-free drive of the schedule.
+        let coordinator = Coordinator::new(
+            spec.idle_power(),
+            spec.chip_maintenance_power(),
+            Seconds::new(period),
+        );
+        let a = measure(&spec, &mix.app1);
+        let b = measure(&spec, &mix.app2);
+        let apps = [(mix.app1.name(), &a), (mix.app2.name(), &b)];
+        let families: Vec<Vec<usize>> = apps.iter().map(|(_, m)| m.feasible_indices()).collect();
+        let allocation =
+            PowerAllocator::default().apportion(&[(&a, None), (&b, None)], Watts::new(10.0));
+        let esd = EsdParams {
+            efficiency: Ratio::new(0.75),
+            max_discharge: Watts::new(100.0),
+            max_charge: Watts::new(50.0),
+        };
+        let schedule =
+            coordinator.schedule(&apps, &families, &allocation, Watts::new(80.0), Some(esd));
+        let off_fraction = match &schedule {
+            powermed_core::coordinator::Schedule::EsdCycle { off, on, .. } => *off / (*off + *on),
+            _ => 0.0,
+        };
 
-            // Drive the schedule directly against a simulator.
-            let mut sim = ServerSim::new(
-                spec.clone(),
-                Box::new(LeadAcidBattery::server_ups().with_soc(0.3)),
-            );
-            let mut med =
-                PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), Watts::new(80.0))
-                    .with_cycle_period(Seconds::new(period));
-            for app in mix.apps() {
-                med.admit(&mut sim, app.clone()).expect("mix fits");
-            }
-            med.run_for(&mut sim, duration, DT);
-            let mean = mix
-                .apps()
-                .iter()
-                .map(|ap| {
-                    sim.ops_done(ap.name()) / (ap.uncapped(&spec).throughput * duration.value())
-                })
-                .sum::<f64>()
-                / 2.0;
-            CyclePoint {
-                cycle: Seconds::new(period),
-                off_fraction,
-                mean_normalized: mean,
-            }
-        })
-        .collect()
+        // Drive the schedule directly against a simulator.
+        let mut sim = ServerSim::new(
+            spec.clone(),
+            Box::new(LeadAcidBattery::server_ups().with_soc(0.3)),
+        );
+        let mut med =
+            PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), Watts::new(80.0))
+                .with_cycle_period(Seconds::new(period));
+        for app in mix.apps() {
+            med.admit(&mut sim, app.clone()).expect("mix fits");
+        }
+        med.run_for(&mut sim, duration, DT);
+        let mean = mix
+            .apps()
+            .iter()
+            .map(|ap| sim.ops_done(ap.name()) / (ap.uncapped(&spec).throughput * duration.value()))
+            .sum::<f64>()
+            / 2.0;
+        CyclePoint {
+            cycle: Seconds::new(period),
+            off_fraction,
+            mean_normalized: mean,
+        }
+    })
 }
 
 /// Prints all ablations.
@@ -233,7 +210,10 @@ pub fn print() {
     }
 
     heading("Ablation: duty-cycle period (mix-1 at 80 W, Lead-Acid)");
-    println!("{:<8} {:>13} {:>12}", "period", "off fraction", "throughput");
+    println!(
+        "{:<8} {:>13} {:>12}",
+        "period", "off fraction", "throughput"
+    );
     for p in cycle_period_sweep() {
         println!(
             "{:>6.0}s {:>13} {:>12}",

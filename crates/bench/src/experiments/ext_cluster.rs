@@ -53,7 +53,10 @@ pub fn run() -> Vec<ShaveRow> {
 pub fn print() {
     heading("Extension: utility-aware cluster apportionment");
     let rows = run();
-    println!("{:>7} {:>14} {:>14}", "shave", "Equal(Ours)", "Unequal(Ours)");
+    println!(
+        "{:>7} {:>14} {:>14}",
+        "shave", "Equal(Ours)", "Unequal(Ours)"
+    );
     for row in &rows {
         println!(
             "{:>6.0}% {:>14} {:>14}",

@@ -93,7 +93,11 @@ pub fn print() {
         println!(
             "{:>6.0}W {:<11} {:>10} {:>10} {:>8}",
             p.cap.value(),
-            if p.slo_aware { "slo-aware" } else { "slo-blind" },
+            if p.slo_aware {
+                "slo-aware"
+            } else {
+                "slo-blind"
+            },
             pct(p.lc_normalized),
             pct(p.batch_normalized),
             if p.slo_met { "met" } else { "MISSED" }

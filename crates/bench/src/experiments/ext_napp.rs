@@ -21,7 +21,7 @@ use powermed_units::{Seconds, Watts};
 use powermed_workloads::catalog;
 use powermed_workloads::profile::AppProfile;
 
-use crate::support::{heading, pct, DT};
+use crate::support::{heading, par_map, pct, DT};
 
 /// The three-application groups evaluated.
 pub fn groups() -> Vec<(&'static str, Vec<AppProfile>)> {
@@ -61,7 +61,12 @@ pub struct TrioOutcome {
 }
 
 /// Runs one trio under one policy at one cap.
-pub fn run_trio(label: &'static str, apps: &[AppProfile], kind: PolicyKind, cap: Watts) -> TrioOutcome {
+pub fn run_trio(
+    label: &'static str,
+    apps: &[AppProfile],
+    kind: PolicyKind,
+    cap: Watts,
+) -> TrioOutcome {
     let spec = ServerSpec::xeon_e5_2620();
     let duration = Seconds::new(20.0);
     let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
@@ -81,9 +86,7 @@ pub fn run_trio(label: &'static str, apps: &[AppProfile], kind: PolicyKind, cap:
     let cores = match med.schedule() {
         Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } => settings
             .iter()
-            .filter_map(|(n, idx)| {
-                Some((n.clone(), spec.knob_grid().get(*idx)?.cores()))
-            })
+            .filter_map(|(n, idx)| Some((n.clone(), spec.knob_grid().get(*idx)?.cores())))
             .collect(),
         _ => Vec::new(),
     };
@@ -98,17 +101,20 @@ pub fn run_trio(label: &'static str, apps: &[AppProfile], kind: PolicyKind, cap:
     }
 }
 
-/// Runs the full extension sweep.
+/// Runs the full extension sweep, one `(group, cap, policy)` cell per
+/// worker-pool task, in the same order as the serial nesting.
 pub fn run() -> Vec<TrioOutcome> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for (label, apps) in groups() {
         for cap in [100.0, 120.0] {
             for kind in [PolicyKind::UtilUnaware, PolicyKind::AppResAware] {
-                out.push(run_trio(label, &apps, kind, Watts::new(cap)));
+                cells.push((label, apps.clone(), kind, cap));
             }
         }
     }
-    out
+    par_map(cells, |(label, apps, kind, cap)| {
+        run_trio(label, &apps, kind, Watts::new(cap))
+    })
 }
 
 /// Prints the extension experiment.

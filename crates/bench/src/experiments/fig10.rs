@@ -11,7 +11,7 @@ use powermed_core::policy::PolicyKind;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::{self, Mix};
 
-use crate::support::{heading, pct, simulate_mix, MixOutcome};
+use crate::support::{heading, par_map, pct, simulate_mix, MixOutcome};
 
 /// The four policies of Fig. 10, in presentation order.
 pub const POLICIES: [PolicyKind; 4] = [
@@ -37,18 +37,17 @@ pub struct MixRow {
     pub outcomes: Vec<MixOutcome>,
 }
 
-/// Runs all 15 mixes × 4 policies at the 80 W cap.
+/// Runs all 15 mixes × 4 policies at the 80 W cap, one mix per
+/// worker-pool task (each cell is an independent simulation, so the
+/// parallel fan-out is result-identical to a serial sweep).
 pub fn run() -> Vec<MixRow> {
-    mixes::table2()
-        .into_iter()
-        .map(|mix| {
-            let outcomes = POLICIES
-                .iter()
-                .map(|&kind| simulate_mix(kind, &mix, CAP, kind.uses_esd(), DURATION))
-                .collect();
-            MixRow { mix, outcomes }
-        })
-        .collect()
+    par_map(mixes::table2(), |mix| {
+        let outcomes = POLICIES
+            .iter()
+            .map(|&kind| simulate_mix(kind, &mix, CAP, kind.uses_esd(), DURATION))
+            .collect();
+        MixRow { mix, outcomes }
+    })
 }
 
 /// Mean normalized throughput per policy.
@@ -57,7 +56,10 @@ pub fn policy_means(rows: &[MixRow]) -> Vec<(PolicyKind, f64)> {
         .iter()
         .enumerate()
         .map(|(i, &kind)| {
-            let mean = rows.iter().map(|r| r.outcomes[i].mean_normalized).sum::<f64>()
+            let mean = rows
+                .iter()
+                .map(|r| r.outcomes[i].mean_normalized)
+                .sum::<f64>()
                 / rows.len() as f64;
             (kind, mean)
         })

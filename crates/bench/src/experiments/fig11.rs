@@ -117,10 +117,7 @@ pub fn print() {
         for p in &tl.points {
             print!("{:>5.0}s", p.at.value());
             for (name, power, cores, ghz) in &p.apps {
-                print!(
-                    "   {name}: {:>5.1} W {cores}c @{ghz:.1}GHz",
-                    power.value()
-                );
+                print!("   {name}: {:>5.1} W {cores}c @{ghz:.1}GHz", power.value());
             }
             println!();
         }

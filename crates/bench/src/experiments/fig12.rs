@@ -11,7 +11,7 @@ use powermed_cluster::manager::{ClusterManager, ClusterPolicy, ClusterReport};
 use powermed_cluster::trace::ClusterPowerTrace;
 use powermed_units::{Ratio, Seconds, Watts};
 
-use crate::support::{heading, pct};
+use crate::support::{heading, par_map, pct};
 
 /// The shave levels of Fig. 12a.
 pub const SHAVES: [f64; 3] = [0.15, 0.30, 0.45];
@@ -37,27 +37,26 @@ pub struct ShaveRow {
     pub reports: Vec<ClusterReport>,
 }
 
-/// Runs the full Fig. 12 sweep.
+/// Runs the full Fig. 12 sweep, one shave level per worker-pool task
+/// (the trace and manager are deterministic, so the fan-out is
+/// result-identical to a serial sweep).
 pub fn run() -> Vec<ShaveRow> {
     let demand = ClusterPowerTrace::synthetic_diurnal(SERVERS, DURATION, 42);
     let manager = ClusterManager::new(SERVERS, 7);
-    SHAVES
-        .iter()
-        .map(|&shave| {
-            let caps = demand
-                .peak_shaved(Ratio::new(shave))
-                .clamped_below(Watts::new(WORKABLE_FLOOR_PER_SERVER * SERVERS as f64));
-            let reports = [
-                ClusterPolicy::EqualRapl,
-                ClusterPolicy::EqualOurs,
-                ClusterPolicy::ConsolidationMigration,
-            ]
-            .into_iter()
-            .map(|p| manager.run(p, &caps, DT))
-            .collect();
-            ShaveRow { shave, reports }
-        })
-        .collect()
+    par_map(SHAVES.to_vec(), |shave| {
+        let caps = demand
+            .peak_shaved(Ratio::new(shave))
+            .clamped_below(Watts::new(WORKABLE_FLOOR_PER_SERVER * SERVERS as f64));
+        let reports = [
+            ClusterPolicy::EqualRapl,
+            ClusterPolicy::EqualOurs,
+            ClusterPolicy::ConsolidationMigration,
+        ]
+        .into_iter()
+        .map(|p| manager.run(p, &caps, DT))
+        .collect();
+        ShaveRow { shave, reports }
+    })
 }
 
 /// Prints Figs. 12a (cap schedule summary) and 12b (aggregate perf).
@@ -127,6 +126,9 @@ mod tests {
             / rows[0].reports[0].aggregate_normalized_perf;
         let gain_45 = rows[2].reports[1].aggregate_normalized_perf
             / rows[2].reports[0].aggregate_normalized_perf;
-        assert!(gain_45 > gain_15, "gain 45% {gain_45:.3} vs 15% {gain_15:.3}");
+        assert!(
+            gain_45 > gain_15,
+            "gain 45% {gain_45:.3} vs 15% {gain_15:.3}"
+        );
     }
 }

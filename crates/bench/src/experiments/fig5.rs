@@ -86,10 +86,7 @@ fn run_alternate(spec: &ServerSpec) -> CyclingOutcome {
     CyclingOutcome {
         label: "(a) alternate duty cycling",
         exec_seconds: names.iter().cloned().zip(exec).collect(),
-        ops: names
-            .iter()
-            .map(|n| (n.clone(), sim.ops_done(n)))
-            .collect(),
+        ops: names.iter().map(|n| (n.clone(), sim.ops_done(n))).collect(),
     }
 }
 
@@ -121,10 +118,7 @@ fn run_consolidated(spec: &ServerSpec) -> CyclingOutcome {
     CyclingOutcome {
         label: "(b) consolidated duty cycling",
         exec_seconds: names.iter().cloned().zip(exec).collect(),
-        ops: names
-            .iter()
-            .map(|n| (n.clone(), sim.ops_done(n)))
-            .collect(),
+        ops: names.iter().map(|n| (n.clone(), sim.ops_done(n))).collect(),
     }
 }
 
@@ -150,9 +144,7 @@ pub fn print() {
         }
     }
     let gain = total_ops(&cons) / total_ops(&alt).max(1e-9);
-    println!(
-        "consolidated/alternate total work: {gain:.2}x (paper: ~1.3x from P_cm amortization)"
-    );
+    println!("consolidated/alternate total work: {gain:.2}x (paper: ~1.3x from P_cm amortization)");
 }
 
 #[cfg(test)]

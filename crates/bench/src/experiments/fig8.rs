@@ -9,7 +9,7 @@ use powermed_core::policy::PolicyKind;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::{self, Mix};
 
-use crate::support::{heading, pct, simulate_mix, MixOutcome};
+use crate::support::{heading, par_map, pct, simulate_mix, MixOutcome};
 
 /// The four policies of Fig. 8a, in presentation order.
 pub const POLICIES: [PolicyKind; 4] = [
@@ -34,8 +34,23 @@ pub struct MixRow {
     pub outcomes: Vec<MixOutcome>,
 }
 
-/// Runs all 15 mixes × 4 policies.
+/// Runs all 15 mixes × 4 policies, fanning the mixes across the
+/// worker pool. Each cell is an independent simulation, so the result
+/// is identical to [`run_serial`] — `par_map` keeps input order and
+/// the per-cell computation is deterministic.
 pub fn run() -> Vec<MixRow> {
+    par_map(mixes::table2(), |mix| {
+        let outcomes = POLICIES
+            .iter()
+            .map(|&kind| simulate_mix(kind, &mix, CAP, false, DURATION))
+            .collect();
+        MixRow { mix, outcomes }
+    })
+}
+
+/// Serial reference implementation of [`run`], kept for equivalence
+/// testing and for profiling single-threaded cost.
+pub fn run_serial() -> Vec<MixRow> {
     mixes::table2()
         .into_iter()
         .map(|mix| {
@@ -54,7 +69,10 @@ pub fn policy_means(rows: &[MixRow]) -> Vec<(PolicyKind, f64)> {
         .iter()
         .enumerate()
         .map(|(i, &kind)| {
-            let mean = rows.iter().map(|r| r.outcomes[i].mean_normalized).sum::<f64>()
+            let mean = rows
+                .iter()
+                .map(|r| r.outcomes[i].mean_normalized)
+                .sum::<f64>()
                 / rows.len() as f64;
             (kind, mean)
         })
@@ -135,6 +153,34 @@ mod tests {
     use super::*;
 
     #[test]
+    fn parallel_matches_serial_on_subset() {
+        // Two mixes at a short horizon keep this fast enough to run
+        // unignored; the full-grid check is the ignored test below.
+        let subset: Vec<Mix> = mixes::table2().into_iter().take(2).collect();
+        let dur = Seconds::new(2.0);
+        let serial: Vec<MixOutcome> = subset
+            .iter()
+            .map(|m| simulate_mix(PolicyKind::AppResAware, m, CAP, false, dur))
+            .collect();
+        let parallel = par_map(subset, |m| {
+            simulate_mix(PolicyKind::AppResAware, &m, CAP, false, dur)
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[ignore = "slow in debug builds; run with --release or --ignored"]
+    fn parallel_run_matches_serial_run() {
+        let parallel = run();
+        let serial = run_serial();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.mix.label(), s.mix.label());
+            assert_eq!(p.outcomes, s.outcomes);
+        }
+    }
+
+    #[test]
     #[ignore = "slow in debug builds; run with --release or --ignored"]
     fn hierarchy_matches_paper() {
         let rows = run();
@@ -143,7 +189,10 @@ mod tests {
         let uu = get(PolicyKind::UtilUnaware);
         let aa = get(PolicyKind::AppAware);
         let ar = get(PolicyKind::AppResAware);
-        assert!(aa > uu, "App-Aware {aa:.3} should beat Util-Unaware {uu:.3}");
+        assert!(
+            aa > uu,
+            "App-Aware {aa:.3} should beat Util-Unaware {uu:.3}"
+        );
         assert!(ar > aa, "App+Res {ar:.3} should beat App-Aware {aa:.3}");
         assert!(
             ar > uu * 1.08,

@@ -37,8 +37,7 @@ pub fn run() -> Fig9 {
             fig2::curves_for(&["x264", "sssp"]),
         ),
     ];
-    let resource_level =
-        fig3::rows_for(&["stream", "kmeans", "x264", "sssp"], Watts::new(12.0));
+    let resource_level = fig3::rows_for(&["stream", "kmeans", "x264", "sssp"], Watts::new(12.0));
     Fig9 {
         app_level,
         resource_level,
@@ -107,12 +106,7 @@ mod tests {
     #[test]
     fn mix1_apps_differ_at_resource_level() {
         let data = run();
-        let find = |name: &str| {
-            data.resource_level
-                .iter()
-                .find(|r| r.app == name)
-                .unwrap()
-        };
+        let find = |name: &str| data.resource_level.iter().find(|r| r.app == name).unwrap();
         let stream = find("stream");
         let kmeans = find("kmeans");
         // STREAM's best watt goes to memory, kmeans' to compute.

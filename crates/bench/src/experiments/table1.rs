@@ -21,9 +21,15 @@ pub fn rows() -> Vec<(String, String)> {
         ("Freq. steps".into(), spec.ladder().steps().to_string()),
         ("LLC".into(), "15MB".into()),
         ("Memory".into(), "8GB DDR3".into()),
-        ("NUMA".into(), format!("{} nodes", spec.topology().sockets())),
+        (
+            "NUMA".into(),
+            format!("{} nodes", spec.topology().sockets()),
+        ),
         ("P_idle".into(), format!("{:.0}", spec.idle_power())),
-        ("P_cm".into(), format!("{:.0}", spec.chip_maintenance_power())),
+        (
+            "P_cm".into(),
+            format!("{:.0}", spec.chip_maintenance_power()),
+        ),
         (
             "P_dynamic".into(),
             format!("{:.0}", spec.max_dynamic_power()),

@@ -1,5 +1,6 @@
 //! Shared helpers for the experiment harness.
 
+use powermed_core::cache::MeasurementCache;
 use powermed_core::measurement::AppMeasurement;
 use powermed_core::policy::PolicyKind;
 use powermed_core::runtime::PowerMediator;
@@ -15,7 +16,7 @@ use powermed_workloads::profile::AppProfile;
 pub const DT: Seconds = Seconds::new(0.1);
 
 /// Outcome of simulating one mix under one policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixOutcome {
     /// `(app name, throughput normalized to uncapped solo-rate)` pairs.
     pub per_app: Vec<(String, f64)>,
@@ -101,8 +102,12 @@ pub fn simulate_mix(
 }
 
 /// Ground-truth utility surface for `profile` on the reference platform.
+///
+/// Served from the process-wide [`MeasurementCache`], so repeated
+/// requests for the same `(spec, profile)` pair across experiments
+/// share one exhaustive evaluation pass.
 pub fn measure(spec: &ServerSpec, profile: &AppProfile) -> AppMeasurement {
-    AppMeasurement::exhaustive(spec, profile)
+    (*MeasurementCache::global().measure(spec, profile)).clone()
 }
 
 /// Formats a normalized value as a percent string (`0.873` → `"87.3%"`).
@@ -113,6 +118,64 @@ pub fn pct(v: f64) -> String {
 /// Prints a horizontal rule with a title.
 pub fn heading(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Maps `f` over `items` on a small scoped worker pool, returning the
+/// results in input order.
+///
+/// Each worker claims the next unstarted item through an atomic cursor
+/// and writes the result into that item's slot, so the output order is
+/// deterministic regardless of scheduling. Falls back to a plain serial
+/// map for zero or one items or when only one hardware thread is
+/// available. Panics in `f` propagate (the scope joins all workers
+/// first).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .min(8);
+    if n <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task slot lock")
+                    .take()
+                    .expect("each task is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every slot is filled before the scope joins")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,5 +203,18 @@ mod tests {
     #[test]
     fn pct_format() {
         assert_eq!(pct(0.873), "87.3%");
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let expected: Vec<i64> = (0..100).map(|i| i * i).collect();
+        let got = par_map((0..100).collect(), |i: i64| i * i);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+        assert_eq!(par_map(vec![7], |i| i + 1), vec![8]);
     }
 }

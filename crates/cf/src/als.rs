@@ -248,7 +248,10 @@ mod tests {
             .collect()
     }
 
-    fn entries_from(dense: &[Vec<f64>], keep: impl Fn(usize, usize) -> bool) -> Vec<(usize, usize, f64)> {
+    fn entries_from(
+        dense: &[Vec<f64>],
+        keep: impl Fn(usize, usize) -> bool,
+    ) -> Vec<(usize, usize, f64)> {
         let mut out = Vec::new();
         for (r, row) in dense.iter().enumerate() {
             for (c, v) in row.iter().enumerate() {

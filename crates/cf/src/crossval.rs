@@ -153,15 +153,12 @@ impl CrossValidator {
                 let power_true: Vec<f64> = row.iter().map(|(_, p, _)| p.value()).collect();
                 let perf_true: Vec<f64> = row.iter().map(|(_, _, q)| *q).collect();
 
-                let power_obs: Vec<(usize, f64)> = sampled_cols
-                    .iter()
-                    .map(|&c| (c, power_true[c]))
-                    .collect();
+                let power_obs: Vec<(usize, f64)> =
+                    sampled_cols.iter().map(|&c| (c, power_true[c])).collect();
                 let perf_obs: Vec<(usize, f64)> =
                     sampled_cols.iter().map(|&c| (c, perf_true[c])).collect();
 
-                let mut power_pred =
-                    power_model.predict_row(&power_model.fold_in(&power_obs));
+                let mut power_pred = power_model.predict_row(&power_model.fold_in(&power_obs));
                 let mut perf_pred = perf_model.predict_row(&perf_model.fold_in(&perf_obs));
                 // Measured settings are known exactly: pass them through.
                 for &c in &sampled_cols {

@@ -83,11 +83,7 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    let sse: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let sse: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     (sse / pred.len() as f64).sqrt()
 }
 

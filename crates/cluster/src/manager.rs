@@ -99,9 +99,16 @@ impl ClusterManager {
 
     /// Runs `policy` over the cap schedule `trace` with control step
     /// `dt`, returning the aggregate report.
-    pub fn run(&self, policy: ClusterPolicy, trace: &ClusterPowerTrace, dt: Seconds) -> ClusterReport {
+    pub fn run(
+        &self,
+        policy: ClusterPolicy,
+        trace: &ClusterPowerTrace,
+        dt: Seconds,
+    ) -> ClusterReport {
         match policy {
-            ClusterPolicy::EqualRapl => self.run_equal(policy, PolicyKind::UtilUnaware, false, trace, dt),
+            ClusterPolicy::EqualRapl => {
+                self.run_equal(policy, PolicyKind::UtilUnaware, false, trace, dt)
+            }
             ClusterPolicy::EqualOurs => {
                 self.run_equal(policy, PolicyKind::AppResEsdAware, true, trace, dt)
             }
@@ -446,7 +453,11 @@ mod tests {
     #[test]
     fn equal_rapl_runs_and_reports() {
         let mgr = ClusterManager::new(2, 0);
-        let r = mgr.run(ClusterPolicy::EqualRapl, &short_trace(2, 0.15), Seconds::new(0.5));
+        let r = mgr.run(
+            ClusterPolicy::EqualRapl,
+            &short_trace(2, 0.15),
+            Seconds::new(0.5),
+        );
         assert!(r.aggregate_normalized_perf > 0.2, "{r:?}");
         assert!(r.energy.value() > 0.0);
         assert_eq!(r.per_app_perf.len(), 4);

@@ -149,7 +149,11 @@ mod tests {
             .iter()
             .map(|(_, w)| w.value())
             .fold(f64::INFINITY, f64::min);
-        assert!((0.70..0.82).contains(&(trough / peak)), "trough/peak {}", trough / peak);
+        assert!(
+            (0.70..0.82).contains(&(trough / peak)),
+            "trough/peak {}",
+            trough / peak
+        );
     }
 
     #[test]

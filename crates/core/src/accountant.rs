@@ -311,10 +311,7 @@ mod tests {
         observations.insert("kmeans".to_string(), obs_hb(18.0, 100.0));
         assert!(a.poll(&observations).is_empty());
         assert!(a.poll(&observations).is_empty());
-        assert_eq!(
-            a.poll(&observations),
-            vec![Event::Drift("kmeans".into())]
-        );
+        assert_eq!(a.poll(&observations), vec![Event::Drift("kmeans".into())]);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! run an exact dynamic program on an integer-watt budget grid — 432
 //! settings × ~60 watt levels × a handful of apps is trivially cheap.
 
-
 use powermed_units::Watts;
 use serde::{Deserialize, Serialize};
 
@@ -99,7 +98,12 @@ impl PowerAllocator {
             let mut choice = vec![0usize; levels + 1];
             for b in 0..=levels {
                 for give in 0..=b {
-                    let perf = if give < curve.levels() {
+                    // An empty curve (no representable budget level)
+                    // contributes nothing; guarding here keeps
+                    // `levels() - 1` from underflowing.
+                    let perf = if curve.levels() == 0 {
+                        0.0
+                    } else if give < curve.levels() {
                         curve.at_level(give).perf / nocap
                     } else {
                         curve.at_level(curve.levels() - 1).perf / nocap
@@ -130,6 +134,11 @@ impl PowerAllocator {
         let mut objective = 0.0;
         for (i, (curve, nocap)) in curves.iter().enumerate() {
             let level = (budgets[i].value() / self.step.value()).round() as usize;
+            if curve.levels() == 0 {
+                settings.push(None);
+                normalized.push(0.0);
+                continue;
+            }
             let point = curve.at_level(level.min(curve.levels() - 1));
             settings.push(point.best_index);
             let p = point.perf / nocap;
@@ -179,9 +188,7 @@ impl PowerAllocator {
                 fam.iter()
                     .copied()
                     .filter(|&i| m.perf(i) > 0.0)
-                    .min_by(|&a, &b| {
-                        m.power(a).partial_cmp(&m.power(b)).expect("finite powers")
-                    })
+                    .min_by(|&a, &b| m.power(a).partial_cmp(&m.power(b)).expect("finite powers"))
                     .filter(|&i| m.power(i) <= share * 1.15)
                     .map(|i| (i, m.perf(i)))
             });
@@ -341,6 +348,32 @@ mod tests {
 
     fn m(p: powermed_workloads::AppProfile) -> AppMeasurement {
         AppMeasurement::exhaustive(&spec(), &p)
+    }
+
+    #[test]
+    fn sub_step_budget_degrades_gracefully() {
+        // 0.5 W is below the 1 W step: every app ends up below its
+        // floor. The DP must report infeasibility, not panic on an
+        // empty or single-point curve.
+        let a = m(catalog::pagerank());
+        let b = m(catalog::kmeans());
+        let apps = [(&a, None), (&b, None)];
+        let out = PowerAllocator::default().apportion(&apps, Watts::new(0.5));
+        assert!(!out.all_feasible(), "{out:?}");
+        assert!(out.objective.abs() < 1e-9, "{out:?}");
+        for budget in &out.budgets {
+            assert!(budget.value() <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sub_step_budget_with_cores_degrades_gracefully() {
+        let a = m(catalog::pagerank());
+        let b = m(catalog::kmeans());
+        let apps = [(&a, None), (&b, None)];
+        let out = PowerAllocator::default().apportion_with_cores(&apps, Watts::new(0.5), 12);
+        assert!(!out.all_feasible(), "{out:?}");
+        assert!(out.objective.abs() < 1e-9, "{out:?}");
     }
 
     #[test]

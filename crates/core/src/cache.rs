@@ -1,0 +1,184 @@
+//! Shared memoization of exhaustive measurement surfaces.
+//!
+//! Building an [`AppMeasurement`] exhaustively evaluates the profile at
+//! every knob setting on the grid — 432 evaluations on the default
+//! Xeon E5-2620 spec. The benchmark harness repeats this work tens of
+//! times per experiment (every mix × policy cell re-admits the same
+//! catalog apps on the same server spec), so a process-wide
+//! [`MeasurementCache`] keyed by `(server spec, profile)` identity
+//! collapses the repeats to one evaluation pass per distinct pair.
+//!
+//! The stored surface is exactly [`AppMeasurement::exhaustive`] — the
+//! profile's *nominal* (phase-free) surface. Substituting it for
+//! probe-based calibration is only valid for profiles without a phase
+//! track: a phased profile is time-dependent and the mediator must keep
+//! probing the simulator for it (`PowerMediator::admit` gates on
+//! [`AppProfile::phases`] being `None`). Callers that want the nominal
+//! surface itself (corpus seeding, the benchmark harness) can use the
+//! cache for any profile.
+//!
+//! Identity is a fingerprint of the `Debug` rendering of the spec and
+//! profile, which covers every field of both (they are plain data
+//! types). Hashing streams through the formatter, so no intermediate
+//! `String` is allocated.
+
+use std::collections::HashMap;
+use std::fmt::{self, Debug, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use powermed_server::ServerSpec;
+use powermed_workloads::AppProfile;
+
+use crate::measurement::AppMeasurement;
+
+/// FNV-1a hasher that consumes formatter output directly.
+struct FnvWriter(u64);
+
+impl Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+fn fingerprint<T: Debug>(value: &T) -> u64 {
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    // Debug formatting of plain data types cannot fail.
+    write!(w, "{value:?}").expect("debug formatting failed");
+    w.0
+}
+
+#[derive(Default)]
+struct Inner {
+    surfaces: RwLock<HashMap<(u64, u64), Arc<AppMeasurement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A thread-safe, cheaply clonable cache of exhaustive measurement
+/// surfaces, keyed by `(server spec, profile)` fingerprints.
+///
+/// Clones share the same underlying storage. Use
+/// [`MeasurementCache::global`] for the process-wide instance shared by
+/// the mediator, the calibrator and the benchmark harness, or
+/// [`MeasurementCache::new`] for an isolated one (tests).
+#[derive(Clone, Default)]
+pub struct MeasurementCache {
+    inner: Arc<Inner>,
+}
+
+impl MeasurementCache {
+    /// Creates an empty cache with its own private storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache instance.
+    pub fn global() -> &'static MeasurementCache {
+        static GLOBAL: OnceLock<MeasurementCache> = OnceLock::new();
+        GLOBAL.get_or_init(MeasurementCache::new)
+    }
+
+    /// Returns the exhaustive surface for `profile` on `spec`, building
+    /// and storing it on first use.
+    ///
+    /// The surface is evaluated outside any lock, so concurrent misses
+    /// on the same key may race to build it; the first insert wins and
+    /// every caller receives the same stored `Arc`. The result is the
+    /// profile's nominal surface — see the module docs for when it may
+    /// stand in for probe-based calibration.
+    pub fn measure(&self, spec: &ServerSpec, profile: &AppProfile) -> Arc<AppMeasurement> {
+        let key = (fingerprint(spec), fingerprint(profile));
+        if let Some(found) = self.inner.surfaces.read().get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(AppMeasurement::exhaustive(spec, profile));
+        let mut surfaces = self.inner.surfaces.write();
+        Arc::clone(surfaces.entry(key).or_insert(fresh))
+    }
+
+    /// Number of distinct `(spec, profile)` surfaces stored.
+    pub fn len(&self) -> usize {
+        self.inner.surfaces.read().len()
+    }
+
+    /// Whether the cache holds no surfaces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a fresh surface.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every stored surface and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.inner.surfaces.write().clear();
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Debug for MeasurementCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeasurementCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_workloads::catalog;
+
+    #[test]
+    fn distinct_specs_get_distinct_entries() {
+        let cache = MeasurementCache::new();
+        let a = ServerSpec::xeon_e5_2620();
+        let b = ServerSpec::xeon_e5_2620().with_idle_power(powermed_units::Watts::new(60.0));
+        let p = catalog::pagerank();
+        cache.measure(&a, &p);
+        cache.measure(&b, &p);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn repeat_lookup_returns_same_surface() {
+        let cache = MeasurementCache::new();
+        let spec = ServerSpec::xeon_e5_2620();
+        let p = catalog::kmeans();
+        let first = cache.measure(&spec, &p);
+        let second = cache.measure(&spec, &p);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn clear_resets_storage_and_counters() {
+        let cache = MeasurementCache::new();
+        let spec = ServerSpec::xeon_e5_2620();
+        cache.measure(&spec, &catalog::pagerank());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

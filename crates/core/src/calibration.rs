@@ -77,8 +77,11 @@ impl Calibrator {
     /// Seeds the corpus by exhaustively profiling `profiles` (the
     /// "previously seen applications" the paper's matrix starts with).
     pub fn seed_corpus(&mut self, profiles: &[AppProfile]) {
+        // The cached surface is exactly `AppMeasurement::exhaustive`
+        // for any profile (nominal intensity, phases ignored), so the
+        // corpus can always share it.
         for p in profiles {
-            let m = AppMeasurement::exhaustive(&self.spec, p);
+            let m = crate::cache::MeasurementCache::global().measure(&self.spec, p);
             self.add_to_corpus(&m);
         }
     }

@@ -123,9 +123,7 @@ impl Schedule {
                 .unwrap_or(0.0)
         };
         match self {
-            Self::Space { settings } => {
-                settings.iter().map(|(a, i)| norm(a, *i)).sum::<f64>() / n
-            }
+            Self::Space { settings } => settings.iter().map(|(a, i)| norm(a, *i)).sum::<f64>() / n,
             Self::Alternate { slots } => {
                 let cycle: Seconds = slots.iter().map(|s| s.duration).sum();
                 if cycle.value() <= 0.0 {
@@ -209,22 +207,30 @@ impl Coordinator {
 
     /// The paper's Eq. 5 OFF:ON ratio. Returns `None` when the ON period
     /// needs no battery supplement (ratio ≤ 0 → no OFF period needed) or
-    /// when charging is impossible (`P_cap ≤ P_idle`).
+    /// when charging is impossible (`charge ≤ 0`).
+    ///
+    /// `charge` is the power actually banked during OFF — the cap
+    /// headroom `P_cap − P_idle` *after* clamping to the device's
+    /// maximum charge rate. Using the unclamped headroom here would
+    /// undersize the OFF period whenever the device charges slower
+    /// than the headroom allows, so the cycle would drain the battery:
+    /// energy banked per cycle (`η · charge · t_off`) must cover energy
+    /// drawn (`deficit · t_on`).
     pub fn duty_cycle_ratio(
         &self,
         sum_px: Watts,
         p_cap: Watts,
+        charge: Watts,
         efficiency: Ratio,
     ) -> Option<f64> {
         let deficit = self.p_idle + self.p_cm + sum_px - p_cap;
         if deficit.value() <= 0.0 {
             return None;
         }
-        let headroom = p_cap - self.p_idle;
-        if headroom.value() <= 0.0 || efficiency.value() <= 0.0 {
+        if charge.value() <= 0.0 || efficiency.value() <= 0.0 {
             return None;
         }
-        Some(deficit.value() / (efficiency.value() * headroom.value()))
+        Some(deficit.value() / (efficiency.value() * charge.value()))
     }
 
     /// Builds the schedule realizing `allocation` for `apps` under
@@ -276,9 +282,7 @@ impl Coordinator {
                     .iter()
                     .copied()
                     .filter(|&i| m.perf(i) > 0.0)
-                    .min_by(|&a, &b| {
-                        m.power(a).partial_cmp(&m.power(b)).expect("finite powers")
-                    })
+                    .min_by(|&a, &b| m.power(a).partial_cmp(&m.power(b)).expect("finite powers"))
                     .filter(|&i| m.power(i) <= solo_budget * 1.15)
                     .map(|i| (i, m.perf(i)))
             });
@@ -347,7 +351,9 @@ impl Coordinator {
         if discharge > params.max_discharge + Watts::new(1e-9) {
             return None;
         }
-        let ratio = self.duty_cycle_ratio(sum_px, p_cap, params.efficiency).unwrap_or(0.0);
+        let ratio = self
+            .duty_cycle_ratio(sum_px, p_cap, headroom, params.efficiency)
+            .unwrap_or(0.0);
         let on = self.cycle / (1.0 + ratio);
         let off = self.cycle - on;
         let settings = apps
@@ -405,11 +411,16 @@ mod tests {
     fn eq5_matches_paper_sixty_forty() {
         // Paper: at P_cap = 80 W with Lead-Acid (η = 0.75) the cycle is
         // roughly 60-40 OFF-ON. With ΣP_X ≈ 40 W:
-        // deficit = 50+20+40-80 = 30; headroom = 30; ratio = 30/(0.75·30)
-        // = 1.333 → OFF fraction = 4/7 ≈ 0.57.
+        // deficit = 50+20+40-80 = 30; charge = headroom = 30;
+        // ratio = 30/(0.75·30) = 1.333 → OFF fraction = 4/7 ≈ 0.57.
         let c = coordinator();
         let ratio = c
-            .duty_cycle_ratio(Watts::new(40.0), Watts::new(80.0), Ratio::new(0.75))
+            .duty_cycle_ratio(
+                Watts::new(40.0),
+                Watts::new(80.0),
+                Watts::new(30.0),
+                Ratio::new(0.75),
+            )
             .unwrap();
         assert!((ratio - 4.0 / 3.0).abs() < 1e-9);
         let off_frac = ratio / (1.0 + ratio);
@@ -417,15 +428,90 @@ mod tests {
     }
 
     #[test]
+    fn eq5_uses_clamped_charge_power() {
+        // A device that charges at only 10 W (below the 30 W cap
+        // headroom) banks 10·0.75 = 7.5 W-equivalent per OFF second, so
+        // covering the 30 W ON deficit needs ratio 30/7.5 = 4 — three
+        // times the unclamped value. The old code divided by the full
+        // headroom and drained the battery every cycle.
+        let c = coordinator();
+        let ratio = c
+            .duty_cycle_ratio(
+                Watts::new(40.0),
+                Watts::new(80.0),
+                Watts::new(10.0),
+                Ratio::new(0.75),
+            )
+            .unwrap();
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn esd_cycle_banks_at_least_what_it_spends() {
+        // Energy balance per cycle for the schedule the coordinator
+        // actually emits with a rate-limited device: η·charge·off must
+        // cover discharge·on.
+        let a = measure(catalog::pagerank());
+        let b = measure(catalog::kmeans());
+        let apps = [("pagerank", &a), ("kmeans", &b)];
+        let families: Vec<Vec<usize>> = apps.iter().map(|(_, m)| m.feasible_indices()).collect();
+        let allocation = allocate(&apps, Watts::new(10.0));
+        let params = EsdParams {
+            efficiency: Ratio::new(0.75),
+            max_discharge: Watts::new(100.0),
+            max_charge: Watts::new(10.0), // below the 30 W headroom
+        };
+        let schedule = coordinator().schedule(
+            &apps,
+            &families,
+            &allocation,
+            Watts::new(80.0),
+            Some(params),
+        );
+        if let Schedule::EsdCycle {
+            off,
+            on,
+            charge,
+            discharge,
+            ..
+        } = schedule
+        {
+            assert!(
+                charge.value() <= params.max_charge.value() + 1e-9,
+                "charge {charge:?} exceeds device limit"
+            );
+            let banked = params.efficiency.value() * charge.value() * off.value();
+            let spent = discharge.value() * on.value();
+            assert!(
+                banked + 1e-6 >= spent,
+                "cycle drains the battery: banked {banked:.3} J < spent {spent:.3} J"
+            );
+        } else {
+            panic!("expected an ESD cycle, got {schedule:?}");
+        }
+    }
+
+    #[test]
     fn eq5_none_when_no_deficit() {
         let c = coordinator();
         assert_eq!(
-            c.duty_cycle_ratio(Watts::new(20.0), Watts::new(100.0), Ratio::new(0.75)),
+            c.duty_cycle_ratio(
+                Watts::new(20.0),
+                Watts::new(100.0),
+                Watts::new(50.0),
+                Ratio::new(0.75)
+            ),
             None
         );
-        // And when charging is impossible (cap at/below idle).
+        // And when charging is impossible (cap at/below idle leaves no
+        // charge power).
         assert_eq!(
-            c.duty_cycle_ratio(Watts::new(20.0), Watts::new(50.0), Ratio::new(0.75)),
+            c.duty_cycle_ratio(
+                Watts::new(20.0),
+                Watts::new(50.0),
+                Watts::new(0.0),
+                Ratio::new(0.75)
+            ),
             None
         );
     }
@@ -467,7 +553,13 @@ mod tests {
         let b = measure(catalog::kmeans());
         let apps = [("stream", &a), ("kmeans", &b)];
         let alloc = allocate(&apps, Watts::new(10.0));
-        let s = coordinator().schedule(&apps, &fams(&apps), &alloc, Watts::new(80.0), Some(lead_acid_params()));
+        let s = coordinator().schedule(
+            &apps,
+            &fams(&apps),
+            &alloc,
+            Watts::new(80.0),
+            Some(lead_acid_params()),
+        );
         match &s {
             Schedule::EsdCycle {
                 off,
@@ -495,7 +587,13 @@ mod tests {
         let alloc = allocate(&apps, Watts::ZERO);
         let without = coordinator().schedule(&apps, &fams(&apps), &alloc, Watts::new(70.0), None);
         assert_eq!(without, Schedule::Infeasible);
-        let with = coordinator().schedule(&apps, &fams(&apps), &alloc, Watts::new(70.0), Some(lead_acid_params()));
+        let with = coordinator().schedule(
+            &apps,
+            &fams(&apps),
+            &alloc,
+            Watts::new(70.0),
+            Some(lead_acid_params()),
+        );
         assert!(matches!(with, Schedule::EsdCycle { .. }));
     }
 
@@ -504,7 +602,13 @@ mod tests {
         let a = measure(catalog::kmeans());
         let apps = [("kmeans", &a)];
         let alloc = allocate(&apps, Watts::ZERO);
-        let s = coordinator().schedule(&apps, &fams(&apps), &alloc, Watts::new(45.0), Some(lead_acid_params()));
+        let s = coordinator().schedule(
+            &apps,
+            &fams(&apps),
+            &alloc,
+            Watts::new(45.0),
+            Some(lead_acid_params()),
+        );
         assert_eq!(s, Schedule::Infeasible);
     }
 

@@ -65,7 +65,9 @@ mod tests {
         };
         assert!(e.to_string().contains("40"));
         assert!(std::error::Error::source(&e).is_none());
-        assert!(CoreError::Uncalibrated("a".into()).to_string().contains("a"));
+        assert!(CoreError::Uncalibrated("a".into())
+            .to_string()
+            .contains("a"));
         assert!(!CoreError::NothingToPlan.to_string().is_empty());
     }
 }

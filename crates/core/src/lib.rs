@@ -47,6 +47,7 @@
 
 pub mod accountant;
 pub mod allocator;
+pub mod cache;
 pub mod calibration;
 pub mod coordinator;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod utility;
 
 pub use accountant::{Accountant, Event};
 pub use allocator::PowerAllocator;
+pub use cache::MeasurementCache;
 pub use coordinator::{Coordinator, Schedule};
 pub use error::CoreError;
 pub use measurement::AppMeasurement;

@@ -91,17 +91,14 @@ impl PowerPolicy {
             Seconds::new(10.0),
         )
         .with_core_capacity(spec.topology().total_cores());
-        let server_average = matches!(
-            kind,
-            PolicyKind::ServerResAware | PolicyKind::AppAware
-        )
-        .then(|| {
-            let all: Vec<AppMeasurement> = catalog::all()
-                .iter()
-                .map(|p| AppMeasurement::exhaustive(&spec, p))
-                .collect();
-            AppMeasurement::server_average(&all)
-        });
+        let server_average = matches!(kind, PolicyKind::ServerResAware | PolicyKind::AppAware)
+            .then(|| {
+                let all: Vec<AppMeasurement> = catalog::all()
+                    .iter()
+                    .map(|p| AppMeasurement::exhaustive(&spec, p))
+                    .collect();
+                AppMeasurement::server_average(&all)
+            });
         Self {
             kind,
             spec,
@@ -193,7 +190,8 @@ impl PowerPolicy {
                 if apps.len() * self.spec.max_app_cores() > total_cores {
                     // Three or more apps can overcommit the cores: run
                     // the joint (watts, cores) program.
-                    self.allocator.apportion_with_cores(&ms, budget, total_cores)
+                    self.allocator
+                        .apportion_with_cores(&ms, budget, total_cores)
                 } else {
                     self.allocator.apportion(&ms, budget)
                 }
@@ -294,7 +292,11 @@ mod tests {
         let chain = rapl.family(&m);
         // The balanced RAPL chain is a small 1-D path through the
         // (f, m) plane with all cores online.
-        assert!(chain.len() >= 5 && chain.len() <= 72, "chain {}", chain.len());
+        assert!(
+            chain.len() >= 5 && chain.len() <= 72,
+            "chain {}",
+            chain.len()
+        );
         for idx in &chain {
             assert_eq!(m.grid().get(*idx).unwrap().cores(), 6);
         }

@@ -17,6 +17,7 @@ use powermed_units::{Ratio, Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
 
 use crate::accountant::{Accountant, Event, Observation};
+use crate::cache::MeasurementCache;
 use crate::calibration::Calibrator;
 use crate::coordinator::{EsdParams, Schedule};
 use crate::error::CoreError;
@@ -218,10 +219,21 @@ impl PowerMediator {
                         .set_knobs(&existing, knob.with_cores(floor));
                 }
             }
-            sim.host(profile, initial)?;
+            sim.host(profile.clone(), initial)?;
         }
         self.accountant.arrival(&name);
-        self.calibrate(sim, &name, min_cores);
+        if !self.online_calibration && profile.phases().is_none() {
+            // Phase-free surfaces are time-invariant, so probing the
+            // simulator at every grid setting reproduces the shared
+            // cache's exhaustive surface bit for bit; skip the probe
+            // loop and reuse the cached one. `probes` still counts the
+            // full grid so reported totals match the uncached runtime.
+            let m = MeasurementCache::global().measure(&self.spec, &profile);
+            self.probes += m.grid().len();
+            self.measurements.insert(name.clone(), (*m).clone());
+        } else {
+            self.calibrate(sim, &name, min_cores);
+        }
         if let Some(target) = slo {
             if let Some(m) = self.measurements.remove(&name) {
                 self.measurements.insert(name.clone(), m.with_slo(target));
@@ -343,11 +355,13 @@ impl PowerMediator {
             m
         } else {
             let sim_ref: &ServerSim = sim;
-            let m = self.calibrator.calibrate_exhaustive(name, min_cores, |knob| {
-                sim_ref
-                    .probe(name, knob)
-                    .expect("app is hosted during calibration")
-            });
+            let m = self
+                .calibrator
+                .calibrate_exhaustive(name, min_cores, |knob| {
+                    sim_ref
+                        .probe(name, knob)
+                        .expect("app is hosted during calibration")
+                });
             self.probes += m.grid().len();
             m
         };
@@ -392,9 +406,7 @@ impl PowerMediator {
         self.schedule_anchor = now;
         self.actuation = Actuation::None;
         self.pending = None;
-        if let Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } =
-            &self.schedule
-        {
+        if let Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } = &self.schedule {
             for (name, idx) in settings {
                 if let Some(m) = self.measurements.get(name) {
                     self.accountant.note_allocation(name, m.power(*idx));
@@ -405,7 +417,8 @@ impl PowerMediator {
         if let Schedule::Alternate { slots } = &self.schedule {
             for slot in slots {
                 if let Some(m) = self.measurements.get(&slot.app) {
-                    self.accountant.note_allocation(&slot.app, m.power(slot.setting));
+                    self.accountant
+                        .note_allocation(&slot.app, m.power(slot.setting));
                 }
             }
         }
@@ -418,7 +431,8 @@ impl PowerMediator {
             }
             for slot in slots {
                 if let Some(m) = self.measurements.get(&slot.app) {
-                    self.accountant.note_allocation(&slot.app, m.power(slot.setting));
+                    self.accountant
+                        .note_allocation(&slot.app, m.power(slot.setting));
                 }
             }
         }
@@ -590,10 +604,7 @@ impl PowerMediator {
     /// before core grabs: growing one app before its neighbour shrinks
     /// would fail on a fully-committed server and silently leave a stale
     /// knob in force.
-    fn shrinks_first(
-        sim: &ServerSim,
-        settings: &BTreeMap<String, usize>,
-    ) -> Vec<(String, usize)> {
+    fn shrinks_first(sim: &ServerSim, settings: &BTreeMap<String, usize>) -> Vec<(String, usize)> {
         let grid = sim.server().spec().knob_grid();
         let mut ordered: Vec<(String, usize)> =
             settings.iter().map(|(n, i)| (n.clone(), *i)).collect();
@@ -753,8 +764,8 @@ mod tests {
     fn online_calibration_probes_fraction_of_grid() {
         let mut sim = sim_no_esd();
         let corpus = catalog::all();
-        let mut med = mediator(PolicyKind::AppResAware, 100.0)
-            .with_online_calibration(&corpus, 0.10);
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_online_calibration(&corpus, 0.10);
         med.admit(&mut sim, catalog::stream()).unwrap();
         assert!(
             med.probes() < 60,
@@ -781,8 +792,8 @@ mod tests {
     #[test]
     fn actuation_latency_defers_the_new_schedule() {
         let mut sim = sim_no_esd();
-        let mut med = mediator(PolicyKind::AppResAware, 100.0)
-            .with_actuation_latency(Seconds::new(0.8));
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_actuation_latency(Seconds::new(0.8));
         med.admit(&mut sim, catalog::stream()).unwrap();
         med.admit(&mut sim, catalog::kmeans()).unwrap();
         med.run_for(&mut sim, Seconds::new(2.0), DT);

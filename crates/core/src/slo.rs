@@ -306,6 +306,11 @@ mod tests {
         let apps = [("stream", &a), ("kmeans", &b)];
         let schedule = planner.plan(&apps, Watts::new(100.0));
         assert!(matches!(schedule, Schedule::Space { .. }));
-        assert!(planner.plan(&[], Watts::new(100.0)) == Schedule::Space { settings: BTreeMap::new() });
+        assert!(
+            planner.plan(&[], Watts::new(100.0))
+                == Schedule::Space {
+                    settings: BTreeMap::new()
+                }
+        );
     }
 }

@@ -186,7 +186,10 @@ mod tests {
     fn no_esd_is_inert() {
         let mut n = NoEsd;
         assert_eq!(n.charge(Watts::new(100.0), Seconds::new(10.0)), Watts::ZERO);
-        assert_eq!(n.discharge(Watts::new(100.0), Seconds::new(10.0)), Watts::ZERO);
+        assert_eq!(
+            n.discharge(Watts::new(100.0), Seconds::new(10.0)),
+            Watts::ZERO
+        );
         assert_eq!(n.capacity(), Joules::ZERO);
         assert_eq!(n.soc(), Ratio::ZERO);
         assert!(!n.usable());

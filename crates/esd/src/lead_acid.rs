@@ -45,7 +45,12 @@ impl LeadAcidBattery {
     ///
     /// Panics if capacity or power limits are non-positive, or `round_trip`
     /// is outside `(0, 1]`.
-    pub fn new(capacity: Joules, round_trip: Ratio, max_charge: Watts, max_discharge: Watts) -> Self {
+    pub fn new(
+        capacity: Joules,
+        round_trip: Ratio,
+        max_charge: Watts,
+        max_discharge: Watts,
+    ) -> Self {
         assert!(capacity.value() > 0.0, "capacity must be positive");
         assert!(
             round_trip.value() > 0.0 && round_trip.value() <= 1.0,
@@ -226,7 +231,10 @@ mod tests {
         let mut b = small().with_soc(1.0);
         let got = b.discharge(Watts::new(40.0), Seconds::new(1.0));
         assert_eq!(got, Watts::new(40.0));
-        assert!(b.stored() < Joules::new(1000.0) - Joules::new(40.0), "losses drain extra");
+        assert!(
+            b.stored() < Joules::new(1000.0) - Joules::new(40.0),
+            "losses drain extra"
+        );
         // Drain it dry.
         let mut total = Joules::ZERO;
         for _ in 0..1000 {
@@ -301,7 +309,10 @@ mod tests {
     fn negative_and_zero_requests_are_noops() {
         let mut b = small().with_soc(0.5);
         assert_eq!(b.charge(Watts::new(-5.0), Seconds::new(1.0)), Watts::ZERO);
-        assert_eq!(b.discharge(Watts::new(-5.0), Seconds::new(1.0)), Watts::ZERO);
+        assert_eq!(
+            b.discharge(Watts::new(-5.0), Seconds::new(1.0)),
+            Watts::ZERO
+        );
         assert_eq!(b.charge(Watts::new(5.0), Seconds::ZERO), Watts::ZERO);
         assert_eq!(b.discharge(Watts::new(5.0), Seconds::ZERO), Watts::ZERO);
     }

@@ -170,7 +170,10 @@ mod tests {
             store: Joules::new(100.0),
         };
         // Perfect efficiency: 100 J sustains 20 W for 5 s.
-        assert_eq!(b.sustain_duration(Watts::new(20.0)), Some(Seconds::new(5.0)));
+        assert_eq!(
+            b.sustain_duration(Watts::new(20.0)),
+            Some(Seconds::new(5.0))
+        );
         assert_eq!(b.sustain_duration(Watts::ZERO), None);
         assert_eq!(b.sustain_duration(Watts::new(-5.0)), None);
     }

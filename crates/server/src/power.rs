@@ -43,7 +43,12 @@ pub struct CorePowerModel {
 
 impl CorePowerModel {
     /// Creates a model from raw coefficients.
-    pub fn new(base: Watts, lin_w_per_ghz: f64, cube_w_per_ghz3: f64, stall_fraction: Ratio) -> Self {
+    pub fn new(
+        base: Watts,
+        lin_w_per_ghz: f64,
+        cube_w_per_ghz3: f64,
+        stall_fraction: Ratio,
+    ) -> Self {
         Self {
             base,
             lin_w_per_ghz,
@@ -237,10 +242,10 @@ mod tests {
     fn super_linear_scaling_means_marginal_watts_cheaper_at_top() {
         let model = CorePowerModel::xeon_e5_2620();
         // Power saved dropping 2.0 -> 1.9 exceeds that from 1.3 -> 1.2.
-        let top_drop = model.active_power(Gigahertz::new(2.0))
-            - model.active_power(Gigahertz::new(1.9));
-        let bottom_drop = model.active_power(Gigahertz::new(1.3))
-            - model.active_power(Gigahertz::new(1.2));
+        let top_drop =
+            model.active_power(Gigahertz::new(2.0)) - model.active_power(Gigahertz::new(1.9));
+        let bottom_drop =
+            model.active_power(Gigahertz::new(1.3)) - model.active_power(Gigahertz::new(1.2));
         assert!(top_drop > bottom_drop);
     }
 
@@ -267,10 +272,7 @@ mod tests {
             dram.bandwidth_at_limit(Watts::new(10.0)),
             dram.peak_bandwidth()
         );
-        assert_eq!(
-            dram.bandwidth_at_limit(Watts::new(2.0)),
-            BytesPerSec::ZERO
-        );
+        assert_eq!(dram.bandwidth_at_limit(Watts::new(2.0)), BytesPerSec::ZERO);
         // Limits below background clamp to zero, above peak to peak.
         assert_eq!(dram.bandwidth_at_limit(Watts::new(1.0)), BytesPerSec::ZERO);
         assert_eq!(

@@ -120,14 +120,11 @@ impl PackageDomain {
             None => return Some(spec.ladder().top_state()),
             Some(l) => l,
         };
-        spec.ladder()
-            .states()
-            .rev()
-            .find(|&s| {
-                let f = spec.ladder().frequency(s);
-                let p = spec.core_power().active_power(f) * active_cores as f64;
-                p <= limit + Watts::new(1e-9)
-            })
+        spec.ladder().states().rev().find(|&s| {
+            let f = spec.ladder().frequency(s);
+            let p = spec.core_power().active_power(f) * active_cores as f64;
+            p <= limit + Watts::new(1e-9)
+        })
     }
 }
 

@@ -419,10 +419,7 @@ mod tests {
             Err(ServerError::DuplicateApp("a".into()))
         );
         s.remove_app("a").unwrap();
-        assert_eq!(
-            s.remove_app("a"),
-            Err(ServerError::UnknownApp("a".into()))
-        );
+        assert_eq!(s.remove_app("a"), Err(ServerError::UnknownApp("a".into())));
         assert_eq!(s.app_names(), vec!["b".to_string()]);
     }
 

@@ -214,9 +214,15 @@ mod tests {
         let spec = ServerSpec::xeon_e5_2620();
         // Sec. II-A: one compute-heavy application at full tilt draws
         // ~20 W of dynamic power in its cores.
-        let core_p =
-            (spec.core_power().active_power(spec.ladder().max_frequency()) * 6.0).value();
-        assert!((core_p - 17.0).abs() < 1.0, "6-core peak power was {core_p} W");
+        let core_p = (spec
+            .core_power()
+            .active_power(spec.ladder().max_frequency())
+            * 6.0)
+            .value();
+        assert!(
+            (core_p - 17.0).abs() < 1.0,
+            "6-core peak power was {core_p} W"
+        );
         // With DRAM traffic on top this is the ~20 W dynamic draw of the
         // Sec. II-A running example; with the DIMM at its 10 W RAPL
         // ceiling the hard upper bound is ~27 W.

@@ -58,6 +58,9 @@ pub struct StepReport {
 pub struct ServerSim {
     server: Server,
     apps: BTreeMap<String, RunningApp>,
+    /// Pre-interned `app_power_w.<name>` recorder keys, maintained by
+    /// `host`/`remove` so `step` never formats one.
+    series_keys: BTreeMap<String, String>,
     esd: Box<dyn EnergyStorage>,
     esd_command: EsdCommand,
     cap: Option<Watts>,
@@ -73,6 +76,7 @@ impl ServerSim {
         Self {
             server: Server::new(spec),
             apps: BTreeMap::new(),
+            series_keys: BTreeMap::new(),
             esd,
             esd_command: EsdCommand::Idle,
             cap: None,
@@ -136,6 +140,8 @@ impl ServerSim {
     pub fn host(&mut self, profile: AppProfile, knob: KnobSetting) -> Result<(), ServerError> {
         let name = profile.name().to_string();
         self.server.host_app(&name, knob)?;
+        self.series_keys
+            .insert(name.clone(), format!("app_power_w.{name}"));
         self.apps
             .insert(name, RunningApp::new(profile, self.clock.now()));
         Ok(())
@@ -149,6 +155,7 @@ impl ServerSim {
     pub fn remove(&mut self, name: &str) -> Result<(), ServerError> {
         self.server.remove_app(name)?;
         self.apps.remove(name);
+        self.series_keys.remove(name);
         Ok(())
     }
 
@@ -199,10 +206,13 @@ impl ServerSim {
         self.clock.advance(dt);
         let now = self.clock.now();
 
-        // 1. Applications run (or idle) at their assigned knobs.
+        // 1. Applications run (or idle) at their assigned knobs. The
+        //    spec is borrowed, not cloned: `apps` and `server` are
+        //    disjoint fields, and the borrow ends before the
+        //    suspend_app calls below.
         let mut demands: BTreeMap<String, AppDemand> = BTreeMap::new();
         let mut completed = Vec::new();
-        let spec = self.server.spec().clone();
+        let spec = self.server.spec();
         for (name, app) in &mut self.apps {
             let Some(assignment) = self.server.assignment(name) else {
                 continue;
@@ -211,7 +221,7 @@ impl ServerSim {
             match assignment.run_state() {
                 AppRunState::Running => {
                     let was_done = app.completed();
-                    let demand = app.step(&spec, knob, now, dt);
+                    let demand = app.step(spec, knob, now, dt);
                     demands.insert(name.clone(), demand);
                     if !was_done && app.completed() {
                         completed.push(name.clone());
@@ -270,11 +280,16 @@ impl ServerSim {
         // 4. Record the standard series.
         self.recorder.push("gross_w", now, gross.value());
         self.recorder.push("net_w", now, net.value());
-        self.recorder
-            .push("esd_soc", now, self.esd.soc().value());
+        self.recorder.push("esd_soc", now, self.esd.soc().value());
         for (name, p) in &breakdown.apps {
-            self.recorder
-                .push(&format!("app_power_w.{name}"), now, p.value());
+            // Per-app series keys are interned at host() time so the
+            // per-step hot path allocates no strings.
+            match self.series_keys.get(name) {
+                Some(key) => self.recorder.push(key, now, p.value()),
+                None => self
+                    .recorder
+                    .push(&format!("app_power_w.{name}"), now, p.value()),
+            }
         }
 
         StepReport {
@@ -290,7 +305,9 @@ impl ServerSim {
     }
 
     /// Runs for `duration` in steps of `dt`, returning the last report.
-    /// Panics if `duration < dt` would give zero steps.
+    ///
+    /// The step count is `duration / dt` rounded, with a floor of one:
+    /// at least one step always executes, even when `duration < dt`.
     pub fn run_for(&mut self, duration: Seconds, dt: Seconds) -> StepReport {
         let steps = (duration.value() / dt.value()).round().max(1.0) as u64;
         let mut last = None;

@@ -26,10 +26,13 @@ impl TraceRecorder {
 
     /// Appends a point to `series` (created on first use).
     pub fn push(&mut self, series: &str, at: Seconds, value: f64) {
-        self.series
-            .entry(series.to_string())
-            .or_default()
-            .push((at, value));
+        // Look up by &str first: the entry API would allocate a String
+        // key on every call, and pushes to existing series dominate.
+        if let Some(points) = self.series.get_mut(series) {
+            points.push((at, value));
+        } else {
+            self.series.insert(series.to_string(), vec![(at, value)]);
+        }
     }
 
     /// The names of all recorded series, in name order.

@@ -38,15 +38,7 @@ pub fn kmeans() -> AppProfile {
 
 /// Apriori association-rule mining (MineBench, "APR").
 pub fn apr() -> AppProfile {
-    AppProfile::new(
-        "apr",
-        Category::DataAnalytics,
-        MEGA,
-        0.80,
-        3e5,
-        0.85,
-        0.7,
-    )
+    AppProfile::new("apr", Category::DataAnalytics, MEGA, 0.80, 3e5, 0.85, 0.7)
 }
 
 /// Breadth-first search (GAP): irregular, bandwidth-hungry.

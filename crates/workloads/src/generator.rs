@@ -100,7 +100,10 @@ impl WorkloadGenerator {
         let pool = catalog::all();
         let mut arrivals: Vec<Arrival> = (0..count)
             .map(|_| {
-                let profile = pool.choose(&mut self.rng).expect("catalog non-empty").clone();
+                let profile = pool
+                    .choose(&mut self.rng)
+                    .expect("catalog non-empty")
+                    .clone();
                 let at = Seconds::new(self.rng.gen_range(0.0..horizon.value()));
                 Arrival { profile, at }
             })
@@ -119,15 +122,7 @@ fn scale_profile(p: &AppProfile, name: &str, cf: f64, mf: f64) -> AppProfile {
     // Simpler and robust: catalog profiles are authored here, so keep a
     // parallel parameter table.
     let (cpi, bytes, par, ov) = reference_params(p.name());
-    AppProfile::new(
-        name,
-        p.category(),
-        1e6 * cf,
-        cpi,
-        bytes * mf,
-        par,
-        ov,
-    )
+    AppProfile::new(name, p.category(), 1e6 * cf, cpi, bytes * mf, par, ov)
 }
 
 /// Authored parameters for each catalog profile (kept in sync with
@@ -235,7 +230,8 @@ mod tests {
         for w in script.windows(2) {
             assert!(w[0].at <= w[1].at);
         }
-        assert!(script.iter().all(|a| a.at >= Seconds::ZERO
-            && a.at < Seconds::new(100.0)));
+        assert!(script
+            .iter()
+            .all(|a| a.at >= Seconds::ZERO && a.at < Seconds::new(100.0)));
     }
 }

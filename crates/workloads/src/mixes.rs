@@ -44,21 +44,21 @@ type MixPair = (fn() -> AppProfile, fn() -> AppProfile);
 /// Table II verbatim: the 15 non-latency-critical co-locations.
 pub fn table2() -> Vec<Mix> {
     let pairs: [MixPair; 15] = [
-        (catalog::stream, catalog::kmeans),        // 1
-        (catalog::connected, catalog::kmeans),     // 2
-        (catalog::stream, catalog::bfs),           // 3
-        (catalog::facesim, catalog::bfs),          // 4
-        (catalog::ferret, catalog::betweenness),   // 5
-        (catalog::ferret, catalog::pagerank),      // 6
-        (catalog::facesim, catalog::betweenness),  // 7
-        (catalog::x264, catalog::triangle),        // 8
-        (catalog::apr, catalog::connected),        // 9
-        (catalog::pagerank, catalog::kmeans),      // 10
-        (catalog::ferret, catalog::sssp),          // 11
-        (catalog::facesim, catalog::x264),         // 12
-        (catalog::apr, catalog::kmeans),           // 13
-        (catalog::x264, catalog::sssp),            // 14
-        (catalog::apr, catalog::x264),             // 15
+        (catalog::stream, catalog::kmeans),       // 1
+        (catalog::connected, catalog::kmeans),    // 2
+        (catalog::stream, catalog::bfs),          // 3
+        (catalog::facesim, catalog::bfs),         // 4
+        (catalog::ferret, catalog::betweenness),  // 5
+        (catalog::ferret, catalog::pagerank),     // 6
+        (catalog::facesim, catalog::betweenness), // 7
+        (catalog::x264, catalog::triangle),       // 8
+        (catalog::apr, catalog::connected),       // 9
+        (catalog::pagerank, catalog::kmeans),     // 10
+        (catalog::ferret, catalog::sssp),         // 11
+        (catalog::facesim, catalog::x264),        // 12
+        (catalog::apr, catalog::kmeans),          // 13
+        (catalog::x264, catalog::sssp),           // 14
+        (catalog::apr, catalog::x264),            // 15
     ];
     pairs
         .iter()

@@ -7,6 +7,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::phases::PhaseTrack;
 
+/// Process-wide count of [`AppProfile::evaluate`] calls. Performance
+/// surfaces are expensive to build (hundreds of evaluations per app),
+/// so callers that memoize them can use this counter to verify a cache
+/// hit skipped the work entirely.
+static EVALUATION_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total number of [`AppProfile::evaluate`] calls made by this process.
+pub fn evaluation_count() -> u64 {
+    EVALUATION_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Broad workload class, as in the paper's Sec. IV application list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Category {
@@ -207,6 +218,7 @@ impl AppProfile {
     /// Evaluates performance, demand and dynamic power at `knob` on
     /// `spec`, at the profile's nominal (phase-free) intensity.
     pub fn evaluate(&self, spec: &ServerSpec, knob: KnobSetting) -> OperatingPoint {
+        EVALUATION_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.evaluate_with_intensity(spec, knob, 1.0, 1.0)
     }
 

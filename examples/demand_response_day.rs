@@ -20,10 +20,10 @@ use powermed::workloads::mixes;
 
 /// The day's cap schedule: (start second, cap).
 const SCHEDULE: [(f64, f64); 5] = [
-    (0.0, 110.0),  // overnight slack
-    (30.0, 100.0), // morning: loose cap
-    (60.0, 80.0),  // afternoon peak shaving
-    (90.0, 70.0),  // demand-response emergency
+    (0.0, 110.0),   // overnight slack
+    (30.0, 100.0),  // morning: loose cap
+    (60.0, 80.0),   // afternoon peak shaving
+    (90.0, 70.0),   // demand-response emergency
     (120.0, 100.0), // evening recovery
 ];
 
@@ -65,9 +65,11 @@ fn main() -> Result<(), CoreError> {
                 Schedule::Space { .. } => "space",
                 Schedule::Alternate { .. } => "alternate",
                 Schedule::Hybrid { .. } => "hybrid (pinned + rotating)",
-                Schedule::EsdCycle { off, on, .. } => {
-                    &format!("esd-cycle (off {:.1}s / on {:.1}s)", off.value(), on.value())
-                }
+                Schedule::EsdCycle { off, on, .. } => &format!(
+                    "esd-cycle (off {:.1}s / on {:.1}s)",
+                    off.value(),
+                    on.value()
+                ),
                 Schedule::Infeasible => "parked",
             };
             let total_ops: f64 = mix.apps().iter().map(|a| sim.ops_done(a.name())).sum();

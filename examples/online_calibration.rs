@@ -45,7 +45,12 @@ fn main() -> Result<(), CoreError> {
     let est = mediator.measurement("bfs").expect("calibrated");
     for (label, knob) in [
         ("min", KnobSetting::min_for(&spec)),
-        ("mid", KnobSetting::max_for(&spec).with_cores(4).with_dram_limit(Watts::new(6.0))),
+        (
+            "mid",
+            KnobSetting::max_for(&spec)
+                .with_cores(4)
+                .with_dram_limit(Watts::new(6.0)),
+        ),
         ("max", KnobSetting::max_for(&spec)),
     ] {
         let idx = est.grid().index_of(knob).expect("on grid");

@@ -63,7 +63,11 @@ fn main() -> Result<(), CoreError> {
     );
     while sim.now() < HORIZON {
         // New arrivals join the queue.
-        while pending.front().map(|(t, _)| *t <= sim.now()).unwrap_or(false) {
+        while pending
+            .front()
+            .map(|(t, _)| *t <= sim.now())
+            .unwrap_or(false)
+        {
             let (_, job) = pending.pop_front().expect("checked");
             println!("{:>6.1}s  arrive  {}", sim.now().value(), job.name());
             queue.push_back(job);

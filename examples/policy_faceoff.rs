@@ -29,7 +29,10 @@ fn main() -> Result<(), CoreError> {
     let duration = Seconds::new(40.0);
     let spec = ServerSpec::xeon_e5_2620();
 
-    println!("{} at P_cap = {cap:.0}, {duration:.0} simulated\n", mix.label());
+    println!(
+        "{} at P_cap = {cap:.0}, {duration:.0} simulated\n",
+        mix.label()
+    );
     println!(
         "{:<20} {:>10} {:>10} {:>10} {:>11} {:>10}",
         "policy",
@@ -65,10 +68,7 @@ fn main() -> Result<(), CoreError> {
             n2 * 100.0,
             (n1 + n2) / 2.0 * 100.0,
             sim.meter().compliance().violation_fraction() * 100.0,
-            sim.meter()
-                .average()
-                .map(|w| w.value())
-                .unwrap_or_default()
+            sim.meter().average().map(|w| w.value()).unwrap_or_default()
         );
     }
     println!("\n(normalized to each app's uncapped solo throughput)");

@@ -18,7 +18,8 @@ use powermed::workloads::mixes;
 fn main() -> Result<(), CoreError> {
     let spec = ServerSpec::xeon_e5_2620();
     let cap = Watts::new(100.0);
-    println!("platform: {} cores, P_idle {:.0}, P_cm {:.0}, cap {:.0}",
+    println!(
+        "platform: {} cores, P_idle {:.0}, P_cm {:.0}, cap {:.0}",
         spec.topology().total_cores(),
         spec.idle_power(),
         spec.chip_maintenance_power(),

@@ -82,7 +82,9 @@ fn parse(args: &[String]) -> (Option<String>, BTreeMap<String, String>) {
 fn flag_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
     }
 }
 
@@ -103,7 +105,10 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let duration = Seconds::new(flag_f64(flags, "duration", 30.0)?);
     let kind = policy_kind(flags.get("policy").map(String::as_str).unwrap_or("app-res"))?;
     let battery = flags.contains_key("battery") || kind.uses_esd();
-    let slo = flags.get("slo").map(|v| v.parse::<f64>()).transpose()
+    let slo = flags
+        .get("slo")
+        .map(|v| v.parse::<f64>())
+        .transpose()
         .map_err(|_| "--slo expects a fraction".to_string())?;
     if let Some(target) = slo {
         if !(0.0..=1.0).contains(&target) || target == 0.0 {
@@ -134,10 +139,15 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut apps = vec![mix.app1.clone(), mix.app2.clone()];
     if let Some(target) = slo {
         apps[0] = apps[0].clone().with_slo(target);
-        println!("  {} is latency-critical (SLO {:.0}%)", apps[0].name(), target * 100.0);
+        println!(
+            "  {} is latency-critical (SLO {:.0}%)",
+            apps[0].name(),
+            target * 100.0
+        );
     }
     for app in &apps {
-        med.admit(&mut sim, app.clone()).map_err(|e| e.to_string())?;
+        med.admit(&mut sim, app.clone())
+            .map_err(|e| e.to_string())?;
     }
     med.run_for(&mut sim, duration, Seconds::from_millis(100.0));
 
@@ -163,7 +173,11 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
 fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let servers = flag_f64(flags, "servers", 10.0)? as usize;
     let shave = flag_f64(flags, "shave", 30.0)? / 100.0;
-    let policy = match flags.get("policy").map(String::as_str).unwrap_or("equal-ours") {
+    let policy = match flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("equal-ours")
+    {
         "equal-rapl" => ClusterPolicy::EqualRapl,
         "equal-ours" => ClusterPolicy::EqualOurs,
         "unequal-ours" => ClusterPolicy::UnequalOurs,
@@ -229,7 +243,12 @@ fn export(flags: &BTreeMap<String, String>) -> Result<(), String> {
             .peak_shaved(Ratio::new(shave))
             .clamped_below(Watts::new(780.0));
         for (t, w) in caps.samples() {
-            csv.push_str(&format!("{:.0},{},{:.1}\n", shave * 100.0, t.value(), w.value()));
+            csv.push_str(&format!(
+                "{:.0},{},{:.1}\n",
+                shave * 100.0,
+                t.value(),
+                w.value()
+            ));
         }
     }
     write(&dir, "cluster_caps.csv", &csv)?;

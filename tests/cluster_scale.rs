@@ -21,8 +21,7 @@ fn all_policies_produce_sane_aggregates() {
     ] {
         let report = mgr.run(policy, &trace(3, 0.30), Seconds::new(0.5));
         assert!(
-            report.aggregate_normalized_perf > 0.0
-                && report.aggregate_normalized_perf <= 1.001,
+            report.aggregate_normalized_perf > 0.0 && report.aggregate_normalized_perf <= 1.001,
             "{policy}: {report:?}"
         );
         assert_eq!(report.per_app_perf.len(), 6, "{policy}: 2 apps x 3 servers");

@@ -108,10 +108,7 @@ fn awareness_hierarchy_holds_on_average() {
         means["App+Res-Aware"] >= means["App-Aware"] - 1e-9,
         "{means:?}"
     );
-    assert!(
-        means["App+Res-Aware"] > means["Util-Unaware"],
-        "{means:?}"
-    );
+    assert!(means["App+Res-Aware"] > means["Util-Unaware"], "{means:?}");
 }
 
 #[test]

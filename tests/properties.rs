@@ -12,10 +12,13 @@ use powermed::workloads::catalog;
 use proptest::prelude::*;
 
 fn measurements() -> Vec<AppMeasurement> {
+    // Cached: this helper runs once per proptest case, and rebuilding
+    // all twelve exhaustive surfaces each time dominates the suite's
+    // wall-clock without the cache.
     let spec = ServerSpec::xeon_e5_2620();
     catalog::all()
         .iter()
-        .map(|p| AppMeasurement::exhaustive(&spec, p))
+        .map(|p| (*powermed::mediator::MeasurementCache::global().measure(&spec, p)).clone())
         .collect()
 }
 

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op [`serde_derive`] macros and provides empty
+//! marker traits so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compile unchanged.
+//! Swap back to the real serde by restoring the crates-io entries in the
+//! workspace `Cargo.toml` — no source changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
