@@ -4,6 +4,7 @@
 use std::time::Instant;
 
 use powermed_bench::experiments as ex;
+use powermed_bench::support::{json_object, HarnessDoc};
 
 fn main() {
     let experiments: Vec<(&str, fn())> = vec![
@@ -36,23 +37,22 @@ fn main() {
     }
     println!("{:<8} {total:>8.3} s", "total");
 
-    let json = harness_json(&timings, total);
-    match std::fs::write("BENCH_harness.json", &json) {
+    // Merge into BENCH_harness.json so sections written by other
+    // harness binaries (e.g. `ext_faults`) survive a rerun of `all`.
+    let mut doc = HarnessDoc::load("BENCH_harness.json");
+    doc.set(
+        "experiments",
+        json_object(
+            &timings
+                .iter()
+                .map(|(name, secs)| (name.to_string(), format!("{secs:.6}")))
+                .collect::<Vec<_>>(),
+        ),
+    );
+    doc.set("total_seconds", format!("{total:.6}"));
+    doc.set("unit", "\"seconds\"");
+    match doc.save("BENCH_harness.json") {
         Ok(()) => println!("wrote BENCH_harness.json"),
         Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
     }
-}
-
-/// Renders the timing breakdown as JSON by hand (the build is offline,
-/// so no serialization crate is available).
-fn harness_json(timings: &[(&str, f64)], total: f64) -> String {
-    let mut out = String::from("{\n  \"experiments\": {\n");
-    for (i, (name, secs)) in timings.iter().enumerate() {
-        let sep = if i + 1 < timings.len() { "," } else { "" };
-        out.push_str(&format!("    \"{name}\": {secs:.6}{sep}\n"));
-    }
-    out.push_str(&format!(
-        "  }},\n  \"total_seconds\": {total:.6},\n  \"unit\": \"seconds\"\n}}\n"
-    ));
-    out
 }

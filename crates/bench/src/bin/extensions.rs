@@ -7,4 +7,5 @@ fn main() {
     ex::ext_napp::print();
     ex::ext_latency::print();
     ex::ext_cluster::print();
+    ex::ext_faults::print();
 }

@@ -10,6 +10,13 @@
 //! * **E4** — an application's power draw drifted significantly from its
 //!   allocated budget (detected by polling power draw), which triggers
 //!   re-calibration as well as re-allocation.
+//!
+//! The hardened runtime adds two substrate-health triggers:
+//!
+//! * **E5** — a knob actuation failed and exhausted its retries (the
+//!   plan on record is no longer what is actuated);
+//! * **E6** — the observed power telemetry went bad (dropouts or a
+//!   stuck meter), so drift evidence is unreliable.
 
 use std::collections::BTreeMap;
 
@@ -28,6 +35,12 @@ pub enum Event {
     /// E4: the named application's power drifted from its allocation
     /// (re-calibrate its utility curves).
     Drift(String),
+    /// E5: actuation for the named application failed past its retry
+    /// budget (the substrate is not running the plan on record).
+    ActuationFault(String),
+    /// E6: the power telemetry channel degraded (description of what
+    /// was seen — dropouts or a stuck reading).
+    SensorFault(String),
 }
 
 /// One application's observed state at a poll.
@@ -117,6 +130,35 @@ impl Accountant {
     /// The budget currently on record for `name`.
     pub fn allocation(&self, name: &str) -> Option<Watts> {
         self.allocations.get(name).copied()
+    }
+
+    /// E5: a knob write for `name` failed and exhausted its retries.
+    /// Clears the allocation on record (the substrate is not running it)
+    /// so stale drift evidence cannot accumulate against it.
+    pub fn actuation_fault(&mut self, name: &str) -> Event {
+        self.drift_counts.insert(name.to_string(), 0);
+        Event::ActuationFault(name.to_string())
+    }
+
+    /// E6: the observed power telemetry degraded. All drift counters are
+    /// reset — polls taken through a bad meter are not drift evidence.
+    pub fn sensor_fault(&mut self, what: &str) -> Event {
+        for count in self.drift_counts.values_mut() {
+            *count = 0;
+        }
+        Event::SensorFault(what.to_string())
+    }
+
+    /// Marks `name` as departed out-of-band (e.g. it vanished while the
+    /// runtime was mid-calibration), returning the E3 event if it had
+    /// not already fired.
+    pub fn force_departure(&mut self, name: &str) -> Option<Event> {
+        let fired = self.departed.get_mut(name)?;
+        if *fired {
+            return None;
+        }
+        *fired = true;
+        Some(Event::Departure(name.to_string()))
     }
 
     /// Forgets a departed application.
@@ -339,5 +381,115 @@ mod tests {
     #[should_panic(expected = "patience")]
     fn zero_patience_rejected() {
         let _ = Accountant::new(Watts::new(100.0), Ratio::new(0.2), 0);
+    }
+
+    #[test]
+    fn one_poll_emits_departure_and_drift_in_name_order() {
+        // Two apps go bad in the same poll: "alpha" departs, "zeta"
+        // drifts past patience. Both events fire in one poll() call, in
+        // BTreeMap name order.
+        let mut a = Accountant::new(Watts::new(100.0), Ratio::new(0.25), 2);
+        a.arrival("alpha");
+        a.note_allocation("alpha", Watts::new(10.0));
+        a.arrival("zeta");
+        a.note_allocation("zeta", Watts::new(10.0));
+        let mut warmup = BTreeMap::new();
+        warmup.insert("alpha".to_string(), obs(10.0, false, false));
+        warmup.insert("zeta".to_string(), obs(20.0, false, false));
+        assert!(a.poll(&warmup).is_empty(), "zeta at 1/2 patience");
+        let mut observations = BTreeMap::new();
+        observations.insert("alpha".to_string(), obs(0.0, true, false));
+        observations.insert("zeta".to_string(), obs(20.0, false, false));
+        let events = a.poll(&observations);
+        assert_eq!(
+            events,
+            vec![
+                Event::Departure("alpha".into()),
+                Event::Drift("zeta".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn note_allocation_resets_drift_patience() {
+        // Two bad polls, then a replan re-records the allocation: the
+        // debounce restarts, so two more bad polls are not enough.
+        let mut a = accountant(); // patience 3
+        a.arrival("stream");
+        a.note_allocation("stream", Watts::new(10.0));
+        let mut high = BTreeMap::new();
+        high.insert("stream".to_string(), obs(20.0, false, false));
+        assert!(a.poll(&high).is_empty());
+        assert!(a.poll(&high).is_empty());
+        a.note_allocation("stream", Watts::new(10.0)); // replan
+        assert!(a.poll(&high).is_empty());
+        assert!(a.poll(&high).is_empty());
+        assert_eq!(a.poll(&high), vec![Event::Drift("stream".into())]);
+    }
+
+    #[test]
+    fn removal_mid_drift_cancels_the_event() {
+        let mut a = accountant(); // patience 3
+        a.arrival("bfs");
+        a.note_allocation("bfs", Watts::new(10.0));
+        let mut high = BTreeMap::new();
+        high.insert("bfs".to_string(), obs(25.0, false, false));
+        assert!(a.poll(&high).is_empty());
+        assert!(a.poll(&high).is_empty());
+        // Departs before the third drifting poll; the stale observation
+        // for the removed app must not fire anything.
+        a.remove("bfs");
+        assert!(a.poll(&high).is_empty());
+        assert!(a.tracked().is_empty());
+    }
+
+    #[test]
+    fn actuation_fault_resets_the_apps_drift_count() {
+        let mut a = accountant(); // patience 3
+        a.arrival("x264");
+        a.note_allocation("x264", Watts::new(10.0));
+        let mut high = BTreeMap::new();
+        high.insert("x264".to_string(), obs(20.0, false, false));
+        a.poll(&high);
+        a.poll(&high);
+        let e = a.actuation_fault("x264");
+        assert_eq!(e, Event::ActuationFault("x264".into()));
+        // The failed actuation invalidated the drift evidence.
+        assert!(a.poll(&high).is_empty());
+        assert!(a.poll(&high).is_empty());
+        assert_eq!(a.poll(&high), vec![Event::Drift("x264".into())]);
+    }
+
+    #[test]
+    fn sensor_fault_resets_every_drift_count() {
+        let mut a = accountant(); // patience 3
+        a.arrival("p1");
+        a.note_allocation("p1", Watts::new(10.0));
+        a.arrival("p2");
+        a.note_allocation("p2", Watts::new(10.0));
+        let mut high = BTreeMap::new();
+        high.insert("p1".to_string(), obs(20.0, false, false));
+        high.insert("p2".to_string(), obs(20.0, false, false));
+        a.poll(&high);
+        a.poll(&high);
+        let e = a.sensor_fault("5 consecutive dropouts");
+        assert_eq!(e, Event::SensorFault("5 consecutive dropouts".into()));
+        assert!(a.poll(&high).is_empty(), "counts restarted for all apps");
+    }
+
+    #[test]
+    fn force_departure_fires_e3_exactly_once() {
+        let mut a = accountant();
+        a.arrival("kmeans");
+        assert_eq!(
+            a.force_departure("kmeans"),
+            Some(Event::Departure("kmeans".into()))
+        );
+        assert_eq!(a.force_departure("kmeans"), None, "already fired");
+        assert_eq!(a.force_departure("ghost"), None, "never tracked");
+        // The regular completed-poll path must not re-fire either.
+        let mut observations = BTreeMap::new();
+        observations.insert("kmeans".to_string(), obs(0.0, true, false));
+        assert!(a.poll(&observations).is_empty());
     }
 }

@@ -567,5 +567,48 @@ mod tests {
             }
             prop_assert!(dp.objective >= best - 1e-9, "DP {} < brute force {}", dp.objective, best);
         }
+
+        /// R1 safety on arbitrary workloads: budgets are never
+        /// negative, never sum above the given budget, and each chosen
+        /// setting's power fits inside its app's own budget — for both
+        /// the watts-only and the joint `(watts, cores)` programs.
+        #[test]
+        fn prop_budgets_stay_within_cap_and_nonnegative(
+            budget in 5u32..60,
+            seed in 0u64..8,
+            napps in 2usize..5,
+        ) {
+            use powermed_workloads::generator::WorkloadGenerator;
+            let profiles = WorkloadGenerator::new(seed).variant_corpus(napps, 0.3);
+            let ms: Vec<AppMeasurement> = profiles
+                .iter()
+                .map(|p| AppMeasurement::exhaustive(&spec(), p))
+                .collect();
+            let apps: Vec<(&AppMeasurement, Option<&[usize]>)> =
+                ms.iter().map(|m| (m, None)).collect();
+            let budget = Watts::new(budget as f64);
+            for alloc in [
+                PowerAllocator::default().apportion(&apps, budget),
+                PowerAllocator::default().apportion_with_cores(&apps, budget, 12),
+            ] {
+                prop_assert_eq!(alloc.budgets.len(), ms.len());
+                let mut total = 0.0f64;
+                for (i, b) in alloc.budgets.iter().enumerate() {
+                    prop_assert!(b.value() >= 0.0, "app {} got negative budget {}", i, b);
+                    total += b.value();
+                    if let Some(idx) = alloc.settings[i] {
+                        prop_assert!(
+                            ms[i].power(idx).value() <= b.value() + 1e-9,
+                            "app {} setting draws {} over its {} budget",
+                            i, ms[i].power(idx), b
+                        );
+                    }
+                }
+                prop_assert!(
+                    total <= budget.value() + 1e-9,
+                    "budgets sum to {} over the {} cap", total, budget
+                );
+            }
+        }
     }
 }

@@ -93,15 +93,30 @@ impl Calibrator {
         min_cores: usize,
         mut probe: impl FnMut(KnobSetting) -> (Watts, f64),
     ) -> AppMeasurement {
+        self.try_calibrate_exhaustive(name, min_cores, |knob| Some(probe(knob)))
+            .expect("infallible probe")
+    }
+
+    /// Fallible ground-truth calibration: probe every grid setting, or
+    /// return `None` as soon as one probe fails (the application
+    /// departed mid-calibration). No partial surface is produced.
+    pub fn try_calibrate_exhaustive(
+        &self,
+        name: &str,
+        min_cores: usize,
+        mut probe: impl FnMut(KnobSetting) -> Option<(Watts, f64)>,
+    ) -> Option<AppMeasurement> {
         let grid = self.spec.knob_grid();
         let mut power = Vec::with_capacity(grid.len());
         let mut perf = Vec::with_capacity(grid.len());
         for knob in grid.iter() {
-            let (p, q) = probe(knob);
+            let (p, q) = probe(knob)?;
             power.push(p);
             perf.push(q);
         }
-        AppMeasurement::from_vectors(name, grid, power, perf, min_cores)
+        Some(AppMeasurement::from_vectors(
+            name, grid, power, perf, min_cores,
+        ))
     }
 
     /// Online calibration: probe `sampling_fraction` of the grid and
@@ -117,11 +132,24 @@ impl Calibrator {
         min_cores: usize,
         mut probe: impl FnMut(KnobSetting) -> (Watts, f64),
     ) -> (AppMeasurement, usize) {
+        self.try_calibrate_online(name, min_cores, |knob| Some(probe(knob)))
+            .expect("infallible probe")
+    }
+
+    /// Fallible online calibration: like [`Self::calibrate_online`] but
+    /// returns `None` as soon as one probe fails (the application
+    /// departed mid-calibration). No partial surface is produced.
+    pub fn try_calibrate_online(
+        &self,
+        name: &str,
+        min_cores: usize,
+        mut probe: impl FnMut(KnobSetting) -> Option<(Watts, f64)>,
+    ) -> Option<(AppMeasurement, usize)> {
         let grid = self.spec.knob_grid();
         if self.corpus.app_count() < 2 {
-            let m = self.calibrate_exhaustive(name, min_cores, probe);
+            let m = self.try_calibrate_exhaustive(name, min_cores, probe)?;
             let n = m.grid().len();
-            return (m, n);
+            return Some((m, n));
         }
         let sampler = SparseSampler::new(grid.len(), self.seed);
         let cols = sampler.columns_for(self.sampling_fraction);
@@ -130,7 +158,7 @@ impl Calibrator {
         let mut perf_obs = Vec::with_capacity(cols.len());
         for &c in &cols {
             let knob = grid.get(c).expect("sampled column on grid");
-            let (p, q) = probe(knob);
+            let (p, q) = probe(knob)?;
             power_obs.push((c, p.value()));
             perf_obs.push((c, q));
         }
@@ -162,7 +190,7 @@ impl Calibrator {
             perf_pred,
             min_cores,
         );
-        (m, probed)
+        Some((m, probed))
     }
 }
 
@@ -257,5 +285,42 @@ mod tests {
     #[should_panic(expected = "sampling fraction")]
     fn bad_fraction_rejected() {
         let _ = Calibrator::new(spec(), 0.0);
+    }
+
+    #[test]
+    fn try_exhaustive_aborts_cleanly_when_a_probe_fails() {
+        let cal = Calibrator::new(spec(), 0.1);
+        let mut probe = probe_for(catalog::kmeans());
+        let mut calls = 0usize;
+        // The app "departs" after 10 probes: no panic, no partial
+        // surface — just None.
+        let result = cal.try_calibrate_exhaustive("kmeans", 4, |k| {
+            calls += 1;
+            (calls <= 10).then(|| probe(k))
+        });
+        assert!(result.is_none());
+        assert_eq!(calls, 11, "stops at the first failed probe");
+    }
+
+    #[test]
+    fn try_online_aborts_cleanly_when_a_probe_fails() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        let result = cal.try_calibrate_online("gone", 4, |_| None);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn try_variants_match_the_infallible_paths() {
+        let cal = Calibrator::new(spec(), 0.1);
+        let m = cal.calibrate_exhaustive("bfs", 4, probe_for(catalog::bfs()));
+        let mut probe = probe_for(catalog::bfs());
+        let t = cal
+            .try_calibrate_exhaustive("bfs", 4, |k| Some(probe(k)))
+            .unwrap();
+        for i in 0..m.grid().len() {
+            assert_eq!(m.power(i), t.power(i));
+            assert_eq!(m.perf(i), t.perf(i));
+        }
     }
 }

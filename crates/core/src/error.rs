@@ -19,6 +19,20 @@ pub enum CoreError {
     },
     /// The policy was asked to plan with no applications hosted.
     NothingToPlan,
+    /// A knob write for the named application kept failing past the
+    /// hardened runtime's retry budget (event E5).
+    ActuationFailed {
+        /// The application whose knobs could not be written.
+        app: String,
+        /// Retry attempts made before giving up.
+        attempts: u32,
+    },
+    /// The observed power telemetry degraded — consecutive sample
+    /// dropouts or a stuck meter (event E6).
+    TelemetryLoss {
+        /// What the runtime saw, e.g. "5 consecutive dropouts".
+        what: String,
+    },
 }
 
 impl core::fmt::Display for CoreError {
@@ -31,6 +45,13 @@ impl core::fmt::Display for CoreError {
                 "cap {cap_w} W below achievable floor {floor_w} W; no feasible schedule"
             ),
             Self::NothingToPlan => write!(f, "no applications to plan for"),
+            Self::ActuationFailed { app, attempts } => write!(
+                f,
+                "knob actuation for {app:?} failed after {attempts} retries"
+            ),
+            Self::TelemetryLoss { what } => {
+                write!(f, "power telemetry degraded: {what}")
+            }
         }
     }
 }
@@ -69,5 +90,15 @@ mod tests {
             .to_string()
             .contains("a"));
         assert!(!CoreError::NothingToPlan.to_string().is_empty());
+        let e = CoreError::ActuationFailed {
+            app: "x264".into(),
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("x264"));
+        assert!(e.to_string().contains("3"));
+        let e = CoreError::TelemetryLoss {
+            what: "5 consecutive dropouts".into(),
+        };
+        assert!(e.to_string().contains("dropouts"));
     }
 }

@@ -56,6 +56,7 @@ pub mod policy;
 pub mod runtime;
 pub mod slo;
 pub mod utility;
+pub mod watchdog;
 
 pub use accountant::{Accountant, Event};
 pub use allocator::PowerAllocator;
@@ -67,3 +68,4 @@ pub use policy::{PolicyKind, PowerPolicy};
 pub use runtime::PowerMediator;
 pub use slo::SloPlanner;
 pub use utility::UtilityCurve;
+pub use watchdog::{HardeningConfig, SafeModeWatchdog, WatchdogTransition};

@@ -13,6 +13,7 @@ use powermed_server::knobs::{KnobGrid, KnobSetting};
 use powermed_server::server::AppRunState;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
+use powermed_telemetry::faults::HardeningStats;
 use powermed_units::{Ratio, Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
 
@@ -24,6 +25,7 @@ use crate::error::CoreError;
 use crate::measurement::AppMeasurement;
 use crate::policy::{PolicyKind, PowerPolicy};
 use crate::slo::SloPlanner;
+use crate::watchdog::{HardeningConfig, SafeModeWatchdog, WatchdogTransition};
 
 /// Which part of a temporal schedule is currently actuated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +39,17 @@ enum Actuation {
     EsdOff,
     EsdOn,
     Parked,
+}
+
+/// A pending hardened knob retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RetryState {
+    /// Grid index being retried.
+    idx: usize,
+    /// Retry attempts already made.
+    attempts: u32,
+    /// Sim time before which the next attempt must not run (backoff).
+    next_at: Seconds,
 }
 
 /// The mediation runtime: one policy, one server, one cap.
@@ -69,6 +82,29 @@ pub struct PowerMediator {
     probes: usize,
     /// Count of re-planning events handled.
     replans: usize,
+    /// Graceful-degradation config; `None` (the default) runs the
+    /// original trusting loop with zero extra work per step.
+    hardening: Option<HardeningConfig>,
+    watchdog: SafeModeWatchdog,
+    hardening_stats: HardeningStats,
+    /// Knob writes that did not land, keyed by app, awaiting retry.
+    retries: BTreeMap<String, RetryState>,
+    /// Consecutive polls with no power sample at all.
+    consecutive_dropouts: u32,
+    /// Consecutive polls where the external meter repeated itself while
+    /// the internal (RAPL-side) reading moved.
+    stuck_observed: u32,
+    last_observed: Option<Watts>,
+    last_true_net: Option<Watts>,
+    /// E6 fires once per bad-sensor episode.
+    sensor_latched: bool,
+    /// Once the ESD is implicated in a breach it is planned around.
+    esd_quarantined: bool,
+    /// Over-cap polls seen while already in safe mode (escalation).
+    safe_mode_breach_polls: u32,
+    escalated: bool,
+    /// The most recent fault the hardened runtime acted on.
+    last_fault_error: Option<CoreError>,
 }
 
 impl PowerMediator {
@@ -95,7 +131,30 @@ impl PowerMediator {
             slo_planner: None,
             probes: 0,
             replans: 0,
+            hardening: None,
+            watchdog: SafeModeWatchdog::new(5, 10),
+            hardening_stats: HardeningStats::default(),
+            retries: BTreeMap::new(),
+            consecutive_dropouts: 0,
+            stuck_observed: 0,
+            last_observed: None,
+            last_true_net: None,
+            sensor_latched: false,
+            esd_quarantined: false,
+            safe_mode_breach_polls: 0,
+            escalated: false,
+            last_fault_error: None,
         }
+    }
+
+    /// Enables graceful degradation: bounded retries with backoff for
+    /// knob writes that fail or do not land, a safe-mode watchdog that
+    /// force-throttles when the *observed* net draw stays over the cap,
+    /// and sensor-fault detection (E6) over the observed power channel.
+    pub fn with_hardening(mut self, config: HardeningConfig) -> Self {
+        self.watchdog = SafeModeWatchdog::new(config.watchdog_patience, config.watchdog_release);
+        self.hardening = Some(config);
+        self
     }
 
     /// Sets the delay between a re-planning event and the new schedule
@@ -176,6 +235,21 @@ impl PowerMediator {
         self.replans
     }
 
+    /// Whether the safe-mode watchdog is currently engaged.
+    pub fn safe_mode(&self) -> bool {
+        self.watchdog.engaged()
+    }
+
+    /// Hardening counters (all zero when hardening is off).
+    pub fn hardening_stats(&self) -> HardeningStats {
+        self.hardening_stats
+    }
+
+    /// The most recent fault the hardened runtime acted on, if any.
+    pub fn last_fault_error(&self) -> Option<&CoreError> {
+        self.last_fault_error.as_ref()
+    }
+
     /// The utility surface on record for `name`.
     pub fn measurement(&self, name: &str) -> Option<&AppMeasurement> {
         self.measurements.get(name)
@@ -214,9 +288,7 @@ impl PowerMediator {
                     .map(|m| m.min_cores())
                     .unwrap_or(1);
                 if knob.cores() > floor {
-                    let _ = sim
-                        .server_mut()
-                        .set_knobs(&existing, knob.with_cores(floor));
+                    let _ = sim.set_knobs(&existing, knob.with_cores(floor));
                 }
             }
             sim.host(profile.clone(), initial)?;
@@ -252,7 +324,13 @@ impl PowerMediator {
     /// Runs one control step of `dt`.
     pub fn step(&mut self, sim: &mut ServerSim, dt: Seconds) -> StepReport {
         self.ensure_cap(sim);
-        self.actuate(sim);
+        if self.watchdog.engaged() {
+            // Safe mode: the forced floor stays in place; the schedule
+            // machinery and retries are held until the breach clears.
+        } else {
+            self.actuate(sim);
+            self.process_retries(sim);
+        }
         let report = sim.step(dt);
 
         // Accountant polling. Heartbeat evidence is only clean in
@@ -294,6 +372,9 @@ impl PowerMediator {
         if !events.is_empty() {
             self.handle_events(sim, events);
         }
+        if self.hardening.is_some() {
+            self.observe_hardened(sim, &report);
+        }
         report
     }
 
@@ -334,6 +415,12 @@ impl PowerMediator {
                 Event::CapChanged(_) | Event::Arrival(_) => {
                     need_replan = true;
                 }
+                // E5/E6: the substrate is not doing (or not showing)
+                // what the plan assumes; re-planning re-installs the
+                // schedule, which re-actuates every knob.
+                Event::ActuationFault(_) | Event::SensorFault(_) => {
+                    need_replan = true;
+                }
             }
         }
         if need_replan {
@@ -341,31 +428,58 @@ impl PowerMediator {
         }
     }
 
-    fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) {
-        let measurement = if self.online_calibration {
-            let (m, probed) = {
-                let sim_ref: &ServerSim = sim;
-                self.calibrator.calibrate_online(name, min_cores, |knob| {
-                    sim_ref
-                        .probe(name, knob)
-                        .expect("app is hosted during calibration")
-                })
-            };
-            self.probes += probed;
-            m
+    /// Re-runs calibration for `name` (the E4 path, exposed so drivers
+    /// can force a re-measurement). Returns `false` when the
+    /// application vanished mid-calibration — the probe degrades to a
+    /// skipped calibration and the departure is handled instead.
+    pub fn recalibrate(&mut self, sim: &mut ServerSim, name: &str) -> bool {
+        let min_cores = self
+            .measurements
+            .get(name)
+            .map(|m| m.min_cores())
+            .unwrap_or(1);
+        let ok = self.calibrate(sim, name, min_cores);
+        if ok {
+            self.replan(sim);
+        }
+        ok
+    }
+
+    fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) -> bool {
+        let result = if self.online_calibration {
+            let sim_ref: &ServerSim = sim;
+            self.calibrator
+                .try_calibrate_online(name, min_cores, |knob| sim_ref.probe(name, knob))
         } else {
             let sim_ref: &ServerSim = sim;
-            let m = self
-                .calibrator
-                .calibrate_exhaustive(name, min_cores, |knob| {
-                    sim_ref
-                        .probe(name, knob)
-                        .expect("app is hosted during calibration")
-                });
-            self.probes += m.grid().len();
-            m
+            self.calibrator
+                .try_calibrate_exhaustive(name, min_cores, |knob| sim_ref.probe(name, knob))
+                .map(|m| {
+                    let n = m.grid().len();
+                    (m, n)
+                })
         };
-        self.measurements.insert(name.to_string(), measurement);
+        match result {
+            Some((m, probed)) => {
+                self.probes += probed;
+                self.measurements.insert(name.to_string(), m);
+                true
+            }
+            None => {
+                // The application departed mid-calibration. Degrade to a
+                // skipped probe: fire (or finish) its E3 instead of
+                // panicking on a half-measured surface.
+                self.hardening_stats.skipped_calibrations += 1;
+                if let Some(event) = self.accountant.force_departure(name) {
+                    self.handle_events(sim, vec![event]);
+                } else {
+                    let _ = sim.remove(name);
+                    self.accountant.remove(name);
+                    self.measurements.remove(name);
+                }
+                false
+            }
+        }
     }
 
     fn replan(&mut self, sim: &mut ServerSim) {
@@ -406,6 +520,8 @@ impl PowerMediator {
         self.schedule_anchor = now;
         self.actuation = Actuation::None;
         self.pending = None;
+        // Pending retries target the old schedule's settings.
+        self.retries.clear();
         if let Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } = &self.schedule {
             for (name, idx) in settings {
                 if let Some(m) = self.measurements.get(name) {
@@ -439,6 +555,11 @@ impl PowerMediator {
     }
 
     fn esd_params(&self, sim: &ServerSim) -> Option<EsdParams> {
+        if self.esd_quarantined {
+            // The device was implicated in a sustained breach: plan as
+            // if no ESD were fitted.
+            return None;
+        }
         let esd = sim.esd();
         if esd.capacity().value() <= 0.0 {
             return None;
@@ -626,26 +747,226 @@ impl PowerMediator {
     /// target setting cannot fit, suspended apps are parked on a single
     /// core each — the `taskset` reshuffle of Sec. III-B — and the
     /// setting is retried.
-    fn apply_setting(&self, sim: &mut ServerSim, name: &str, idx: usize) {
+    fn apply_setting(&mut self, sim: &mut ServerSim, name: &str, idx: usize) {
         let Some(knob) = self.grid.get(idx) else {
             return;
         };
-        if sim.server_mut().set_knobs(name, knob).is_ok() {
+        let mut ok = sim.set_knobs(name, knob).is_ok();
+        if !ok {
+            for other in sim.app_names() {
+                if other == name {
+                    continue;
+                }
+                let Some(a) = sim.server().assignment(&other) else {
+                    continue;
+                };
+                if a.run_state() == AppRunState::Suspended && a.knob().cores() > 1 {
+                    let parked = a.knob().with_cores(1);
+                    let _ = sim.set_knobs(&other, parked);
+                }
+            }
+            ok = sim.set_knobs(name, knob).is_ok();
+        }
+        // Hardened verification: a write can return Ok yet leave the old
+        // setting in force (stale/partial actuation). Compare what the
+        // server reports against what was commanded; schedule a bounded
+        // backoff retry when they disagree.
+        if let Some(cfg) = self.hardening {
+            let landed = ok && sim.server().assignment(name).map(|a| a.knob()) == Some(knob);
+            if landed {
+                self.retries.remove(name);
+            } else {
+                self.retries.insert(
+                    name.to_string(),
+                    RetryState {
+                        idx,
+                        attempts: 0,
+                        next_at: sim.now() + cfg.retry_backoff,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Re-attempts knob writes that did not land, with linear backoff.
+    /// A write that exhausts its retry budget raises E5 and re-plans.
+    fn process_retries(&mut self, sim: &mut ServerSim) {
+        let Some(cfg) = self.hardening else {
+            return;
+        };
+        if self.retries.is_empty() {
             return;
         }
-        for other in sim.app_names() {
-            if other == name {
+        let now = sim.now();
+        let due: Vec<(String, RetryState)> = self
+            .retries
+            .iter()
+            .filter(|(_, st)| now >= st.next_at)
+            .map(|(n, st)| (n.clone(), *st))
+            .collect();
+        let mut exhausted = Vec::new();
+        for (name, st) in due {
+            if sim.server().assignment(&name).is_none() {
+                self.retries.remove(&name);
                 continue;
             }
-            let Some(a) = sim.server().assignment(&other) else {
+            let Some(knob) = self.grid.get(st.idx) else {
+                self.retries.remove(&name);
                 continue;
             };
-            if a.run_state() == AppRunState::Suspended && a.knob().cores() > 1 {
-                let parked = a.knob().with_cores(1);
-                let _ = sim.server_mut().set_knobs(&other, parked);
+            self.hardening_stats.retries += 1;
+            let landed = sim.set_knobs(&name, knob).is_ok()
+                && sim.server().assignment(&name).map(|a| a.knob()) == Some(knob);
+            if landed {
+                self.retries.remove(&name);
+            } else if st.attempts + 1 >= cfg.max_retries {
+                self.retries.remove(&name);
+                exhausted.push(name);
+            } else {
+                let attempts = st.attempts + 1;
+                self.retries.insert(
+                    name,
+                    RetryState {
+                        idx: st.idx,
+                        attempts,
+                        next_at: now + cfg.retry_backoff * f64::from(attempts + 1),
+                    },
+                );
             }
         }
-        let _ = sim.server_mut().set_knobs(name, knob);
+        if exhausted.is_empty() {
+            return;
+        }
+        let mut events = Vec::new();
+        for name in exhausted {
+            self.hardening_stats.actuation_faults += 1;
+            self.last_fault_error = Some(CoreError::ActuationFailed {
+                app: name.clone(),
+                attempts: cfg.max_retries,
+            });
+            events.push(self.accountant.actuation_fault(&name));
+        }
+        self.handle_events(sim, events);
+    }
+
+    /// Post-step hardened telemetry: sensor health, the safe-mode
+    /// watchdog over the observed net draw, and the hardened series.
+    fn observe_hardened(&mut self, sim: &mut ServerSim, report: &StepReport) {
+        let cfg = self.hardening.expect("only called when hardened");
+
+        // Sensor health. The external (PDU-side) observed channel is
+        // cross-checked against the internal RAPL-side reading: a meter
+        // that repeats itself bit-for-bit while the internal reading
+        // moves is stuck, and missing samples are dropouts.
+        match report.observed_net_power {
+            None => {
+                self.consecutive_dropouts += 1;
+                self.stuck_observed = 0;
+            }
+            Some(obs) => {
+                self.consecutive_dropouts = 0;
+                let truth_moved = self
+                    .last_true_net
+                    .is_some_and(|t| (report.net_power - t).abs() > Watts::new(1e-6));
+                if self.last_observed == Some(obs) && truth_moved {
+                    self.stuck_observed += 1;
+                } else {
+                    self.stuck_observed = 0;
+                }
+                self.last_observed = Some(obs);
+            }
+        }
+        self.last_true_net = Some(report.net_power);
+        let dropped_out = self.consecutive_dropouts >= cfg.dropout_patience;
+        let stuck = self.stuck_observed >= cfg.stuck_patience;
+        if (dropped_out || stuck) && !self.sensor_latched {
+            self.sensor_latched = true;
+            self.hardening_stats.sensor_faults += 1;
+            let what = if dropped_out {
+                format!("{} consecutive dropouts", self.consecutive_dropouts)
+            } else {
+                format!("meter stuck for {} polls", self.stuck_observed)
+            };
+            self.last_fault_error = Some(CoreError::TelemetryLoss { what: what.clone() });
+            let event = self.accountant.sensor_fault(&what);
+            self.handle_events(sim, vec![event]);
+        } else if self.consecutive_dropouts == 0 && self.stuck_observed == 0 {
+            self.sensor_latched = false;
+        }
+
+        // Watchdog: only actual samples feed it (a dropout is neither
+        // over- nor under-cap evidence).
+        if let Some(obs) = report.observed_net_power {
+            let over = obs.violates_cap(self.accountant.cap());
+            match self.watchdog.observe(over) {
+                Some(WatchdogTransition::Engaged) => self.enter_safe_mode(sim),
+                Some(WatchdogTransition::Released) => self.exit_safe_mode(sim),
+                None => {}
+            }
+            if self.watchdog.engaged() {
+                if over {
+                    self.safe_mode_breach_polls += 1;
+                    if !self.escalated && self.safe_mode_breach_polls >= cfg.watchdog_patience {
+                        self.escalate(sim);
+                    }
+                }
+            } else {
+                self.safe_mode_breach_polls = 0;
+            }
+        }
+
+        let now = sim.now();
+        let engaged = if self.watchdog.engaged() { 1.0 } else { 0.0 };
+        sim.recorder_mut().push("safe_mode", now, engaged);
+        sim.recorder_mut()
+            .push("retries_total", now, self.hardening_stats.retries as f64);
+    }
+
+    /// The observed net draw stayed over the cap past the watchdog's
+    /// patience: stop trusting the plan. Every hosted application is
+    /// forced to the minimum frequency/DRAM limit at its current core
+    /// count, the ESD is idled, and — if an ESD-assisted co-run was in
+    /// force — the device is quarantined out of future plans.
+    fn enter_safe_mode(&mut self, sim: &mut ServerSim) {
+        self.hardening_stats.safe_mode_entries += 1;
+        self.safe_mode_breach_polls = 0;
+        self.escalated = false;
+        if matches!(self.schedule, Schedule::EsdCycle { .. }) {
+            self.esd_quarantined = true;
+        }
+        for name in sim.app_names() {
+            let Some(a) = sim.server().assignment(&name) else {
+                continue;
+            };
+            let floor = KnobSetting::min_for(&self.spec).with_cores(a.knob().cores());
+            let _ = sim.set_knobs(&name, floor);
+        }
+        sim.set_esd_command(EsdCommand::Idle);
+        self.retries.clear();
+        self.actuation = Actuation::None;
+        self.last_actuation_at = sim.now();
+    }
+
+    /// Safe mode alone did not clear the breach (e.g. the floor still
+    /// sits above a very low cap): park every application. Progress
+    /// stops, but the feed goes back under its provisioned limit.
+    fn escalate(&mut self, sim: &mut ServerSim) {
+        self.escalated = true;
+        self.hardening_stats.safe_mode_escalations += 1;
+        for name in sim.app_names() {
+            let _ = sim.server_mut().suspend_app(&name);
+        }
+        sim.set_esd_command(EsdCommand::Idle);
+    }
+
+    /// The breach cleared for the configured release window: resume
+    /// normal operation by re-planning (with any ESD quarantine still
+    /// in force) and letting the next actuation pass re-assert knobs.
+    fn exit_safe_mode(&mut self, sim: &mut ServerSim) {
+        self.hardening_stats.safe_mode_exits += 1;
+        self.safe_mode_breach_polls = 0;
+        self.escalated = false;
+        self.replan(sim);
     }
 }
 
@@ -812,6 +1133,128 @@ mod tests {
             sim.server().assignment("kmeans").unwrap().knob(),
             before,
             "new allocation applied after the window"
+        );
+    }
+
+    #[test]
+    fn hardened_retries_ride_through_flaky_knob_writes() {
+        use powermed_sim::faults::FaultConfig;
+        let mut sim = sim_no_esd().with_fault_injection(FaultConfig {
+            seed: 42,
+            knob_failure_prob: 0.5,
+            knob_stale_steps: 5,
+            ..FaultConfig::default()
+        });
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_hardening(HardeningConfig::default());
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(10.0), DT);
+        let stats = med.hardening_stats();
+        assert!(stats.retries > 0, "half the writes fail: retries fired");
+        assert!(sim.ops_done("pagerank") > 0.0);
+        assert!(sim.ops_done("kmeans") > 0.0);
+    }
+
+    #[test]
+    fn watchdog_throttles_a_stuck_esd_corun_and_quarantines_the_device() {
+        use powermed_sim::faults::FaultConfig;
+        let scenario = FaultConfig {
+            seed: 7,
+            esd_stuck_at_idle: true,
+            ..FaultConfig::default()
+        };
+        let run = |hardened: bool| {
+            let mut sim = sim_with_battery().with_fault_injection(scenario.clone());
+            let mut med = mediator(PolicyKind::AppResEsdAware, 80.0);
+            if hardened {
+                med = med.with_hardening(HardeningConfig::default());
+            }
+            med.admit(&mut sim, catalog::stream()).unwrap();
+            med.admit(&mut sim, catalog::kmeans()).unwrap();
+            assert!(matches!(med.schedule(), Schedule::EsdCycle { .. }));
+            med.run_for(&mut sim, Seconds::new(30.0), DT);
+            (sim.meter().compliance().violation_fraction(), med)
+        };
+        let (unhardened_violations, unhardened_med) = run(false);
+        let (hardened_violations, hardened_med) = run(true);
+        assert_eq!(unhardened_med.hardening_stats().safe_mode_entries, 0);
+        assert!(
+            unhardened_violations > 0.05,
+            "the stuck ESD must hurt the trusting runtime, got {unhardened_violations}"
+        );
+        let stats = hardened_med.hardening_stats();
+        assert!(stats.safe_mode_entries >= 1, "watchdog engaged");
+        assert!(stats.safe_mode_exits >= 1, "and released once throttled");
+        assert!(
+            !matches!(hardened_med.schedule(), Schedule::EsdCycle { .. }),
+            "the quarantined device is planned around"
+        );
+        assert!(
+            hardened_violations < unhardened_violations,
+            "hardened {hardened_violations} must beat unhardened {unhardened_violations}"
+        );
+    }
+
+    #[test]
+    fn sensor_dropouts_raise_e6_once_per_episode() {
+        use powermed_sim::faults::FaultConfig;
+        let mut sim = sim_no_esd().with_fault_injection(FaultConfig {
+            seed: 1,
+            meter_dropout_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_hardening(HardeningConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.run_for(&mut sim, Seconds::new(3.0), DT);
+        assert_eq!(
+            med.hardening_stats().sensor_faults,
+            1,
+            "E6 latches per episode; an all-dropout run fires exactly once"
+        );
+        assert!(matches!(
+            med.last_fault_error(),
+            Some(CoreError::TelemetryLoss { .. })
+        ));
+        // A blind watchdog must not engage on missing samples.
+        assert!(!med.safe_mode());
+    }
+
+    #[test]
+    fn departed_app_degrades_to_a_skipped_calibration() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        // kmeans vanishes behind the mediator's back (crash between the
+        // E4 trigger and the probe loop).
+        sim.remove("kmeans").unwrap();
+        let ok = med.recalibrate(&mut sim, "kmeans");
+        assert!(!ok, "no surface was produced");
+        assert_eq!(med.hardening_stats().skipped_calibrations, 1);
+        assert!(
+            !med.accountant().tracked().contains(&"kmeans"),
+            "the departure was booked instead"
+        );
+        assert!(med.measurement("kmeans").is_none());
+        // The survivor keeps running.
+        med.run_for(&mut sim, Seconds::new(1.0), DT);
+        assert!(sim.ops_done("stream") > 0.0);
+    }
+
+    #[test]
+    fn hardening_off_keeps_the_trusting_loop_untouched() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        assert!(!med.safe_mode());
+        assert_eq!(med.hardening_stats().retries, 0);
+        assert!(med.last_fault_error().is_none());
+        assert!(
+            sim.recorder().series("safe_mode").is_none(),
+            "no hardened series recorded when hardening is off"
         );
     }
 

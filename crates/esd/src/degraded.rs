@@ -1,0 +1,192 @@
+//! A degradation wrapper over any [`EnergyStorage`] device.
+//!
+//! Real batteries fade: usable capacity shrinks with age and cycling,
+//! and conversion losses grow. The fault-injection harness wraps the
+//! nominal device in a [`DegradedEsd`] to model a unit that is worse
+//! than the coordinator's planning model believes — the policy keeps
+//! planning against the nominal parameters while the substrate delivers
+//! degraded behaviour, which is exactly the mismatch the hardened
+//! runtime must survive.
+
+use powermed_units::{Joules, Ratio, Seconds, Watts};
+
+use crate::storage::{EnergyStorage, StorageStats};
+
+/// Wraps an inner storage device with capacity fade and per-direction
+/// efficiency derating.
+#[derive(Debug)]
+pub struct DegradedEsd {
+    inner: Box<dyn EnergyStorage>,
+    /// Fraction of nominal capacity lost, in `[0, 1)`.
+    capacity_fade: f64,
+    /// Multiplier in `(0, 1]` applied to each conversion direction.
+    efficiency_derate: f64,
+}
+
+impl DegradedEsd {
+    /// Wraps `inner`, fading its capacity by `capacity_fade` and scaling
+    /// each conversion direction's efficiency by `efficiency_derate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_fade` is outside `[0, 1)` or
+    /// `efficiency_derate` outside `(0, 1]`.
+    pub fn new(inner: Box<dyn EnergyStorage>, capacity_fade: f64, efficiency_derate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&capacity_fade),
+            "capacity fade in [0, 1)"
+        );
+        assert!(
+            efficiency_derate > 0.0 && efficiency_derate <= 1.0,
+            "efficiency derate in (0, 1]"
+        );
+        Self {
+            inner,
+            capacity_fade,
+            efficiency_derate,
+        }
+    }
+
+    /// The faded usable capacity.
+    fn faded_capacity(&self) -> Joules {
+        self.inner.capacity() * (1.0 - self.capacity_fade)
+    }
+}
+
+impl EnergyStorage for DegradedEsd {
+    fn capacity(&self) -> Joules {
+        self.faded_capacity()
+    }
+
+    fn stored(&self) -> Joules {
+        self.inner.stored().min(self.faded_capacity())
+    }
+
+    fn round_trip_efficiency(&self) -> Ratio {
+        // Each direction loses `efficiency_derate`, so the round trip
+        // loses its square on top of the inner device's losses.
+        Ratio::new(
+            self.inner.round_trip_efficiency().value()
+                * self.efficiency_derate
+                * self.efficiency_derate,
+        )
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        self.inner.max_charge_power()
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        self.inner.max_discharge_power()
+    }
+
+    fn charge(&mut self, power: Watts, dt: Seconds) -> Watts {
+        if dt.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        // The faded cells refuse charge past the degraded capacity even
+        // though the inner model would still have headroom.
+        let headroom = (self.faded_capacity() - self.inner.stored()).max_zero();
+        if headroom.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let d = self.efficiency_derate;
+        // Only a derated fraction of the bus draw reaches the inner
+        // device; the rest is extra conversion loss. Bus draw reported
+        // is the inner draw divided back out, capped by the request.
+        let inner_drawn = self.inner.charge(power.max_zero() * d, dt);
+        Watts::new(inner_drawn.value() / d).min(power.max_zero())
+    }
+
+    fn discharge(&mut self, power: Watts, dt: Seconds) -> Watts {
+        if dt.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        // Drain the inner store for the full request but deliver only
+        // the derated fraction to the bus.
+        let delivered = self.inner.discharge(power.max_zero(), dt);
+        delivered * self.efficiency_derate
+    }
+
+    fn tick(&mut self, dt: Seconds) {
+        self.inner.tick(dt);
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealEsd;
+
+    fn ideal(cap: f64, limit: f64) -> Box<dyn EnergyStorage> {
+        Box::new(IdealEsd::new(Joules::new(cap), Watts::new(limit)))
+    }
+
+    #[test]
+    fn capacity_fade_shrinks_usable_store() {
+        let d = DegradedEsd::new(ideal(1000.0, 100.0), 0.4, 1.0);
+        assert_eq!(d.capacity(), Joules::new(600.0));
+    }
+
+    #[test]
+    fn charge_stops_at_faded_capacity() {
+        let mut d = DegradedEsd::new(ideal(100.0, 100.0), 0.5, 1.0);
+        // 10 steps of 100 W x 0.1 s would fill the nominal 100 J; the
+        // faded device refuses past 50 J.
+        for _ in 0..10 {
+            d.charge(Watts::new(100.0), Seconds::new(0.1));
+        }
+        assert!(d.stored() <= Joules::new(50.0) + Joules::new(1e-9));
+        assert_eq!(d.charge(Watts::new(10.0), Seconds::new(1.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn efficiency_derate_cuts_both_directions() {
+        let mut d = DegradedEsd::new(ideal(1000.0, 100.0), 0.0, 0.8);
+        let drawn = d.charge(Watts::new(50.0), Seconds::new(1.0));
+        assert_eq!(drawn, Watts::new(50.0), "bus draw is the full request");
+        assert!(
+            (d.stored() - Joules::new(40.0)).abs() < Joules::new(1e-9),
+            "only 80% reached the store, got {:?}",
+            d.stored()
+        );
+        let out = d.discharge(Watts::new(40.0), Seconds::new(1.0));
+        assert!(
+            (out - Watts::new(32.0)).abs() < Watts::new(1e-9),
+            "80% of the drained power reaches the bus, got {out:?}"
+        );
+        // Round trip of the wrapper over an ideal device: 0.8^2.
+        assert!((d.round_trip_efficiency().value() - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_creates_energy() {
+        let mut d = DegradedEsd::new(ideal(500.0, 100.0), 0.2, 0.7);
+        let mut absorbed = Joules::ZERO;
+        for _ in 0..100 {
+            absorbed += d.charge(Watts::new(100.0), Seconds::new(0.1)) * Seconds::new(0.1);
+        }
+        let mut delivered = Joules::ZERO;
+        for _ in 0..200 {
+            delivered += d.discharge(Watts::new(100.0), Seconds::new(0.1)) * Seconds::new(0.1);
+        }
+        assert!(delivered <= absorbed + Joules::new(1e-6));
+        assert!(delivered.value() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity fade")]
+    fn full_fade_rejected() {
+        let _ = DegradedEsd::new(ideal(1.0, 1.0), 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency derate")]
+    fn zero_derate_rejected() {
+        let _ = DegradedEsd::new(ideal(1.0, 1.0), 0.0, 0.0);
+    }
+}

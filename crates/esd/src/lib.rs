@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degraded;
 mod ideal;
 mod lead_acid;
 mod storage;
 
+pub use degraded::DegradedEsd;
 pub use ideal::{IdealEsd, NoEsd};
 pub use lead_acid::LeadAcidBattery;
 pub use storage::{EnergyStorage, StorageStats};

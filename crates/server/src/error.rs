@@ -45,6 +45,10 @@ pub enum ServerError {
     UnknownApp(String),
     /// An application with this identifier is already hosted.
     DuplicateApp(String),
+    /// A knob write was rejected by the actuation interface (the MSR /
+    /// sysfs write failed). Raised by the fault-injected substrate; a
+    /// retry may succeed.
+    ActuationRejected(String),
 }
 
 impl core::fmt::Display for ServerError {
@@ -77,6 +81,9 @@ impl core::fmt::Display for ServerError {
             Self::UnknownSocket(id) => write!(f, "unknown socket {id}"),
             Self::UnknownApp(name) => write!(f, "unknown application {name:?}"),
             Self::DuplicateApp(name) => write!(f, "application {name:?} already hosted"),
+            Self::ActuationRejected(name) => {
+                write!(f, "knob write for {name:?} rejected by the actuation path")
+            }
         }
     }
 }
@@ -104,6 +111,10 @@ mod tests {
         };
         assert!(err.to_string().contains("8"));
         assert!(err.to_string().contains("3"));
+
+        let err = ServerError::ActuationRejected("x264".into());
+        assert!(err.to_string().contains("x264"));
+        assert!(err.to_string().contains("rejected"));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use powermed_esd::EnergyStorage;
+use powermed_esd::{DegradedEsd, EnergyStorage};
 use powermed_server::server::{AppDemand, AppRunState, PowerBreakdown};
 use powermed_server::{KnobSetting, Server, ServerError, ServerSpec};
+use powermed_telemetry::faults::FaultStats;
 use powermed_telemetry::meter::PowerMeter;
 use powermed_telemetry::recorder::TraceRecorder;
 use powermed_units::{Seconds, Watts};
@@ -12,6 +13,7 @@ use powermed_workloads::profile::AppProfile;
 
 use crate::app::RunningApp;
 use crate::clock::SimClock;
+use crate::faults::{FaultConfig, FaultInjector, FaultRecord, KnobWriteOutcome};
 
 /// What the policy asked the ESD to do until further notice.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -45,6 +47,12 @@ pub struct StepReport {
     pub esd_discharge: Watts,
     /// Whether net power exceeded the cap this step.
     pub cap_violated: bool,
+    /// The net draw as the *runtime* observes it: identical to
+    /// [`StepReport::net_power`] without fault injection, possibly
+    /// noisy/stuck under meter faults, and `None` on a sample dropout.
+    /// Ground-truth scoring (the meter, `cap_violated`) always uses the
+    /// true net power.
+    pub observed_net_power: Option<Watts>,
     /// Applications that reached completion during this step (E3
     /// triggers for the Accountant).
     pub completed: Vec<String>,
@@ -67,6 +75,7 @@ pub struct ServerSim {
     clock: SimClock,
     meter: PowerMeter,
     recorder: TraceRecorder,
+    faults: Option<FaultInjector>,
 }
 
 impl ServerSim {
@@ -83,7 +92,45 @@ impl ServerSim {
             clock: SimClock::new(),
             meter: PowerMeter::new(),
             recorder: TraceRecorder::new(),
+            faults: None,
         }
+    }
+
+    /// Enables deterministic fault injection for this simulation.
+    ///
+    /// When the scenario configures ESD degradation, the storage device
+    /// is wrapped in a [`DegradedEsd`] — the policy keeps planning
+    /// against the nominal parameters while the substrate delivers the
+    /// degraded behaviour.
+    pub fn with_fault_injection(mut self, config: FaultConfig) -> Self {
+        if config.esd_degradation_active() {
+            let nominal = std::mem::replace(&mut self.esd, Box::new(powermed_esd::NoEsd));
+            self.esd = Box::new(DegradedEsd::new(
+                nominal,
+                config.esd_capacity_fade,
+                config.esd_efficiency_derate,
+            ));
+        }
+        self.faults = Some(FaultInjector::new(config));
+        self
+    }
+
+    /// The active fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Fault counters (zeroed default when injection is off).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultInjector::stats)
+            .unwrap_or_default()
+    }
+
+    /// The deterministic fault trace (empty when injection is off).
+    pub fn fault_trace(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map_or(&[], FaultInjector::trace)
     }
 
     /// The server being simulated.
@@ -156,7 +203,49 @@ impl ServerSim {
         self.server.remove_app(name)?;
         self.apps.remove(name);
         self.series_keys.remove(name);
+        if let Some(f) = self.faults.as_mut() {
+            f.forget_app(name);
+        }
         Ok(())
+    }
+
+    /// Writes `knob` for `name` through the (possibly faulty) actuation
+    /// path. Without fault injection this is exactly
+    /// [`Server::set_knobs`]; with it, the write may be rejected
+    /// ([`ServerError::ActuationRejected`]), silently leave the stale
+    /// setting in force, or land only partially (DVFS applied, core
+    /// re-allocation not).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerError`] from the server (unknown app, invalid
+    /// knob) plus injected [`ServerError::ActuationRejected`] failures.
+    pub fn set_knobs(&mut self, name: &str, knob: KnobSetting) -> Result<(), ServerError> {
+        let outcome = self
+            .faults
+            .as_mut()
+            .map_or(KnobWriteOutcome::Apply, |f| f.knob_write(name));
+        match outcome {
+            KnobWriteOutcome::Apply => self.server.set_knobs(name, knob),
+            KnobWriteOutcome::Reject => Err(ServerError::ActuationRejected(name.to_string())),
+            // The interface accepted the write but the setting never
+            // landed — from the caller's side this looks like success.
+            KnobWriteOutcome::Stale => {
+                self.server
+                    .assignment(name)
+                    .ok_or_else(|| ServerError::UnknownApp(name.to_string()))?;
+                Ok(())
+            }
+            KnobWriteOutcome::Partial => {
+                let current = self
+                    .server
+                    .assignment(name)
+                    .ok_or_else(|| ServerError::UnknownApp(name.to_string()))?
+                    .knob()
+                    .cores();
+                self.server.set_knobs(name, knob.with_cores(current))
+            }
+        }
     }
 
     /// Names of hosted applications.
@@ -206,6 +295,29 @@ impl ServerSim {
         self.clock.advance(dt);
         let now = self.clock.now();
 
+        // 0. Fault bookkeeping: restart apps whose crash timer expired,
+        //    roll new crashes for running apps (BTreeMap name order, so
+        //    the draw sequence is deterministic), and keep crashed apps
+        //    down even if the policy tried to resume them.
+        if let Some(f) = self.faults.as_mut() {
+            f.begin_step(self.clock.steps(), now);
+            for name in f.restarts_due() {
+                if self.apps.contains_key(&name) {
+                    let _ = self.server.resume_app(&name);
+                }
+            }
+            for name in self.apps.keys() {
+                let running = self
+                    .server
+                    .assignment(name)
+                    .is_some_and(|a| a.run_state() == AppRunState::Running);
+                let completed = self.apps[name].completed();
+                if (running && !completed && f.crash_roll(name)) || f.is_crashed(name) {
+                    let _ = self.server.suspend_app(name);
+                }
+            }
+        }
+
         // 1. Applications run (or idle) at their assigned knobs. The
         //    spec is borrowed, not cloned: `apps` and `server` are
         //    disjoint fields, and the borrow ends before the
@@ -245,8 +357,16 @@ impl ServerSim {
         let gross = breakdown.total();
 
         // 3. ESD command execution. Charging is clamped to headroom under
-        //    the cap (charging must never itself violate Eq. 3).
-        let (esd_charge, esd_discharge) = match self.esd_command {
+        //    the cap (charging must never itself violate Eq. 3). A
+        //    stuck-at-idle device silently drops non-idle commands.
+        let mut command = self.esd_command;
+        if let Some(f) = self.faults.as_mut() {
+            if f.esd_stuck() && command != EsdCommand::Idle {
+                f.note_esd_ignored();
+                command = EsdCommand::Idle;
+            }
+        }
+        let (esd_charge, esd_discharge) = match command {
             EsdCommand::Idle => (Watts::ZERO, Watts::ZERO),
             EsdCommand::Charge(p) => {
                 let headroom = match self.cap {
@@ -273,8 +393,14 @@ impl ServerSim {
         let net = gross + esd_charge - esd_discharge;
         self.meter.sample(net, self.cap, dt);
         let cap_violated = match self.cap {
-            Some(cap) => net.value() > cap.value() + 1e-9,
+            Some(cap) => net.violates_cap(cap),
             None => false,
+        };
+        // What the runtime gets to see. Ground truth (meter, violation
+        // flag above) is untouched by meter faults.
+        let observed_net_power = match self.faults.as_mut() {
+            Some(f) => f.observe_net(net),
+            None => Some(net),
         };
 
         // 4. Record the standard series.
@@ -291,6 +417,15 @@ impl ServerSim {
                     .push(&format!("app_power_w.{name}"), now, p.value()),
             }
         }
+        // Fault-only series: nothing extra is recorded when injection
+        // is off, keeping fault-free traces bit-identical to before.
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(obs) = observed_net_power {
+                self.recorder.push("net_observed_w", now, obs.value());
+            }
+            self.recorder
+                .push("faults_total", now, f.stats().total_events() as f64);
+        }
 
         StepReport {
             now,
@@ -299,6 +434,7 @@ impl ServerSim {
             esd_charge,
             esd_discharge,
             cap_violated,
+            observed_net_power,
             completed,
             breakdown,
         }
@@ -467,6 +603,150 @@ mod tests {
         assert!(r.series("gross_w").unwrap().len() >= 5);
         assert!(r.series("app_power_w.bfs").is_some());
         assert!(r.series("cap_w").is_some());
+    }
+
+    #[test]
+    fn no_injection_reports_true_power_as_observed() {
+        let mut s = sim();
+        let r = s.step(DT);
+        assert_eq!(r.observed_net_power, Some(r.net_power));
+        assert!(s.fault_injector().is_none());
+        assert_eq!(s.fault_stats().total_events(), 0);
+        assert!(s.fault_trace().is_empty());
+        assert!(s.recorder().series("net_observed_w").is_none());
+    }
+
+    #[test]
+    fn fault_free_config_changes_nothing_but_bookkeeping() {
+        let run = |faulted: bool| {
+            let mut s = sim();
+            if faulted {
+                s = s.with_fault_injection(crate::faults::FaultConfig::none(3));
+            }
+            let knob = KnobSetting::max_for(s.server().spec());
+            s.host(catalog::kmeans(), knob).unwrap();
+            s.set_cap(Some(Watts::new(100.0)));
+            let mut nets = Vec::new();
+            for _ in 0..50 {
+                nets.push(s.step(DT).net_power);
+            }
+            (nets, s.ops_done("kmeans"))
+        };
+        assert_eq!(run(false), run(true), "inert injection is bit-identical");
+    }
+
+    #[test]
+    fn fault_traces_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let cfg = crate::faults::FaultConfig {
+                seed,
+                knob_failure_prob: 0.3,
+                meter_noise_sigma: 0.05,
+                meter_dropout_prob: 0.05,
+                app_crash_prob: 0.02,
+                app_restart_steps: 5,
+                ..crate::faults::FaultConfig::default()
+            };
+            let mut s = sim().with_fault_injection(cfg);
+            let spec = s.server().spec().clone();
+            let knob = KnobSetting::max_for(&spec);
+            s.host(catalog::kmeans(), knob).unwrap();
+            s.host(catalog::stream(), KnobSetting::min_for(&spec))
+                .unwrap();
+            let mut observed = Vec::new();
+            for i in 0..100 {
+                if i % 10 == 0 {
+                    let _ = s.set_knobs("kmeans", knob);
+                }
+                observed.push(s.step(DT).observed_net_power);
+            }
+            (s.fault_trace().to_vec(), observed)
+        };
+        assert_eq!(run(11), run(11), "same seed: bit-identical trace");
+        assert_ne!(run(11).0, run(12).0, "different seed: diverging trace");
+    }
+
+    #[test]
+    fn crashed_app_stays_down_until_restart() {
+        let cfg = crate::faults::FaultConfig {
+            app_crash_prob: 1.0,
+            app_restart_steps: 3,
+            ..crate::faults::FaultConfig::default()
+        };
+        let mut s = sim().with_fault_injection(cfg);
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        // First step crashes the app (p = 1).
+        s.step(DT);
+        assert_eq!(s.fault_stats().app_crashes, 1);
+        assert_eq!(s.ops_done("kmeans"), 0.0);
+        // The policy tries to resume it; the crash dominates.
+        s.server_mut().resume_app("kmeans").unwrap();
+        s.step(DT);
+        assert_eq!(s.ops_done("kmeans"), 0.0, "still down");
+        // After the restart timer it runs again (and immediately
+        // re-crashes with p = 1, but the restart was recorded).
+        for _ in 0..4 {
+            s.step(DT);
+        }
+        assert!(s.fault_stats().app_restarts >= 1);
+    }
+
+    #[test]
+    fn stuck_at_idle_esd_ignores_commands() {
+        let cfg = crate::faults::FaultConfig {
+            esd_stuck_at_idle: true,
+            ..crate::faults::FaultConfig::default()
+        };
+        let mut s = ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(IdealEsd::new(Joules::new(1000.0), Watts::new(100.0)).with_soc(1.0)),
+        )
+        .with_fault_injection(cfg);
+        s.set_esd_command(EsdCommand::Discharge(Watts::new(20.0)));
+        let r = s.step(DT);
+        assert_eq!(r.esd_discharge, Watts::ZERO, "command silently dropped");
+        assert_eq!(r.net_power, r.gross_power);
+        assert_eq!(s.fault_stats().esd_commands_ignored, 1);
+    }
+
+    #[test]
+    fn esd_degradation_wraps_the_device() {
+        let cfg = crate::faults::FaultConfig {
+            esd_capacity_fade: 0.5,
+            ..crate::faults::FaultConfig::default()
+        };
+        let s = ServerSim::new(
+            ServerSpec::xeon_e5_2620(),
+            Box::new(IdealEsd::new(Joules::new(1000.0), Watts::new(100.0))),
+        )
+        .with_fault_injection(cfg);
+        assert_eq!(s.esd().capacity(), Joules::new(500.0));
+    }
+
+    #[test]
+    fn rejected_knob_write_surfaces_an_error() {
+        let cfg = crate::faults::FaultConfig {
+            knob_failure_prob: 1.0,
+            ..crate::faults::FaultConfig::default()
+        };
+        let mut s = sim().with_fault_injection(cfg);
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        let target = KnobSetting::min_for(s.server().spec());
+        // With p = 1 every write faults; over a few attempts we must see
+        // at least one of each mode and never a clean apply.
+        let mut saw_error = false;
+        for _ in 0..30 {
+            s.step(DT);
+            if s.set_knobs("kmeans", target).is_err() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "a rejection must surface as Err");
+        let stats = s.fault_stats();
+        assert!(stats.knob_rejections > 0);
+        assert!(stats.knob_stale + stats.knob_partial > 0);
     }
 
     #[test]

@@ -38,7 +38,9 @@
 pub mod app;
 pub mod clock;
 pub mod engine;
+pub mod faults;
 
 pub use app::RunningApp;
 pub use clock::SimClock;
 pub use engine::{EsdCommand, ServerSim, StepReport};
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultRecord, KnobWriteOutcome};

@@ -1,0 +1,100 @@
+//! Fault accounting: counters for injected substrate faults and for the
+//! runtime's degradation responses.
+//!
+//! The simulated substrate (see `powermed-sim`'s fault injector) counts
+//! every fault it injects in a [`FaultStats`]; the hardened mediator
+//! counts every mitigation it performs in a [`HardeningStats`]. Both are
+//! plain counter structs so experiments can diff them across runs, and
+//! both are surfaced through the [`crate::recorder::TraceRecorder`] as
+//! time series by their owners.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for faults injected into the simulated substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Knob writes rejected outright (the actuation returned an error).
+    pub knob_rejections: u64,
+    /// Knob writes that silently left the stale setting in force.
+    pub knob_stale: u64,
+    /// Knob writes that applied only partially (DVFS landed, core
+    /// allocation did not).
+    pub knob_partial: u64,
+    /// Meter samples replaced by a held (stuck) reading.
+    pub meter_stuck: u64,
+    /// Meter samples dropped entirely (the runtime observed nothing).
+    pub meter_dropouts: u64,
+    /// Meter samples perturbed by multiplicative noise.
+    pub meter_noisy: u64,
+    /// Non-idle ESD commands silently ignored by a stuck device.
+    pub esd_commands_ignored: u64,
+    /// Application crash events.
+    pub app_crashes: u64,
+    /// Application restart events (a crashed app resumed).
+    pub app_restarts: u64,
+}
+
+impl FaultStats {
+    /// Total number of discrete fault events (noise perturbations are
+    /// continuous and excluded; stuck/dropout/rejection/crash count).
+    pub fn total_events(&self) -> u64 {
+        self.knob_rejections
+            + self.knob_stale
+            + self.knob_partial
+            + self.meter_stuck
+            + self.meter_dropouts
+            + self.esd_commands_ignored
+            + self.app_crashes
+            + self.app_restarts
+    }
+}
+
+/// Counters for the hardened mediator's degradation responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HardeningStats {
+    /// Actuation retries attempted (each backoff-scheduled reattempt).
+    pub retries: u64,
+    /// Actuations abandoned after the retry budget was exhausted
+    /// (each fires an E5 `ActuationFault`).
+    pub actuation_faults: u64,
+    /// Sensor-fault episodes detected (each fires an E6 `SensorFault`).
+    pub sensor_faults: u64,
+    /// Safe-mode engagements (forced throttle to minimum knobs).
+    pub safe_mode_entries: u64,
+    /// Safe-mode releases (breach cleared, normal planning resumed).
+    pub safe_mode_exits: u64,
+    /// Safe-mode escalations (breach persisted at minimum knobs, all
+    /// applications parked).
+    pub safe_mode_escalations: u64,
+    /// Calibrations skipped because the application departed mid-probe.
+    pub skipped_calibrations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_discrete_events() {
+        let s = FaultStats {
+            knob_rejections: 1,
+            knob_stale: 2,
+            knob_partial: 3,
+            meter_stuck: 4,
+            meter_dropouts: 5,
+            meter_noisy: 100,
+            esd_commands_ignored: 6,
+            app_crashes: 7,
+            app_restarts: 8,
+        };
+        assert_eq!(s.total_events(), 36, "noise is not a discrete event");
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(FaultStats::default().total_events(), 0);
+        let h = HardeningStats::default();
+        assert_eq!(h.retries, 0);
+        assert_eq!(h.safe_mode_entries, 0);
+    }
+}

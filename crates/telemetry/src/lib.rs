@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod heartbeat;
 pub mod meter;
 pub mod recorder;
 
+pub use faults::{FaultStats, HardeningStats};
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
 pub use meter::{CapCompliance, PowerMeter};
 pub use recorder::{SharedRecorder, TraceRecorder};

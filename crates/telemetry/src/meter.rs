@@ -67,8 +67,8 @@ impl PowerMeter {
         self.samples += 1;
         self.compliance.total_time += dt;
         if let Some(cap) = cap {
-            let over = power - cap;
-            if over.value() > 1e-9 {
+            if power.violates_cap(cap) {
+                let over = power - cap;
                 self.compliance.violation_time += dt;
                 self.compliance.worst_overshoot = self.compliance.worst_overshoot.max(over);
                 self.compliance.overshoot_energy += over * dt;
@@ -160,5 +160,19 @@ mod tests {
         let mut m = PowerMeter::new();
         m.sample(Watts::new(1000.0), None, Seconds::new(1.0));
         assert_eq!(m.compliance().violation_time, Seconds::ZERO);
+    }
+
+    #[test]
+    fn boundary_sample_at_cap_plus_tolerance_is_compliant() {
+        use powermed_units::CAP_TOLERANCE;
+        let cap = Watts::new(80.0);
+        let mut m = PowerMeter::new();
+        // Exactly cap + tolerance: the shared constant makes the meter
+        // agree with the simulator's per-step flag — not a violation.
+        m.sample(cap + CAP_TOLERANCE, Some(cap), Seconds::new(1.0));
+        assert_eq!(m.compliance().violation_time, Seconds::ZERO);
+        // One ulp-ish further is a violation.
+        m.sample(Watts::new(80.0 + 2e-9), Some(cap), Seconds::new(1.0));
+        assert_eq!(m.compliance().violation_time, Seconds::new(1.0));
     }
 }

@@ -42,7 +42,7 @@ mod time;
 pub use bandwidth::BytesPerSec;
 pub use energy::{Joules, WattHours};
 pub use frequency::{Gigahertz, Hertz};
-pub use power::Watts;
+pub use power::{Watts, CAP_TOLERANCE};
 pub use ratio::Ratio;
 pub use time::Seconds;
 

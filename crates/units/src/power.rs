@@ -18,11 +18,25 @@ quantity!(
     "W"
 );
 
+/// Absolute tolerance applied when checking net draw against a power
+/// cap (Eq. 3): a sample counts as a violation only when it exceeds
+/// `cap + CAP_TOLERANCE`. One shared constant keeps the simulator's
+/// per-step flag and the meter's compliance accounting in agreement at
+/// the boundary.
+pub const CAP_TOLERANCE: Watts = Watts::new(1e-9);
+
 impl Watts {
     /// Energy delivered by holding this power for `duration`.
     #[inline]
     pub fn for_duration(self, duration: Seconds) -> Joules {
         self * duration
+    }
+
+    /// Whether this draw violates `cap` beyond [`CAP_TOLERANCE`].
+    /// A draw of exactly `cap + CAP_TOLERANCE` is still compliant.
+    #[inline]
+    pub fn violates_cap(self, cap: Watts) -> bool {
+        self.value() > cap.value() + CAP_TOLERANCE.value()
     }
 }
 
@@ -58,5 +72,16 @@ mod tests {
     #[test]
     fn power_scaled_by_ratio() {
         assert_eq!(Watts::new(80.0) * Ratio::new(0.25), Watts::new(20.0));
+    }
+
+    #[test]
+    fn cap_boundary_is_compliant_up_to_the_tolerance() {
+        let cap = Watts::new(100.0);
+        assert!(!cap.violates_cap(cap));
+        // Exactly cap + tolerance: still compliant (strict inequality).
+        assert!(!(cap + CAP_TOLERANCE).violates_cap(cap));
+        // The first representable value past the tolerance violates.
+        assert!(Watts::new(100.0 + 2e-9).violates_cap(cap));
+        assert!(Watts::new(101.0).violates_cap(cap));
     }
 }
