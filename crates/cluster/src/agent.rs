@@ -1,0 +1,539 @@
+//! The per-server agent of the cluster control plane.
+//!
+//! Each server runs one [`ServerAgent`]: the server simulation plus its
+//! [`PowerMediator`], driven by cap-assignment downlinks from the
+//! cluster manager. The agent is the *enforcement* end of the control
+//! plane, so it is also where partition safety lives: a resilient agent
+//! that stops hearing from the manager falls back to a conservative
+//! local cap — the last acknowledged share, decaying toward the idle
+//! floor — so the cluster stays under budget even when the agent is cut
+//! off. A naive agent simply applies whatever arrives, in arrival
+//! order, and keeps its stale cap forever when partitioned.
+//!
+//! Node churn is modelled by [`ServerAgent::crash`] /
+//! [`ServerAgent::restart`]: a restart rebuilds the whole per-server
+//! stack through [`crate::fleet::build_server`] (applications restart
+//! from scratch, the ESD resets to its boot state of charge), while
+//! completed work survives in an accumulator so normalized-throughput
+//! scoring spans incarnations.
+
+use std::collections::BTreeMap;
+
+use powermed_core::policy::PolicyKind;
+use powermed_core::runtime::PowerMediator;
+use powermed_server::ServerSpec;
+use powermed_sim::engine::{ServerSim, StepReport};
+use powermed_units::{Seconds, Watts};
+use powermed_workloads::mixes::Mix;
+
+use crate::control::Downlink;
+use crate::fleet;
+
+/// Tuning of the resilient agent's fallback behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// The manager's heartbeat interval in control steps, used to
+    /// convert downlink silence into missed heartbeats. Must match
+    /// [`crate::control::ManagerConfig::heartbeat_interval_steps`].
+    pub heartbeat_interval_steps: u64,
+    /// Missed heartbeats before the fallback cap engages. The default
+    /// waits out a manager failover (crash detection plus standby
+    /// takeover spans ~10-15 s) so a brief control-plane outage does not
+    /// decay the whole fleet to the floor, while a genuinely partitioned
+    /// node still decays to the floor well before the manager
+    /// redistributes its share at
+    /// [`crate::control::ManagerConfig::reapportion_after_steps`].
+    pub fallback_after_misses: u64,
+    /// Watts removed from the fallback cap per elapsed heartbeat
+    /// interval while the silence lasts.
+    pub fallback_decay: Watts,
+    /// The idle floor the fallback decays toward (a parked server).
+    pub floor: Watts,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval_steps: 4,
+            fallback_after_misses: 6,
+            fallback_decay: Watts::new(10.0),
+            floor: Watts::new(50.0),
+        }
+    }
+}
+
+/// One server's agent: simulation, mediator, and fallback state.
+#[derive(Debug)]
+pub struct ServerAgent {
+    spec: ServerSpec,
+    mix: Mix,
+    kind: PolicyKind,
+    with_battery: bool,
+    resilient: bool,
+    config: AgentConfig,
+    sim: ServerSim,
+    mediator: PowerMediator,
+    /// The cap currently in force on this server.
+    current_cap: Watts,
+    /// Highest assignment epoch applied (resilient agents discard
+    /// reordered stale assignments below it).
+    last_epoch: u64,
+    /// Control steps since any downlink arrived.
+    steps_since_downlink: u64,
+    /// Set while the agent runs on a self-chosen cap (fallback, or a
+    /// fresh restart booted at the floor): the next downlink is applied
+    /// even if its epoch is not newer.
+    needs_cap: bool,
+    fallback_engaged: bool,
+    /// While the facility breaker's emergency clamp is in force, the cap
+    /// to restore on release. Downlinks received during the hold update
+    /// the restore target instead of the mediator.
+    clamped: Option<Watts>,
+    /// Operations completed by previous incarnations, per app.
+    ops_before: BTreeMap<String, f64>,
+    heartbeat_misses: u64,
+    fallback_engagements: u64,
+}
+
+impl ServerAgent {
+    /// Boots the agent: builds the server stack and admits the mix.
+    pub fn new(
+        spec: &ServerSpec,
+        mix: &Mix,
+        kind: PolicyKind,
+        with_battery: bool,
+        initial_cap: Watts,
+        resilient: bool,
+        config: AgentConfig,
+    ) -> Self {
+        let (sim, mediator) = fleet::build_server(spec, mix, kind, with_battery, initial_cap);
+        Self {
+            spec: spec.clone(),
+            mix: mix.clone(),
+            kind,
+            with_battery,
+            resilient,
+            config,
+            sim,
+            mediator,
+            current_cap: initial_cap,
+            last_epoch: 0,
+            steps_since_downlink: 0,
+            needs_cap: false,
+            fallback_engaged: false,
+            clamped: None,
+            ops_before: BTreeMap::new(),
+            heartbeat_misses: 0,
+            fallback_engagements: 0,
+        }
+    }
+
+    /// The cap currently enforced on this server.
+    pub fn current_cap(&self) -> Watts {
+        self.current_cap
+    }
+
+    /// Whether the conservative local fallback cap is in force.
+    pub fn fallback_engaged(&self) -> bool {
+        self.fallback_engaged
+    }
+
+    /// Heartbeat intervals that elapsed with no downlink at all.
+    pub fn heartbeat_misses(&self) -> u64 {
+        self.heartbeat_misses
+    }
+
+    /// Times the fallback cap engaged.
+    pub fn fallback_engagements(&self) -> u64 {
+        self.fallback_engagements
+    }
+
+    /// Plans computed by this incarnation's mediator (re-planning on
+    /// every duplicate downlink is the naive agent's hidden cost).
+    pub fn replans(&self) -> usize {
+        self.mediator.replans()
+    }
+
+    /// Handles the downlinks delivered this step.
+    ///
+    /// Resilient: any delivery resets the silence counter; the
+    /// highest-epoch message is applied when its epoch is newer than the
+    /// last applied one (or not older, while the agent runs on a
+    /// self-chosen fallback/boot cap), so dropped assignments are
+    /// repaired by the next heartbeat and reordered stale assignments
+    /// are discarded. A repair downlink whose cap the agent already
+    /// enforces is acknowledged without touching the mediator: re-sent
+    /// state carries nothing to fix, and a re-plan is not free. Naive:
+    /// every message is applied in arrival order — reordering regresses
+    /// the cap, duplicates re-actuate, and nothing repairs a drop.
+    pub fn receive(&mut self, msgs: &[Downlink]) {
+        if msgs.is_empty() {
+            return;
+        }
+        if !self.resilient {
+            for m in msgs {
+                if let Some(target) = &mut self.clamped {
+                    *target = m.cap;
+                } else {
+                    self.apply(m.cap);
+                }
+            }
+            return;
+        }
+        self.steps_since_downlink = 0;
+        let best = msgs
+            .iter()
+            .max_by_key(|m| m.epoch)
+            .copied()
+            .expect("non-empty");
+        let fresh =
+            best.epoch > self.last_epoch || (self.needs_cap && best.epoch >= self.last_epoch);
+        if fresh {
+            self.last_epoch = best.epoch;
+            self.needs_cap = false;
+            self.fallback_engaged = false;
+            if let Some(target) = &mut self.clamped {
+                // The breaker outranks the manager for the duration of
+                // the hold: remember the assignment, enforce the clamp.
+                *target = best.cap;
+            } else if best.repair && (best.cap - self.current_cap).abs() <= Watts::new(1e-6) {
+                // An equal-value repair has nothing to fix even when the
+                // agent flagged itself: an engaged-but-undecayed fallback
+                // or a boot share that matches the floor left the
+                // mediator exactly where the assignment puts it.
+                self.current_cap = best.cap;
+            } else {
+                self.apply(best.cap);
+            }
+        }
+    }
+
+    /// The facility breaker tripped: slam this server to `floor` until
+    /// [`ServerAgent::emergency_release`], remembering the current cap
+    /// as the restore target. Idempotent while the clamp is in force.
+    pub fn emergency_clamp(&mut self, floor: Watts) {
+        if self.clamped.is_none() {
+            let restore = self.current_cap;
+            self.apply(floor);
+            self.clamped = Some(restore);
+        }
+    }
+
+    /// The breaker's cooldown expired: restore the pre-trip cap (or the
+    /// latest assignment that arrived during the hold). A resilient
+    /// agent also flags itself so the next heartbeat corrects any
+    /// staleness the hold concealed.
+    pub fn emergency_release(&mut self) {
+        if let Some(restore) = self.clamped.take() {
+            if (restore - self.current_cap).abs() > Watts::new(1e-6) {
+                self.apply(restore);
+            } else {
+                self.current_cap = restore;
+            }
+            if self.resilient {
+                self.needs_cap = true;
+            }
+        }
+    }
+
+    fn apply(&mut self, cap: Watts) {
+        self.current_cap = cap;
+        self.mediator.set_cap(&mut self.sim, cap);
+    }
+
+    /// Runs one control step, first advancing the fallback bookkeeping
+    /// (resilient only). Returns the simulation step report; the caller
+    /// accounts energy from its `net_power`.
+    pub fn step(&mut self, dt: Seconds) -> StepReport {
+        if self.resilient {
+            self.steps_since_downlink += 1;
+            let interval = self.config.heartbeat_interval_steps;
+            // A heartbeat is overdue once a full interval elapsed beyond
+            // the expected delivery step (the first interval is grace:
+            // in-flight delays are not misses).
+            if interval > 0
+                && self.steps_since_downlink.is_multiple_of(interval)
+                && self.steps_since_downlink >= 2 * interval
+            {
+                self.heartbeat_misses += 1;
+                let misses = self.steps_since_downlink / interval - 1;
+                if misses >= self.config.fallback_after_misses {
+                    if !self.fallback_engaged {
+                        // Engage on the last acked share; decay starts at
+                        // the next silent interval.
+                        self.fallback_engaged = true;
+                        self.needs_cap = true;
+                        self.fallback_engagements += 1;
+                    } else {
+                        let next = Watts::new(
+                            (self.current_cap - self.config.fallback_decay)
+                                .value()
+                                .max(self.config.floor.value()),
+                        );
+                        if (self.current_cap - next).abs() > Watts::new(1e-6) {
+                            self.apply(next);
+                        }
+                    }
+                }
+            }
+        }
+        self.mediator.step(&mut self.sim, dt)
+    }
+
+    /// The node crashed: bank the work completed so far. The stale
+    /// simulation stays in place until [`ServerAgent::restart`] rebuilds
+    /// it; the run loop must not step a crashed agent.
+    pub fn crash(&mut self) {
+        for app in self.mix.apps() {
+            *self.ops_before.entry(app.name().to_string()).or_default() +=
+                self.sim.ops_done(app.name());
+        }
+    }
+
+    /// The node restarts: applications restart from scratch and the ESD
+    /// resets to its boot state of charge. A resilient node boots at the
+    /// conservative idle floor and waits for the next heartbeat to learn
+    /// its share; a naive node re-applies its stale persisted cap.
+    pub fn restart(&mut self) {
+        let boot_cap = if self.resilient {
+            self.config.floor
+        } else {
+            self.current_cap
+        };
+        let (sim, mediator) = fleet::build_server(
+            &self.spec,
+            &self.mix,
+            self.kind,
+            self.with_battery,
+            boot_cap,
+        );
+        self.sim = sim;
+        self.mediator = mediator;
+        self.current_cap = boot_cap;
+        self.steps_since_downlink = 0;
+        self.needs_cap = self.resilient;
+        self.fallback_engaged = false;
+        self.clamped = None;
+    }
+
+    /// Operations completed by `app` across all incarnations.
+    pub fn total_ops(&self, app: &str) -> f64 {
+        self.ops_before.get(app).copied().unwrap_or(0.0) + self.sim.ops_done(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermed_workloads::mixes;
+
+    const DT: Seconds = Seconds::new(0.5);
+
+    fn agent(resilient: bool) -> ServerAgent {
+        ServerAgent::new(
+            &ServerSpec::xeon_e5_2620(),
+            &mixes::mix(1).unwrap(),
+            PolicyKind::AppResAware,
+            false,
+            Watts::new(100.0),
+            resilient,
+            AgentConfig::default(),
+        )
+    }
+
+    #[test]
+    fn resilient_discards_reordered_stale_assignments() {
+        let mut a = agent(true);
+        a.receive(&[Downlink {
+            epoch: 5,
+            cap: Watts::new(90.0),
+            repair: false,
+        }]);
+        assert_eq!(a.current_cap(), Watts::new(90.0));
+        // A delayed epoch-3 assignment arrives later: discarded.
+        a.receive(&[Downlink {
+            epoch: 3,
+            cap: Watts::new(110.0),
+            repair: false,
+        }]);
+        assert_eq!(a.current_cap(), Watts::new(90.0));
+        // The naive agent applies it and regresses.
+        let mut n = agent(false);
+        n.receive(&[Downlink {
+            epoch: 5,
+            cap: Watts::new(90.0),
+            repair: false,
+        }]);
+        n.receive(&[Downlink {
+            epoch: 3,
+            cap: Watts::new(110.0),
+            repair: false,
+        }]);
+        assert_eq!(n.current_cap(), Watts::new(110.0));
+    }
+
+    #[test]
+    fn silence_engages_fallback_and_decays_to_the_floor() {
+        let mut a = agent(true);
+        a.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(100.0),
+            repair: false,
+        }]);
+        // Total silence: the fallback engages after the configured
+        // misses, then decays 10 W per interval down to the 50 W floor.
+        for _ in 0..60 {
+            a.step(DT);
+        }
+        assert!(a.fallback_engaged());
+        assert_eq!(a.fallback_engagements(), 1);
+        assert!(a.heartbeat_misses() >= 3);
+        assert_eq!(a.current_cap(), Watts::new(50.0));
+        // The next heartbeat (same epoch — nothing was reapportioned)
+        // restores the manager's cap because the agent flagged itself.
+        a.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(100.0),
+            repair: false,
+        }]);
+        assert!(!a.fallback_engaged());
+        assert_eq!(a.current_cap(), Watts::new(100.0));
+    }
+
+    #[test]
+    fn on_time_heartbeats_never_count_misses() {
+        let mut a = agent(true);
+        for step in 0..40u64 {
+            if step % 4 == 0 {
+                a.receive(&[Downlink {
+                    epoch: 0,
+                    cap: Watts::new(100.0),
+                    repair: false,
+                }]);
+            }
+            a.step(DT);
+        }
+        assert_eq!(a.heartbeat_misses(), 0);
+        assert!(!a.fallback_engaged());
+    }
+
+    #[test]
+    fn restart_banks_ops_and_boots_conservatively() {
+        let mut a = agent(true);
+        a.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(100.0),
+            repair: false,
+        }]);
+        for _ in 0..20 {
+            a.step(DT);
+        }
+        let mix = mixes::mix(1).unwrap();
+        let done_before: f64 = mix.apps().iter().map(|p| a.total_ops(p.name())).sum();
+        assert!(done_before > 0.0);
+        a.crash();
+        a.restart();
+        assert_eq!(
+            a.current_cap(),
+            Watts::new(50.0),
+            "resilient reboot starts at the floor"
+        );
+        let banked: f64 = mix.apps().iter().map(|p| a.total_ops(p.name())).sum();
+        assert!((banked - done_before).abs() < 1e-9, "work survives");
+        // The next heartbeat hands the share back even at an old epoch.
+        a.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(95.0),
+            repair: false,
+        }]);
+        assert_eq!(a.current_cap(), Watts::new(95.0));
+        // A naive reboot re-applies the stale persisted cap instead.
+        let mut n = agent(false);
+        n.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(110.0),
+            repair: false,
+        }]);
+        n.crash();
+        n.restart();
+        assert_eq!(n.current_cap(), Watts::new(110.0));
+    }
+    #[test]
+    fn settled_agent_acknowledges_same_value_repairs_without_replanning() {
+        let mut a = agent(true);
+        a.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(90.0),
+            repair: false,
+        }]);
+        let planned = a.replans();
+        // A failover or membership re-broadcast re-sends the same cap at
+        // a fresh epoch: the epoch advances but the mediator is left
+        // alone.
+        a.receive(&[Downlink {
+            epoch: 2,
+            cap: Watts::new(90.0),
+            repair: true,
+        }]);
+        assert_eq!(a.replans(), planned, "no re-plan for re-sent state");
+        assert_eq!(a.current_cap(), Watts::new(90.0));
+        // A repair carrying a *different* value is a real correction.
+        a.receive(&[Downlink {
+            epoch: 3,
+            cap: Watts::new(80.0),
+            repair: true,
+        }]);
+        assert!(a.replans() > planned);
+        assert_eq!(a.current_cap(), Watts::new(80.0));
+        // A stale-epoch repair is discarded like any stale downlink.
+        a.receive(&[Downlink {
+            epoch: 2,
+            cap: Watts::new(120.0),
+            repair: true,
+        }]);
+        assert_eq!(a.current_cap(), Watts::new(80.0));
+        // The naive agent re-plans on every duplicate it receives.
+        let mut n = agent(false);
+        n.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(90.0),
+            repair: false,
+        }]);
+        let planned = n.replans();
+        n.receive(&[Downlink {
+            epoch: 1,
+            cap: Watts::new(90.0),
+            repair: false,
+        }]);
+        assert!(n.replans() > planned);
+    }
+
+    #[test]
+    fn emergency_clamp_outranks_downlinks_until_release() {
+        for resilient in [true, false] {
+            let mut a = agent(resilient);
+            a.receive(&[Downlink {
+                epoch: 1,
+                cap: Watts::new(100.0),
+                repair: false,
+            }]);
+            a.emergency_clamp(Watts::new(50.0));
+            assert_eq!(a.current_cap(), Watts::new(50.0));
+            // A fresh assignment during the hold must not lift the
+            // clamp, but becomes the restore target.
+            a.receive(&[Downlink {
+                epoch: 2,
+                cap: Watts::new(90.0),
+                repair: false,
+            }]);
+            assert_eq!(a.current_cap(), Watts::new(50.0));
+            // Clamping is idempotent while the hold lasts.
+            a.emergency_clamp(Watts::new(50.0));
+            a.emergency_release();
+            assert_eq!(a.current_cap(), Watts::new(90.0));
+            // A release with no clamp in force is a no-op.
+            a.emergency_release();
+            assert_eq!(a.current_cap(), Watts::new(90.0));
+        }
+    }
+}

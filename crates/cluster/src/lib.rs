@@ -15,6 +15,15 @@
 //! * **Consolidation+Migration(no cap)** — power only as many servers as
 //!   the budget allows, migrate applications onto them, and cap nothing.
 //!
+//! The capping strategies run on an explicit **control plane**
+//! ([`control`]): the manager sends cap-assignment downlinks to one
+//! agent per server ([`agent`]), agents report telemetry uplinks back,
+//! and the message layer in between can inject deterministic, seeded
+//! faults — drops, delays, node churn, partitions, manager failover —
+//! to measure how gracefully the cluster tier degrades. With faults
+//! disabled the control plane reproduces the original monolithic loops
+//! bit-for-bit.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -32,8 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agent;
+pub mod control;
+pub mod fleet;
 pub mod manager;
 pub mod trace;
 
+pub use agent::{AgentConfig, ServerAgent};
+pub use control::{
+    ClusterFaultConfig, ControlOptions, ControlPlane, ManagedPolicy, ManagerConfig,
+    PartitionWindow, ResilienceReport,
+};
 pub use manager::{ClusterManager, ClusterPolicy, ClusterReport};
 pub use trace::ClusterPowerTrace;

@@ -1,17 +1,13 @@
 //! The cluster manager and the three evaluated cluster policies.
 
-use powermed_core::coordinator::EsdParams;
-use powermed_core::measurement::AppMeasurement;
-use powermed_core::policy::{PolicyKind, PowerPolicy};
-use powermed_core::runtime::PowerMediator;
-use powermed_esd::{LeadAcidBattery, NoEsd};
+use powermed_core::policy::PolicyKind;
 use powermed_server::{KnobSetting, ServerSpec};
-use powermed_sim::engine::ServerSim;
-use powermed_units::{Joules, Ratio, Seconds, Watts};
+use powermed_units::{Joules, Seconds, Watts};
 use powermed_workloads::mixes::{self, Mix};
 use powermed_workloads::profile::AppProfile;
 use serde::{Deserialize, Serialize};
 
+use crate::control::{self, Apportionment, ControlOptions, ManagedPolicy};
 use crate::trace::ClusterPowerTrace;
 
 /// Nominal draw of one fully loaded server, used by the consolidation
@@ -71,6 +67,26 @@ pub struct ClusterReport {
     pub per_app_perf: Vec<f64>,
 }
 
+impl ClusterReport {
+    /// Builds a report from per-application normalized throughputs and
+    /// the total energy drawn.
+    pub fn from_parts(policy: ClusterPolicy, per_app_perf: Vec<f64>, energy: Joules) -> Self {
+        let aggregate = if per_app_perf.is_empty() {
+            0.0
+        } else {
+            per_app_perf.iter().sum::<f64>() / per_app_perf.len() as f64
+        };
+        let kj = (energy.value() / 1000.0).max(1e-9);
+        ClusterReport {
+            policy,
+            aggregate_normalized_perf: aggregate,
+            energy,
+            perf_per_kilojoule: aggregate / kj,
+            per_app_perf,
+        }
+    }
+}
+
 /// Drives a fixed fleet of shared servers through a cap schedule.
 #[derive(Debug, Clone)]
 pub struct ClusterManager {
@@ -118,93 +134,45 @@ impl ClusterManager {
     }
 
     /// The utility-aware apportionment extension: per-server value
-    /// curves are computed from each server's application measurements,
+    /// curves are computed from each server's application measurements
+    /// (through the shared [`powermed_core::cache::MeasurementCache`]),
     /// then the cluster cap is split by an exact knapsack-style DP over
     /// 5 W increments whenever the trace changes.
     fn run_unequal(&self, trace: &ClusterPowerTrace, dt: Seconds) -> ClusterReport {
-        let spec = ServerSpec::xeon_e5_2620();
-        let duration = trace.duration();
-        let mixes = self.workload();
+        self.run_managed(ManagedPolicy::unequal_ours(), trace, dt)
+    }
 
-        let mut sims: Vec<ServerSim> = (0..self.servers)
-            .map(|_| {
-                ServerSim::new(
-                    spec.clone(),
-                    Box::new(LeadAcidBattery::server_ups().with_soc(0.5)),
-                )
-            })
-            .collect();
-        let initial_cap = trace.at(Seconds::ZERO) / self.servers as f64;
-        let mut mediators: Vec<PowerMediator> = (0..self.servers)
-            .map(|_| PowerMediator::new(PolicyKind::AppResEsdAware, spec.clone(), initial_cap))
-            .collect();
+    /// Runs `policy` through the manager ↔ agent control plane with a
+    /// fault-free network — the same loop the fault experiments use,
+    /// which with faults off is bit-identical to the original monolithic
+    /// per-policy loops.
+    fn run_managed(
+        &self,
+        policy: ManagedPolicy,
+        trace: &ClusterPowerTrace,
+        dt: Seconds,
+    ) -> ClusterReport {
+        control::run_cluster(
+            &self.workload(),
+            policy,
+            trace,
+            dt,
+            &ControlOptions::perfect(self.seed),
+        )
+        .report
+    }
 
-        let mut nocap_rates: Vec<Vec<(String, f64)>> = Vec::with_capacity(self.servers);
-        for (i, mix) in mixes.iter().enumerate() {
-            for app in [&mix.app1, &mix.app2] {
-                mediators[i]
-                    .admit(&mut sims[i], app.clone())
-                    .expect("two apps fit on a server");
-            }
-            nocap_rates.push(
-                [&mix.app1, &mix.app2]
-                    .iter()
-                    .map(|p| (p.name().to_string(), p.uncapped(&spec).throughput))
-                    .collect(),
-            );
-        }
-
-        // Per-server value curves over candidate caps.
-        let esd = EsdParams {
-            efficiency: Ratio::new(0.75),
-            max_discharge: Watts::new(100.0),
-            max_charge: Watts::new(50.0),
-        };
-        let policy = PowerPolicy::new(PolicyKind::AppResEsdAware, spec.clone());
-        let curves: Vec<Vec<(Watts, f64)>> = mixes
-            .iter()
-            .map(|mix| {
-                let a = AppMeasurement::exhaustive(&spec, &mix.app1);
-                let b = AppMeasurement::exhaustive(&spec, &mix.app2);
-                let apps = [(mix.app1.name(), &a), (mix.app2.name(), &b)];
-                Self::candidate_caps()
-                    .map(|cap| {
-                        let schedule = policy.plan(&apps, cap, Some(esd));
-                        (cap, schedule.expected_mean_normalized(&apps))
-                    })
-                    .collect()
-            })
-            .collect();
-
-        let steps = (duration.value() / dt.value()).ceil() as u64;
-        let simulated = Seconds::new(steps as f64 * dt.value());
-        let mut current_total = Watts::ZERO;
-        let mut energy = Joules::ZERO;
-        let mut now = Seconds::ZERO;
-        for _ in 0..steps {
-            let total = trace.at(now);
-            if (total - current_total).abs() > Watts::new(1e-6) {
-                current_total = total;
-                let caps = Self::apportion_cluster(&curves, total);
-                for (i, med) in mediators.iter_mut().enumerate() {
-                    med.set_cap(&mut sims[i], caps[i]);
-                }
-            }
-            for (i, med) in mediators.iter_mut().enumerate() {
-                let report = med.step(&mut sims[i], dt);
-                energy += report.net_power * dt;
-            }
-            now += dt;
-        }
-
-        let mut per_app_perf = Vec::new();
-        for (i, rates) in nocap_rates.iter().enumerate() {
-            for (name, rate) in rates {
-                let done = sims[i].ops_done(name);
-                per_app_perf.push(done / (rate * simulated.value()));
-            }
-        }
-        Self::report(ClusterPolicy::UnequalOurs, per_app_perf, energy)
+    /// Runs `policy` through the control plane under an explicit fault
+    /// and resilience configuration, returning the full resilience
+    /// report (violation-seconds, fault counters, telemetry series).
+    pub fn run_with_control(
+        &self,
+        policy: ManagedPolicy,
+        trace: &ClusterPowerTrace,
+        dt: Seconds,
+        options: &ControlOptions,
+    ) -> crate::control::ResilienceReport {
+        control::run_cluster(&self.workload(), policy, trace, dt, options)
     }
 
     /// Candidate per-server caps: 50 W (parked at idle) through 115 W in
@@ -223,18 +191,22 @@ impl ClusterManager {
         const STEP: f64 = 5.0;
         let levels = (total.value() / STEP).floor().max(0.0) as usize;
         let mut best = vec![0.0f64; levels + 1];
-        let mut keep: Vec<Vec<usize>> = Vec::with_capacity(curves.len());
+        // `choice[b]` is `None` where no cap combination reaches budget
+        // level `b` (that cell's value stays -inf); a backtrack through
+        // such a cell would previously read a bogus index 0 and could
+        // underflow `b` at near-floor budgets.
+        let mut keep: Vec<Vec<Option<usize>>> = Vec::with_capacity(curves.len());
         for curve in curves {
             let mut next = vec![f64::NEG_INFINITY; levels + 1];
-            let mut choice = vec![0usize; levels + 1];
+            let mut choice: Vec<Option<usize>> = vec![None; levels + 1];
             for b in 0..=levels {
                 for (ci, (cap, value)) in curve.iter().enumerate() {
                     let need = (cap.value() / STEP).ceil() as usize;
-                    if need <= b {
+                    if need <= b && best[b - need].is_finite() {
                         let v = best[b - need] + value;
                         if v > next[b] {
                             next[b] = v;
-                            choice[b] = ci;
+                            choice[b] = Some(ci);
                         }
                     }
                 }
@@ -250,9 +222,18 @@ impl ClusterManager {
         let mut caps = vec![Watts::new(50.0); curves.len()];
         let mut b = levels;
         for i in (0..curves.len()).rev() {
-            let ci = keep[i][b];
+            let Some(ci) = keep[i][b] else {
+                // A finite root guarantees a recorded choice at every
+                // backtrack cell; guard anyway (NaN curve values can
+                // break the invariant) and keep the floor fallback.
+                return vec![Watts::new(50.0); curves.len()];
+            };
             caps[i] = curves[i][ci].0;
-            b -= (caps[i].value() / STEP).ceil() as usize;
+            let need = (caps[i].value() / STEP).ceil() as usize;
+            let Some(rest) = b.checked_sub(need) else {
+                return vec![Watts::new(50.0); curves.len()];
+            };
+            b = rest;
         }
         caps
     }
@@ -265,71 +246,13 @@ impl ClusterManager {
         trace: &ClusterPowerTrace,
         dt: Seconds,
     ) -> ClusterReport {
-        let spec = ServerSpec::xeon_e5_2620();
-        let duration = trace.duration();
-        let mixes = self.workload();
-
-        let mut sims: Vec<ServerSim> = (0..self.servers)
-            .map(|_| {
-                if with_battery {
-                    ServerSim::new(
-                        spec.clone(),
-                        Box::new(LeadAcidBattery::server_ups().with_soc(0.5)),
-                    )
-                } else {
-                    ServerSim::new(spec.clone(), Box::new(NoEsd))
-                }
-            })
-            .collect();
-
-        let initial_cap = trace.at(Seconds::ZERO) / self.servers as f64;
-        let mut mediators: Vec<PowerMediator> = (0..self.servers)
-            .map(|_| PowerMediator::new(kind, spec.clone(), initial_cap))
-            .collect();
-
-        let mut nocap_rates: Vec<Vec<(String, f64)>> = Vec::with_capacity(self.servers);
-        for (i, mix) in mixes.iter().enumerate() {
-            for app in [&mix.app1, &mix.app2] {
-                mediators[i]
-                    .admit(&mut sims[i], app.clone())
-                    .expect("two apps fit on a server");
-            }
-            nocap_rates.push(
-                [&mix.app1, &mix.app2]
-                    .iter()
-                    .map(|p| (p.name().to_string(), p.uncapped(&spec).throughput))
-                    .collect(),
-            );
-        }
-
-        let steps = (duration.value() / dt.value()).ceil() as u64;
-        let simulated = Seconds::new(steps as f64 * dt.value());
-        let mut current_cap = initial_cap;
-        let mut energy = Joules::ZERO;
-        let mut now = Seconds::ZERO;
-        for _ in 0..steps {
-            let cap = trace.at(now) / self.servers as f64;
-            if (cap - current_cap).abs() > Watts::new(1e-6) {
-                current_cap = cap;
-                for (i, med) in mediators.iter_mut().enumerate() {
-                    med.set_cap(&mut sims[i], cap);
-                }
-            }
-            for (i, med) in mediators.iter_mut().enumerate() {
-                let report = med.step(&mut sims[i], dt);
-                energy += report.net_power * dt;
-            }
-            now += dt;
-        }
-
-        let mut per_app_perf = Vec::new();
-        for (i, rates) in nocap_rates.iter().enumerate() {
-            for (name, rate) in rates {
-                let done = sims[i].ops_done(name);
-                per_app_perf.push(done / (rate * simulated.value()));
-            }
-        }
-        Self::report(policy, per_app_perf, energy)
+        let managed = ManagedPolicy {
+            label: policy,
+            kind,
+            with_battery,
+            apportionment: Apportionment::Equal,
+        };
+        self.run_managed(managed, trace, dt)
     }
 
     /// The consolidation baseline, evaluated analytically: at each trace
@@ -392,23 +315,7 @@ impl ClusterManager {
             .zip(&nocap)
             .map(|(o, r)| o / (r * simulated.value()))
             .collect();
-        Self::report(ClusterPolicy::ConsolidationMigration, per_app_perf, energy)
-    }
-
-    fn report(policy: ClusterPolicy, per_app_perf: Vec<f64>, energy: Joules) -> ClusterReport {
-        let aggregate = if per_app_perf.is_empty() {
-            0.0
-        } else {
-            per_app_perf.iter().sum::<f64>() / per_app_perf.len() as f64
-        };
-        let kj = (energy.value() / 1000.0).max(1e-9);
-        ClusterReport {
-            policy,
-            aggregate_normalized_perf: aggregate,
-            energy,
-            perf_per_kilojoule: aggregate / kj,
-            per_app_perf,
-        }
+        ClusterReport::from_parts(ClusterPolicy::ConsolidationMigration, per_app_perf, energy)
     }
 }
 
@@ -506,6 +413,56 @@ mod tests {
         // The more valuable server gets the larger share.
         assert!(caps[0] >= caps[1], "{caps:?}");
         assert_eq!(caps[0], Watts::new(115.0));
+    }
+
+    #[test]
+    fn cluster_dp_minimal_budget_backtracks_without_underflow() {
+        // Near-floor budgets: intermediate DP cells are unreachable
+        // (-inf) and the backtrack used to read a bogus choice index 0
+        // there, underflowing `b`. Two servers need 100 W of floors.
+        let curve: Vec<(Watts, f64)> = ClusterManager::candidate_caps()
+            .map(|c| (c, c.value() - 50.0))
+            .collect();
+        let curves = vec![curve.clone(), curve.clone()];
+        for total in [100.0, 100.1, 104.9, 105.0, 109.9] {
+            let caps = ClusterManager::apportion_cluster(&curves, Watts::new(total));
+            let sum: f64 = caps.iter().map(|c| c.value()).sum();
+            assert!(sum <= total + 1e-9, "total {total}: {caps:?}");
+            assert!(
+                caps.iter().all(|c| *c >= Watts::new(50.0)),
+                "total {total}: {caps:?}"
+            );
+        }
+        // Exactly one 5 W increment above the floors: someone gets 55 W.
+        let caps = ClusterManager::apportion_cluster(&curves, Watts::new(105.0));
+        let sum: f64 = caps.iter().map(|c| c.value()).sum();
+        assert_eq!(sum, 105.0, "{caps:?}");
+    }
+
+    #[test]
+    fn cluster_dp_below_aggregate_floor_falls_back_to_floors() {
+        let curve: Vec<(Watts, f64)> = ClusterManager::candidate_caps()
+            .map(|c| (c, c.value()))
+            .collect();
+        let curves = vec![curve.clone(), curve.clone()];
+        for total in [0.0, 49.0, 99.9] {
+            let caps = ClusterManager::apportion_cluster(&curves, Watts::new(total));
+            assert_eq!(caps, vec![Watts::new(50.0); 2], "total {total}");
+        }
+        // Degenerate inputs: no servers at all.
+        assert!(ClusterManager::apportion_cluster(&[], Watts::new(500.0)).is_empty());
+    }
+
+    #[test]
+    fn cluster_dp_nan_curve_values_fall_back_to_floors() {
+        // NaN values poison the DP comparisons; the guard must fall back
+        // to floors instead of panicking or underflowing.
+        let bad: Vec<(Watts, f64)> = ClusterManager::candidate_caps()
+            .map(|c| (c, f64::NAN))
+            .collect();
+        let curves = vec![bad.clone(), bad];
+        let caps = ClusterManager::apportion_cluster(&curves, Watts::new(200.0));
+        assert_eq!(caps, vec![Watts::new(50.0); 2]);
     }
 
     #[test]

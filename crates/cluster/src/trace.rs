@@ -218,4 +218,62 @@ mod tests {
             (Seconds::new(1.0), Watts::new(1.0)),
         ]);
     }
+
+    #[test]
+    fn zero_duration_single_sample_trace() {
+        // One sample at t = 0 is a degenerate but legal trace: duration
+        // is zero, lookups return that sample everywhere, and the
+        // transforms keep it a single sample.
+        let t = ClusterPowerTrace::from_samples(vec![(Seconds::ZERO, Watts::new(500.0))]);
+        assert_eq!(t.duration(), Seconds::ZERO);
+        assert_eq!(t.at(Seconds::ZERO), Watts::new(500.0));
+        assert_eq!(t.at(Seconds::new(1e6)), Watts::new(500.0));
+        assert_eq!(t.peak(), Watts::new(500.0));
+        let shaved = t.peak_shaved(Ratio::new(0.30));
+        assert_eq!(shaved.samples().len(), 1);
+        assert_eq!(shaved.at(Seconds::ZERO), Watts::new(350.0));
+        assert_eq!(
+            shaved.clamped_below(Watts::new(400.0)).at(Seconds::ZERO),
+            Watts::new(400.0)
+        );
+    }
+
+    #[test]
+    fn shave_ratio_zero_is_identity() {
+        let t = trace();
+        let shaved = t.peak_shaved(Ratio::new(0.0));
+        // Clipping at 100% of the peak changes nothing.
+        assert_eq!(t, shaved);
+    }
+
+    #[test]
+    #[should_panic(expected = "shave fraction in [0, 1)")]
+    fn shave_ratio_one_is_rejected() {
+        // Shaving the whole peak would leave a 0 W cap: unenforceable,
+        // and excluded by the documented [0, 1) domain.
+        let _ = trace().peak_shaved(Ratio::new(1.0));
+    }
+
+    #[test]
+    fn clamp_interacts_with_the_per_server_floor() {
+        // 10 servers × 50 W idle floor: a stringent shave can dip the
+        // cap below what power management can enforce; the clamp holds
+        // the schedule at the fleet floor while leaving the rest alone.
+        let servers = 10usize;
+        let fleet_floor = Watts::new(50.0 * servers as f64);
+        let t = ClusterPowerTrace::from_samples(vec![
+            (Seconds::new(0.0), Watts::new(450.0)),  // below the floor
+            (Seconds::new(10.0), Watts::new(500.0)), // exactly the floor
+            (Seconds::new(20.0), Watts::new(900.0)), // above the floor
+        ]);
+        let clamped = t.clamped_below(fleet_floor);
+        assert_eq!(clamped.at(Seconds::new(0.0)), fleet_floor);
+        assert_eq!(clamped.at(Seconds::new(10.0)), fleet_floor);
+        assert_eq!(clamped.at(Seconds::new(20.0)), Watts::new(900.0));
+        // An equal split of the clamped schedule never assigns a server
+        // less than its own 50 W floor.
+        for (_, w) in clamped.samples() {
+            assert!(*w / servers as f64 >= Watts::new(50.0));
+        }
+    }
 }

@@ -211,15 +211,25 @@ pub struct FaultInjector {
     crashed: BTreeMap<String, u64>,
 }
 
+/// Derives one independent splitmix64-backed stream for channel `tag`
+/// of scenario `seed` — the per-channel derivation the injector uses so
+/// enabling one fault channel never perturbs another's draw sequence.
+/// Exported so higher layers (the cluster control plane) reuse the same
+/// pattern with their own tag space instead of inventing a second
+/// seeding scheme.
+pub fn channel_stream(seed: u64, tag: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ tag)
+}
+
 impl FaultInjector {
     /// Creates an injector for `config`, deriving one independent
     /// stream per fault channel so enabling one channel never perturbs
     /// another's sequence.
     pub fn new(config: FaultConfig) -> Self {
         Self {
-            knob_rng: StdRng::seed_from_u64(config.seed ^ 0xA001),
-            meter_rng: StdRng::seed_from_u64(config.seed ^ 0xB002),
-            app_rng: StdRng::seed_from_u64(config.seed ^ 0xC003),
+            knob_rng: channel_stream(config.seed, 0xA001),
+            meter_rng: channel_stream(config.seed, 0xB002),
+            app_rng: channel_stream(config.seed, 0xC003),
             config,
             step: 0,
             now: Seconds::ZERO,
@@ -533,6 +543,16 @@ mod tests {
         let s = inj.stats();
         assert_eq!(s.app_crashes, 1);
         assert_eq!(s.app_restarts, 1);
+    }
+
+    #[test]
+    fn channel_streams_are_deterministic_and_independent_per_tag() {
+        let mut a = channel_stream(9, 0xA001);
+        let mut a_again = channel_stream(9, 0xA001);
+        let mut b = channel_stream(9, 0xB002);
+        let first: f64 = a.gen_range(0.0..1.0);
+        assert_eq!(first, a_again.gen_range(0.0..1.0), "same (seed, tag)");
+        assert_ne!(first, b.gen_range(0.0..1.0), "different tag diverges");
     }
 
     #[test]

@@ -70,6 +70,78 @@ pub struct HardeningStats {
     pub skipped_calibrations: u64,
 }
 
+/// Counters for the cluster control plane: faults injected into the
+/// manager ↔ agent message layer plus the resilient tier's responses.
+///
+/// The injected half is filled by the control plane's fault source; the
+/// response half by the resilient manager (failovers, dead declarations,
+/// reapportionments, checkpoints) and the per-server agents (heartbeat
+/// misses, fallback engagements). A naive manager leaves the response
+/// half at zero, and a fault-free run leaves the injected half at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterControlStats {
+    /// Cap-assignment / heartbeat downlinks dropped in flight.
+    pub downlinks_dropped: u64,
+    /// Downlinks delivered late (delayed by at least one step).
+    pub downlinks_delayed: u64,
+    /// Telemetry uplinks dropped in flight.
+    pub uplinks_dropped: u64,
+    /// Telemetry uplinks delivered stale (delayed by at least one step).
+    pub uplinks_delayed: u64,
+    /// Messages lost because the destination node was down or the
+    /// manager was dead when they would have been handled.
+    pub messages_lost_endpoint_down: u64,
+    /// Whole-node crash events (apps restart, ESD state resets).
+    pub node_crashes: u64,
+    /// Node restart events (a crashed node rejoined the fleet).
+    pub node_restarts: u64,
+    /// Manager heartbeat intervals that elapsed with no downlink at all
+    /// (counted by the agents).
+    pub heartbeat_misses: u64,
+    /// Agents that engaged the conservative local fallback cap.
+    pub fallback_engagements: u64,
+    /// Manager failovers (standby took over from the checkpoint).
+    pub manager_failovers: u64,
+    /// Checkpoints of the manager's apportionment state.
+    pub checkpoints: u64,
+    /// Nodes the manager declared dead on missed telemetry.
+    pub dead_declarations: u64,
+    /// Dead-declared nodes that rejoined (their share is returned).
+    pub rejoins: u64,
+    /// Cluster cap reapportionments (trace changes excluded: only the
+    /// membership- or failover-driven recomputations count here).
+    pub reapportionments: u64,
+    /// Facility-protection trips: sustained budget overdraw slammed the
+    /// fleet to the floor cap for a cooldown. A *consequence* of
+    /// violations rather than an injected fault or a control-plane
+    /// response, so excluded from both event sums.
+    pub breaker_trips: u64,
+}
+
+impl ClusterControlStats {
+    /// Total control-plane fault events injected (drops, delays, node
+    /// churn, endpoint losses — the environment, not the responses).
+    pub fn injected_events(&self) -> u64 {
+        self.downlinks_dropped
+            + self.downlinks_delayed
+            + self.uplinks_dropped
+            + self.uplinks_delayed
+            + self.messages_lost_endpoint_down
+            + self.node_crashes
+            + self.node_restarts
+    }
+
+    /// Total resilient-tier responses (zero for a naive manager).
+    pub fn response_events(&self) -> u64 {
+        self.heartbeat_misses
+            + self.fallback_engagements
+            + self.manager_failovers
+            + self.dead_declarations
+            + self.rejoins
+            + self.reapportionments
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +168,35 @@ mod tests {
         let h = HardeningStats::default();
         assert_eq!(h.retries, 0);
         assert_eq!(h.safe_mode_entries, 0);
+        let c = ClusterControlStats::default();
+        assert_eq!(c.injected_events(), 0);
+        assert_eq!(c.response_events(), 0);
+    }
+
+    #[test]
+    fn cluster_totals_split_injection_from_response() {
+        let c = ClusterControlStats {
+            downlinks_dropped: 1,
+            downlinks_delayed: 2,
+            uplinks_dropped: 3,
+            uplinks_delayed: 4,
+            messages_lost_endpoint_down: 5,
+            node_crashes: 6,
+            node_restarts: 7,
+            heartbeat_misses: 10,
+            fallback_engagements: 20,
+            manager_failovers: 30,
+            checkpoints: 1000,
+            dead_declarations: 40,
+            rejoins: 50,
+            reapportionments: 60,
+            breaker_trips: 9,
+        };
+        assert_eq!(c.injected_events(), 28);
+        assert_eq!(
+            c.response_events(),
+            210,
+            "checkpoints are routine and breaker trips are consequences, not responses"
+        );
     }
 }
