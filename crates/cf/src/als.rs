@@ -56,6 +56,24 @@ pub struct FoldedRow {
     factors: Vec<f64>,
 }
 
+impl FoldedRow {
+    /// Rebuilds a row from stored components (e.g. a profile-store
+    /// snapshot). The inverse of [`FoldedRow::bias`] + [`FoldedRow::factors`].
+    pub fn new(bias: f64, factors: Vec<f64>) -> Self {
+        Self { bias, factors }
+    }
+
+    /// The row's bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The row's latent factors.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+}
+
 impl Completion {
     /// Fits the model to sparse observations `(row, col, value)` on an
     /// `rows × cols` matrix.
@@ -190,11 +208,22 @@ impl Completion {
     /// Estimates factors for a **new** row from sparse observations
     /// `(col, value)`, without refitting the corpus.
     ///
+    /// With no observations there is nothing to regress against, so the
+    /// row degenerates to zero bias and zero factors — predictions then
+    /// reduce to `μ + b_i`, the model's column means — rather than
+    /// panicking (a warm-started admission may legitimately have every
+    /// sampled column already covered by a prior).
+    ///
     /// # Panics
     ///
-    /// Panics if `observed` is empty or a column is out of range.
+    /// Panics if a column is out of range.
     pub fn fold_in(&self, observed: &[(usize, f64)]) -> FoldedRow {
-        assert!(!observed.is_empty(), "fold-in needs at least one sample");
+        if observed.is_empty() {
+            return FoldedRow {
+                bias: 0.0,
+                factors: vec![0.0; self.factors],
+            };
+        }
         for &(c, _) in observed {
             assert!(c < self.item_bias.len(), "column {c} out of range");
         }
@@ -354,11 +383,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fold-in needs")]
-    fn empty_fold_in_panics() {
+    fn empty_fold_in_predicts_column_means() {
         let dense = synthetic(4, 8);
         let train = entries_from(&dense, |_, _| true);
         let model = Completion::fit(4, 8, &train, FitConfig::default());
-        let _ = model.fold_in(&[]);
+        let folded = model.fold_in(&[]);
+        assert_eq!(folded.bias(), 0.0);
+        assert!(folded.factors().iter().all(|&f| f == 0.0));
+        // Predictions collapse to μ + b_i: the model's column means.
+        for (c, pred) in model.predict_row(&folded).into_iter().enumerate() {
+            assert!(pred.is_finite());
+            assert_eq!(pred, model.mean() + model.item_bias[c]);
+        }
+    }
+
+    #[test]
+    fn folded_row_accessors_round_trip() {
+        let row = FoldedRow::new(0.25, vec![1.0, -2.0]);
+        assert_eq!(FoldedRow::new(row.bias(), row.factors().to_vec()), row);
     }
 }

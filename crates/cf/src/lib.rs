@@ -40,7 +40,7 @@ pub mod linalg;
 pub mod matrix;
 pub mod sampler;
 
-pub use als::Completion;
+pub use als::{Completion, FitConfig, FoldedRow};
 pub use crossval::{CrossValidator, FoldReport};
 pub use matrix::UtilityMatrix;
 pub use sampler::SparseSampler;

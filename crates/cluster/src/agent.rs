@@ -21,13 +21,15 @@ use std::collections::BTreeMap;
 
 use powermed_core::policy::PolicyKind;
 use powermed_core::runtime::PowerMediator;
+use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore};
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{ServerSim, StepReport};
+use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::Mix;
 
-use crate::control::Downlink;
-use crate::fleet;
+use crate::control::{Downlink, WarmStartOptions};
+use crate::fleet::{self, WarmBoot};
 
 /// Tuning of the resilient agent's fallback behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +95,18 @@ pub struct ServerAgent {
     ops_before: BTreeMap<String, f64>,
     heartbeat_misses: u64,
     fallback_engagements: u64,
+    /// Fleet-wide provenance id stamped on profiles this server measures.
+    server_id: u64,
+    /// Online calibration + knowledge-plane configuration, if enabled.
+    warm: Option<WarmStartOptions>,
+    /// Crash-durable store image: taken on [`ServerAgent::crash`],
+    /// restored by [`ServerAgent::restart`] (local disk survives a
+    /// reboot even though the applications and ESD state do not).
+    store_snapshot: Option<String>,
+    /// Probe accounting banked from previous incarnations.
+    probes_before: ProbeSplit,
+    /// Store counters banked from previous incarnations.
+    store_stats_before: ProfileStoreStats,
 }
 
 impl ServerAgent {
@@ -106,7 +120,40 @@ impl ServerAgent {
         resilient: bool,
         config: AgentConfig,
     ) -> Self {
-        let (sim, mediator) = fleet::build_server(spec, mix, kind, with_battery, initial_cap);
+        Self::new_with(
+            spec,
+            mix,
+            kind,
+            with_battery,
+            initial_cap,
+            resilient,
+            config,
+            0,
+            None,
+        )
+    }
+
+    /// [`ServerAgent::new`] with a fleet-wide `server_id` and optional
+    /// warm-start configuration (online calibration + knowledge plane).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with(
+        spec: &ServerSpec,
+        mix: &Mix,
+        kind: PolicyKind,
+        with_battery: bool,
+        initial_cap: Watts,
+        resilient: bool,
+        config: AgentConfig,
+        server_id: u64,
+        warm: Option<&WarmStartOptions>,
+    ) -> Self {
+        let boot = warm.map(|w| WarmBoot {
+            store: w.store.map(ProfileStore::new),
+            server_id,
+            sampling_fraction: w.sampling_fraction,
+        });
+        let (sim, mediator) =
+            fleet::build_server_with(spec, mix, kind, with_battery, initial_cap, boot);
         Self {
             spec: spec.clone(),
             mix: mix.clone(),
@@ -125,6 +172,11 @@ impl ServerAgent {
             ops_before: BTreeMap::new(),
             heartbeat_misses: 0,
             fallback_engagements: 0,
+            server_id,
+            warm: warm.cloned(),
+            store_snapshot: None,
+            probes_before: ProbeSplit::default(),
+            store_stats_before: ProfileStoreStats::default(),
         }
     }
 
@@ -170,6 +222,17 @@ impl ServerAgent {
         if msgs.is_empty() {
             return;
         }
+        // Knowledge-plane payloads merge unconditionally — digests form
+        // a semilattice, so even a stale or reordered downlink can only
+        // add knowledge, never regress it.
+        for m in msgs {
+            if !m.profiles.is_empty() {
+                self.mediator.absorb_digests(&m.profiles);
+            }
+        }
+        if let Some(freshest) = msgs.iter().map(|m| m.epoch).max() {
+            self.mediator.set_store_epoch(freshest);
+        }
         if !self.resilient {
             for m in msgs {
                 if let Some(target) = &mut self.clamped {
@@ -181,11 +244,8 @@ impl ServerAgent {
             return;
         }
         self.steps_since_downlink = 0;
-        let best = msgs
-            .iter()
-            .max_by_key(|m| m.epoch)
-            .copied()
-            .expect("non-empty");
+        let best = msgs.iter().max_by_key(|m| m.epoch).expect("non-empty");
+        let best = Downlink::assignment(best.epoch, best.cap, best.repair);
         let fresh =
             best.epoch > self.last_epoch || (self.needs_cap && best.epoch >= self.last_epoch);
         if fresh {
@@ -280,32 +340,52 @@ impl ServerAgent {
         self.mediator.step(&mut self.sim, dt)
     }
 
-    /// The node crashed: bank the work completed so far. The stale
-    /// simulation stays in place until [`ServerAgent::restart`] rebuilds
-    /// it; the run loop must not step a crashed agent.
+    /// The node crashed: bank the work and probe accounting completed so
+    /// far and snapshot the knowledge-plane store (local disk survives a
+    /// reboot). The stale simulation stays in place until
+    /// [`ServerAgent::restart`] rebuilds it; the run loop must not step
+    /// a crashed agent.
     pub fn crash(&mut self) {
         for app in self.mix.apps() {
             *self.ops_before.entry(app.name().to_string()).or_default() +=
                 self.sim.ops_done(app.name());
+        }
+        self.probes_before = self.probes_before.merged(&self.mediator.probe_split());
+        self.store_stats_before = self.store_stats_before.merged(&self.mediator.store_stats());
+        if let Some(snapshot) = self.mediator.store_snapshot_json() {
+            self.store_snapshot = Some(snapshot);
         }
     }
 
     /// The node restarts: applications restart from scratch and the ESD
     /// resets to its boot state of charge. A resilient node boots at the
     /// conservative idle floor and waits for the next heartbeat to learn
-    /// its share; a naive node re-applies its stale persisted cap.
+    /// its share; a naive node re-applies its stale persisted cap. A
+    /// warm-start node restores its store snapshot, so the re-admission
+    /// consults everything the previous incarnation knew.
     pub fn restart(&mut self) {
         let boot_cap = if self.resilient {
             self.config.floor
         } else {
             self.current_cap
         };
-        let (sim, mediator) = fleet::build_server(
+        let boot = self.warm.as_ref().map(|w| WarmBoot {
+            store: w.store.map(|config| {
+                self.store_snapshot
+                    .as_deref()
+                    .and_then(ProfileStore::from_json)
+                    .unwrap_or_else(|| ProfileStore::new(config))
+            }),
+            server_id: self.server_id,
+            sampling_fraction: w.sampling_fraction,
+        });
+        let (sim, mediator) = fleet::build_server_with(
             &self.spec,
             &self.mix,
             self.kind,
             self.with_battery,
             boot_cap,
+            boot,
         );
         self.sim = sim;
         self.mediator = mediator;
@@ -319,6 +399,38 @@ impl ServerAgent {
     /// Operations completed by `app` across all incarnations.
     pub fn total_ops(&self, app: &str) -> f64 {
         self.ops_before.get(app).copied().unwrap_or(0.0) + self.sim.ops_done(app)
+    }
+
+    /// Drains the profile digests published since the last drain (the
+    /// uplink's knowledge-plane payload).
+    pub fn take_profile_digests(&mut self) -> Vec<ProfileDigest> {
+        self.mediator.take_store_outbox()
+    }
+
+    /// Probe accounting across all incarnations.
+    pub fn probe_split(&self) -> ProbeSplit {
+        self.probes_before.merged(&self.mediator.probe_split())
+    }
+
+    /// Store event counters across all incarnations.
+    pub fn store_stats(&self) -> ProfileStoreStats {
+        self.store_stats_before.merged(&self.mediator.store_stats())
+    }
+
+    /// The current incarnation's store contents (empty without a store).
+    pub fn store_digests(&self) -> Vec<ProfileDigest> {
+        self.mediator
+            .profile_store()
+            .map(ProfileStore::digests)
+            .unwrap_or_default()
+    }
+
+    /// Forces E4 drift on the server's first app: its profile is
+    /// tombstoned fleet-wide and re-measured. Returns `false` when the
+    /// app is not resident (e.g. the node is mid-outage).
+    pub fn force_drift(&mut self) -> bool {
+        let name = self.mix.app1.name().to_string();
+        self.mediator.recalibrate(&mut self.sim, &name)
     }
 }
 
@@ -344,42 +456,22 @@ mod tests {
     #[test]
     fn resilient_discards_reordered_stale_assignments() {
         let mut a = agent(true);
-        a.receive(&[Downlink {
-            epoch: 5,
-            cap: Watts::new(90.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(5, Watts::new(90.0), false)]);
         assert_eq!(a.current_cap(), Watts::new(90.0));
         // A delayed epoch-3 assignment arrives later: discarded.
-        a.receive(&[Downlink {
-            epoch: 3,
-            cap: Watts::new(110.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(3, Watts::new(110.0), false)]);
         assert_eq!(a.current_cap(), Watts::new(90.0));
         // The naive agent applies it and regresses.
         let mut n = agent(false);
-        n.receive(&[Downlink {
-            epoch: 5,
-            cap: Watts::new(90.0),
-            repair: false,
-        }]);
-        n.receive(&[Downlink {
-            epoch: 3,
-            cap: Watts::new(110.0),
-            repair: false,
-        }]);
+        n.receive(&[Downlink::assignment(5, Watts::new(90.0), false)]);
+        n.receive(&[Downlink::assignment(3, Watts::new(110.0), false)]);
         assert_eq!(n.current_cap(), Watts::new(110.0));
     }
 
     #[test]
     fn silence_engages_fallback_and_decays_to_the_floor() {
         let mut a = agent(true);
-        a.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(100.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
         // Total silence: the fallback engages after the configured
         // misses, then decays 10 W per interval down to the 50 W floor.
         for _ in 0..60 {
@@ -391,11 +483,7 @@ mod tests {
         assert_eq!(a.current_cap(), Watts::new(50.0));
         // The next heartbeat (same epoch — nothing was reapportioned)
         // restores the manager's cap because the agent flagged itself.
-        a.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(100.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
         assert!(!a.fallback_engaged());
         assert_eq!(a.current_cap(), Watts::new(100.0));
     }
@@ -405,11 +493,7 @@ mod tests {
         let mut a = agent(true);
         for step in 0..40u64 {
             if step % 4 == 0 {
-                a.receive(&[Downlink {
-                    epoch: 0,
-                    cap: Watts::new(100.0),
-                    repair: false,
-                }]);
+                a.receive(&[Downlink::assignment(0, Watts::new(100.0), false)]);
             }
             a.step(DT);
         }
@@ -420,11 +504,7 @@ mod tests {
     #[test]
     fn restart_banks_ops_and_boots_conservatively() {
         let mut a = agent(true);
-        a.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(100.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
         for _ in 0..20 {
             a.step(DT);
         }
@@ -441,19 +521,11 @@ mod tests {
         let banked: f64 = mix.apps().iter().map(|p| a.total_ops(p.name())).sum();
         assert!((banked - done_before).abs() < 1e-9, "work survives");
         // The next heartbeat hands the share back even at an old epoch.
-        a.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(95.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(1, Watts::new(95.0), false)]);
         assert_eq!(a.current_cap(), Watts::new(95.0));
         // A naive reboot re-applies the stale persisted cap instead.
         let mut n = agent(false);
-        n.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(110.0),
-            repair: false,
-        }]);
+        n.receive(&[Downlink::assignment(1, Watts::new(110.0), false)]);
         n.crash();
         n.restart();
         assert_eq!(n.current_cap(), Watts::new(110.0));
@@ -461,50 +533,26 @@ mod tests {
     #[test]
     fn settled_agent_acknowledges_same_value_repairs_without_replanning() {
         let mut a = agent(true);
-        a.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(90.0),
-            repair: false,
-        }]);
+        a.receive(&[Downlink::assignment(1, Watts::new(90.0), false)]);
         let planned = a.replans();
         // A failover or membership re-broadcast re-sends the same cap at
         // a fresh epoch: the epoch advances but the mediator is left
         // alone.
-        a.receive(&[Downlink {
-            epoch: 2,
-            cap: Watts::new(90.0),
-            repair: true,
-        }]);
+        a.receive(&[Downlink::assignment(2, Watts::new(90.0), true)]);
         assert_eq!(a.replans(), planned, "no re-plan for re-sent state");
         assert_eq!(a.current_cap(), Watts::new(90.0));
         // A repair carrying a *different* value is a real correction.
-        a.receive(&[Downlink {
-            epoch: 3,
-            cap: Watts::new(80.0),
-            repair: true,
-        }]);
+        a.receive(&[Downlink::assignment(3, Watts::new(80.0), true)]);
         assert!(a.replans() > planned);
         assert_eq!(a.current_cap(), Watts::new(80.0));
         // A stale-epoch repair is discarded like any stale downlink.
-        a.receive(&[Downlink {
-            epoch: 2,
-            cap: Watts::new(120.0),
-            repair: true,
-        }]);
+        a.receive(&[Downlink::assignment(2, Watts::new(120.0), true)]);
         assert_eq!(a.current_cap(), Watts::new(80.0));
         // The naive agent re-plans on every duplicate it receives.
         let mut n = agent(false);
-        n.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(90.0),
-            repair: false,
-        }]);
+        n.receive(&[Downlink::assignment(1, Watts::new(90.0), false)]);
         let planned = n.replans();
-        n.receive(&[Downlink {
-            epoch: 1,
-            cap: Watts::new(90.0),
-            repair: false,
-        }]);
+        n.receive(&[Downlink::assignment(1, Watts::new(90.0), false)]);
         assert!(n.replans() > planned);
     }
 
@@ -512,20 +560,12 @@ mod tests {
     fn emergency_clamp_outranks_downlinks_until_release() {
         for resilient in [true, false] {
             let mut a = agent(resilient);
-            a.receive(&[Downlink {
-                epoch: 1,
-                cap: Watts::new(100.0),
-                repair: false,
-            }]);
+            a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
             a.emergency_clamp(Watts::new(50.0));
             assert_eq!(a.current_cap(), Watts::new(50.0));
             // A fresh assignment during the hold must not lift the
             // clamp, but becomes the restore target.
-            a.receive(&[Downlink {
-                epoch: 2,
-                cap: Watts::new(90.0),
-                repair: false,
-            }]);
+            a.receive(&[Downlink::assignment(2, Watts::new(90.0), false)]);
             assert_eq!(a.current_cap(), Watts::new(50.0));
             // Clamping is idempotent while the hold lasts.
             a.emergency_clamp(Watts::new(50.0));

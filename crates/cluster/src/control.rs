@@ -28,9 +28,11 @@
 use powermed_core::cache::MeasurementCache;
 use powermed_core::coordinator::EsdParams;
 use powermed_core::policy::{PolicyKind, PowerPolicy};
+use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore, StoreConfig};
 use powermed_server::ServerSpec;
 use powermed_telemetry::faults::ClusterControlStats;
 use powermed_telemetry::recorder::TraceRecorder;
+use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Joules, Ratio, Seconds, Watts};
 use powermed_workloads::mixes::Mix;
 use rand::rngs::StdRng;
@@ -42,7 +44,7 @@ use crate::manager::{ClusterManager, ClusterPolicy, ClusterReport};
 use crate::trace::ClusterPowerTrace;
 
 /// A cap assignment (or heartbeat) from the manager to one server.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Downlink {
     /// Assignment epoch: strictly increasing across reapportionments,
     /// derived from the control step so it survives manager failover.
@@ -55,10 +57,27 @@ pub struct Downlink {
     /// cap it already enforces without re-actuating — re-planning is not
     /// free, and a repair carrying the value in force has nothing to fix.
     pub repair: bool,
+    /// Knowledge-plane payload: the manager's profile digests, merged
+    /// into the agent's store on receipt (empty when warm start is off).
+    /// Digests are a semilattice, so stale or reordered deliveries are
+    /// harmless — merge is commutative and idempotent.
+    pub profiles: Vec<ProfileDigest>,
+}
+
+impl Downlink {
+    /// A bare assignment with no knowledge-plane payload.
+    pub fn assignment(epoch: u64, cap: Watts, repair: bool) -> Self {
+        Self {
+            epoch,
+            cap,
+            repair,
+            profiles: Vec::new(),
+        }
+    }
 }
 
 /// A telemetry report from one server to the manager.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Uplink {
     /// Reporting server index.
     pub server: usize,
@@ -66,6 +85,21 @@ pub struct Uplink {
     pub sent_step: u64,
     /// Net (post-ESD) power the server drew that step.
     pub net_power: Watts,
+    /// Knowledge-plane payload: profile digests this server published
+    /// since its last report (empty when warm start is off).
+    pub profiles: Vec<ProfileDigest>,
+}
+
+impl Uplink {
+    /// A bare telemetry report with no knowledge-plane payload.
+    pub fn report(server: usize, sent_step: u64, net_power: Watts) -> Self {
+        Self {
+            server,
+            sent_step,
+            net_power,
+            profiles: Vec::new(),
+        }
+    }
 }
 
 /// One server's scheduled partition from the manager: both directions of
@@ -231,10 +265,26 @@ pub fn fault_trace_digest(records: &[ClusterFaultRecord]) -> u64 {
 }
 
 /// An in-flight message and the step it becomes deliverable.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct InFlight<T> {
     deliver_at: u64,
     msg: T,
+}
+
+/// Splits `queue` into the messages due at `step` (send-order preserved)
+/// and the still-in-flight remainder, writing the remainder back.
+fn drain_due<T>(queue: &mut Vec<InFlight<T>>, step: u64) -> Vec<InFlight<T>> {
+    let mut due = Vec::new();
+    let mut pending = Vec::new();
+    for m in std::mem::take(queue) {
+        if m.deliver_at <= step {
+            due.push(m);
+        } else {
+            pending.push(m);
+        }
+    }
+    *queue = pending;
+    due
 }
 
 /// The seeded, fault-injectable message layer between manager and agents.
@@ -434,16 +484,7 @@ impl ControlPlane {
     /// Delivers the downlinks due at node `i`, oldest delivery first
     /// (delays reorder against later sends).
     pub fn poll_down(&mut self, i: usize) -> Vec<Downlink> {
-        let step = self.step;
-        let mut due: Vec<InFlight<Downlink>> = Vec::new();
-        self.downlinks[i].retain(|m| {
-            if m.deliver_at <= step {
-                due.push(*m);
-                false
-            } else {
-                true
-            }
-        });
+        let mut due = drain_due(&mut self.downlinks[i], self.step);
         due.sort_by_key(|m| m.deliver_at);
         due.into_iter().map(|m| m.msg).collect()
     }
@@ -451,16 +492,7 @@ impl ControlPlane {
     /// Delivers the uplinks due at the manager, oldest delivery first,
     /// then by server index within a step.
     pub fn poll_up(&mut self) -> Vec<Uplink> {
-        let step = self.step;
-        let mut due: Vec<InFlight<Uplink>> = Vec::new();
-        self.uplinks.retain(|m| {
-            if m.deliver_at <= step {
-                due.push(*m);
-                false
-            } else {
-                true
-            }
-        });
+        let mut due = drain_due(&mut self.uplinks, self.step);
         due.sort_by_key(|m| m.deliver_at);
         due.into_iter().map(|m| m.msg).collect()
     }
@@ -638,6 +670,12 @@ struct Manager {
     initial_share: Watts,
     state: ManagerState,
     checkpoint: Option<ManagerState>,
+    /// Fleet knowledge plane: the manager's replica of every published
+    /// profile, rebroadcast to the agents with each downlink wave.
+    store: Option<ProfileStore>,
+    /// JSON snapshot of the store taken with each state checkpoint, so
+    /// the resilient standby restores fleet knowledge on takeover.
+    store_checkpoint: Option<String>,
     membership_dirty: bool,
     failovers: u64,
     checkpoints: u64,
@@ -654,10 +692,13 @@ impl Manager {
         curves: Option<Vec<Vec<(Watts, f64)>>>,
         resilient: bool,
         config: ManagerConfig,
+        store: Option<ProfileStore>,
     ) -> Self {
         Self {
             state: ManagerState::initial(servers, initial_share, apportionment),
             checkpoint: None,
+            store,
+            store_checkpoint: None,
             membership_dirty: false,
             failovers: 0,
             checkpoints: 0,
@@ -685,6 +726,19 @@ impl Manager {
         } else {
             ManagerState::initial(self.servers, self.initial_share, self.apportionment)
         };
+        if let Some(store) = self.store.as_mut() {
+            // The standby's knowledge plane: the resilient flavor
+            // restores the checkpointed snapshot (and re-learns anything
+            // newer from subsequent uplinks); the naive flavor boots an
+            // empty store and must recollect the whole fleet's profiles.
+            let config = store.config();
+            *store = self
+                .store_checkpoint
+                .as_deref()
+                .filter(|_| self.resilient)
+                .and_then(ProfileStore::from_json)
+                .unwrap_or_else(|| ProfileStore::new(config));
+        }
         // Telemetry gathered before the crash is gone either way; grant
         // a fresh grace period so takeover does not mass-declare death.
         for t in &mut self.state.last_uplink_step {
@@ -702,7 +756,13 @@ impl Manager {
     /// One manager step: drain telemetry, track liveness, reapportion on
     /// budget or membership change, heartbeat, checkpoint.
     fn tick(&mut self, step: u64, total: Watts, plane: &mut ControlPlane) {
+        if let Some(store) = self.store.as_mut() {
+            store.set_epoch(step);
+        }
         for up in plane.poll_up() {
+            if let (Some(store), false) = (self.store.as_mut(), up.profiles.is_empty()) {
+                store.merge_digests(&up.profiles);
+            }
             if self.resilient && !self.state.alive[up.server] {
                 self.state.alive[up.server] = true;
                 self.state.dead_since[up.server] = None;
@@ -769,6 +829,7 @@ impl Manager {
             && step.is_multiple_of(self.config.checkpoint_interval_steps)
         {
             self.checkpoint = Some(self.state.clone());
+            self.store_checkpoint = self.store.as_ref().map(ProfileStore::snapshot_json);
             self.checkpoints += 1;
         }
     }
@@ -817,6 +878,14 @@ impl Manager {
     }
 
     fn broadcast(&self, plane: &mut ControlPlane, repair: bool) {
+        // Every downlink wave carries the manager's full digest set:
+        // merge idempotence makes the redundancy free of harm, and it is
+        // what lets a healed partition catch up within one heartbeat.
+        let profiles = self
+            .store
+            .as_ref()
+            .map(ProfileStore::digests)
+            .unwrap_or_default();
         for i in 0..self.servers {
             plane.send_down(
                 i,
@@ -824,6 +893,7 @@ impl Manager {
                     epoch: self.state.epoch,
                     cap: self.state.caps[i],
                     repair,
+                    profiles: profiles.clone(),
                 },
             );
         }
@@ -879,6 +949,56 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Online-calibration and knowledge-plane configuration for a managed
+/// cluster run.
+///
+/// `None` in [`ControlOptions::warm_start`] keeps the classic
+/// exhaustive-calibration fleet, bit-identical to the pre-knowledge-plane
+/// control plane. `Some` switches every server to sparse online
+/// calibration; the store itself is a second opt-in so the experiment
+/// can compare cold online calibration (probe on every admission)
+/// against the warm fleet (consult the store first) under identical
+/// probe schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartOptions {
+    /// Store tuning, or `None` for the cold-start baseline (online
+    /// calibration without the knowledge plane).
+    pub store: Option<StoreConfig>,
+    /// Sparse-sampling fraction of the knob grid per admission.
+    pub sampling_fraction: f64,
+    /// Forced E4 drift injections: at step `.0`, server `.1`
+    /// re-calibrates its first app, tombstoning the profile fleet-wide.
+    pub drift_at: Vec<(u64, usize)>,
+}
+
+impl WarmStartOptions {
+    /// Store decay tuned to control-plane epochs: assignment epochs are
+    /// derived from control steps (~2 per second), so the per-epoch
+    /// decay must be gentle for a profile to stay confident across a
+    /// multi-minute run while still aging out abandoned entries.
+    pub const CLUSTER_DECAY: f64 = 0.9999;
+
+    /// The warm fleet: online calibration plus the knowledge plane.
+    pub fn warm() -> Self {
+        Self {
+            store: Some(StoreConfig {
+                decay_per_epoch: Self::CLUSTER_DECAY,
+                ..StoreConfig::default()
+            }),
+            sampling_fraction: 0.10,
+            drift_at: Vec::new(),
+        }
+    }
+
+    /// The cold baseline: identical probe schedules, no store.
+    pub fn cold() -> Self {
+        Self {
+            store: None,
+            ..Self::warm()
+        }
+    }
+}
+
 /// Options for a managed cluster run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControlOptions {
@@ -893,6 +1013,9 @@ pub struct ControlOptions {
     pub agent: AgentConfig,
     /// Facility protection (shared by both flavors).
     pub breaker: BreakerConfig,
+    /// Online calibration + profile knowledge plane (`None` keeps the
+    /// exhaustive-calibration fleet bit-identical to before).
+    pub warm_start: Option<WarmStartOptions>,
 }
 
 impl ControlOptions {
@@ -906,6 +1029,7 @@ impl ControlOptions {
             manager: ManagerConfig::default(),
             agent: AgentConfig::default(),
             breaker: BreakerConfig::disabled(),
+            warm_start: None,
         }
     }
 }
@@ -927,6 +1051,33 @@ pub struct ResilienceReport {
     pub recorder: TraceRecorder,
     /// FNV-1a digest of the deterministic fault history.
     pub trace_digest: u64,
+    /// Fleet-wide probe accounting across every server incarnation
+    /// (all-cold when warm start is off).
+    pub probe_split: ProbeSplit,
+    /// Fleet-wide profile-store event counters (all zero when warm
+    /// start is off).
+    pub store_stats: ProfileStoreStats,
+    /// Entries on which the manager's store and any agent's store still
+    /// disagree at run end (0 = the knowledge plane converged). `None`
+    /// when the knowledge plane is off.
+    pub store_divergence: Option<usize>,
+}
+
+/// Fingerprints whose profiles differ between two digest sets (an entry
+/// present on only one side counts as differing).
+fn digest_divergence(a: &[ProfileDigest], b: &[ProfileDigest]) -> usize {
+    let index = |side: &[ProfileDigest]| -> std::collections::BTreeMap<_, _> {
+        side.iter()
+            .map(|d| (d.fingerprint, d.profile.clone()))
+            .collect()
+    };
+    let ma = index(a);
+    let mb = index(b);
+    ma.keys()
+        .chain(mb.keys())
+        .filter(|fp| ma.get(*fp) != mb.get(*fp))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
 }
 
 /// Per-server value curves over the candidate caps, through the shared
@@ -978,8 +1129,9 @@ pub fn run_cluster(
 
     let mut agents: Vec<ServerAgent> = mixes
         .iter()
-        .map(|mix| {
-            ServerAgent::new(
+        .enumerate()
+        .map(|(i, mix)| {
+            ServerAgent::new_with(
                 &spec,
                 mix,
                 policy.kind,
@@ -987,6 +1139,8 @@ pub fn run_cluster(
                 initial_share,
                 options.resilient,
                 options.agent,
+                i as u64,
+                options.warm_start.as_ref(),
             )
         })
         .collect();
@@ -1000,6 +1154,11 @@ pub fn run_cluster(
     };
 
     let mut plane = ControlPlane::new(options.faults.clone(), servers);
+    let manager_store = options
+        .warm_start
+        .as_ref()
+        .and_then(|w| w.store)
+        .map(ProfileStore::new);
     let mut manager = Manager::new(
         servers,
         initial_share,
@@ -1007,6 +1166,7 @@ pub fn run_cluster(
         curves,
         options.resilient,
         options.manager,
+        manager_store,
     );
     let mut recorder = TraceRecorder::new();
     let mut energy = Joules::ZERO;
@@ -1065,6 +1225,17 @@ pub fn run_cluster(
             }
         }
 
+        // Phase 3b: scheduled E4 drift injections — the server's first
+        // app stops matching its profile and must re-calibrate,
+        // tombstoning the fleet-wide store entry on the way.
+        if let Some(warm) = &options.warm_start {
+            for &(at, server) in &warm.drift_at {
+                if at == step && server < servers && plane.node_up(server) {
+                    agents[server].force_drift();
+                }
+            }
+        }
+
         // Phase 4: simulation step of every up node + telemetry uplink.
         let mut cluster_net = Watts::ZERO;
         for (i, agent) in agents.iter_mut().enumerate() {
@@ -1080,6 +1251,7 @@ pub fn run_cluster(
                     server: i,
                     sent_step: step,
                     net_power: report.net_power,
+                    profiles: agent.take_profile_digests(),
                 },
             );
         }
@@ -1121,6 +1293,16 @@ pub fn run_cluster(
         recorder.push("failovers", now, manager.failovers as f64);
         recorder.push("reapportionments", now, manager.reapportionments as f64);
         recorder.push("breaker_trips", now, breaker_trips as f64);
+        if options.warm_start.is_some() {
+            let fleet = agents.iter().fold(ProfileStoreStats::default(), |acc, a| {
+                acc.merged(&a.store_stats())
+            });
+            recorder.push("profile_hits", now, fleet.hits as f64);
+            recorder.push("profile_misses", now, fleet.misses as f64);
+            recorder.push("profile_invalidations", now, fleet.invalidations as f64);
+            recorder.push("profile_evictions", now, fleet.evictions as f64);
+            recorder.push("profile_store_bytes", now, fleet.bytes as f64);
+        }
         now += dt;
     }
 
@@ -1147,6 +1329,20 @@ pub fn run_cluster(
     stats.reapportionments = manager.reapportionments;
     stats.breaker_trips = breaker_trips;
 
+    let probe_split = agents
+        .iter()
+        .fold(ProbeSplit::default(), |acc, a| acc.merged(&a.probe_split()));
+    let store_stats = agents.iter().fold(ProfileStoreStats::default(), |acc, a| {
+        acc.merged(&a.store_stats())
+    });
+    let store_divergence = manager.store.as_ref().map(|store| {
+        let reference = store.digests();
+        agents
+            .iter()
+            .map(|a| digest_divergence(&reference, &a.store_digests()))
+            .sum()
+    });
+
     ResilienceReport {
         report: ClusterReport::from_parts(policy.label, per_app_perf, energy),
         violation_seconds,
@@ -1154,6 +1350,9 @@ pub fn run_cluster(
         stats,
         trace_digest: fault_trace_digest(plane.records()),
         recorder,
+        probe_split,
+        store_stats,
+        store_divergence,
     }
 }
 
@@ -1178,22 +1377,8 @@ mod tests {
     fn fault_free_plane_consumes_no_randomness_and_delivers_everything() {
         let mut plane = ControlPlane::new(ClusterFaultConfig::none(1), 2);
         plane.begin_step(0);
-        plane.send_down(
-            0,
-            Downlink {
-                epoch: 1,
-                cap: Watts::new(90.0),
-                repair: false,
-            },
-        );
-        plane.send_up(
-            1,
-            Uplink {
-                server: 1,
-                sent_step: 0,
-                net_power: Watts::new(80.0),
-            },
-        );
+        plane.send_down(0, Downlink::assignment(1, Watts::new(90.0), false));
+        plane.send_up(1, Uplink::report(1, 0, Watts::new(80.0)));
         assert_eq!(plane.poll_down(0).len(), 1);
         assert!(plane.poll_up().is_empty(), "uplinks land next step");
         plane.begin_step(1);
@@ -1216,22 +1401,8 @@ mod tests {
             for step in 0..50 {
                 plane.begin_step(step);
                 for i in 0..3 {
-                    plane.send_down(
-                        i,
-                        Downlink {
-                            epoch: step,
-                            cap: Watts::new(90.0),
-                            repair: false,
-                        },
-                    );
-                    plane.send_up(
-                        i,
-                        Uplink {
-                            server: i,
-                            sent_step: step,
-                            net_power: Watts::new(80.0),
-                        },
-                    );
+                    plane.send_down(i, Downlink::assignment(step, Watts::new(90.0), false));
+                    plane.send_up(i, Uplink::report(i, step, Watts::new(80.0)));
                     plane.poll_down(i);
                 }
                 plane.poll_up();
@@ -1263,22 +1434,8 @@ mod tests {
         plane.begin_step(5);
         assert!(plane.partitioned(0));
         assert!(!plane.partitioned(1));
-        plane.send_down(
-            0,
-            Downlink {
-                epoch: 1,
-                cap: Watts::new(90.0),
-                repair: false,
-            },
-        );
-        plane.send_up(
-            0,
-            Uplink {
-                server: 0,
-                sent_step: 5,
-                net_power: Watts::new(80.0),
-            },
-        );
+        plane.send_down(0, Downlink::assignment(1, Watts::new(90.0), false));
+        plane.send_up(0, Uplink::report(0, 5, Watts::new(80.0)));
         assert_eq!(plane.stats().messages_lost_endpoint_down, 2);
         plane.begin_step(10);
         assert!(!plane.partitioned(0), "window end is exclusive");
@@ -1417,6 +1574,102 @@ mod tests {
         // reapportions, then takes it back on rejoin.
         assert!(resilient.stats.dead_declarations >= 1);
         assert!(resilient.stats.rejoins >= 1);
+    }
+
+    #[test]
+    fn warm_fleet_reprobes_less_than_cold_under_churn() {
+        // Same seed, same crash history: the cold fleet re-measures its
+        // full sparse schedule after every reboot, the warm fleet
+        // restores its store snapshot and re-admits without probing.
+        let trace = short_trace(2);
+        let mixes = mixes_for(2);
+        let faults = ClusterFaultConfig {
+            node_crash_prob: 0.02,
+            node_down_steps: 10,
+            ..ClusterFaultConfig::none(21)
+        };
+        let run = |warm: WarmStartOptions| {
+            run_cluster(
+                &mixes,
+                ManagedPolicy::equal_ours(),
+                &trace,
+                DT,
+                &ControlOptions {
+                    faults: faults.clone(),
+                    warm_start: Some(warm),
+                    ..ControlOptions::perfect(21)
+                },
+            )
+        };
+        let cold = run(WarmStartOptions::cold());
+        let warm = run(WarmStartOptions::warm());
+        assert_eq!(
+            cold.trace_digest, warm.trace_digest,
+            "common random numbers: identical fault history"
+        );
+        assert!(cold.stats.node_crashes > 0, "{:?}", cold.stats);
+        assert_eq!(cold.probe_split.skipped, 0);
+        assert_eq!(cold.store_divergence, None);
+        assert!(
+            warm.probe_split.measured() < cold.probe_split.measured(),
+            "warm {:?} vs cold {:?}",
+            warm.probe_split,
+            cold.probe_split
+        );
+        assert!(warm.probe_split.skipped > 0);
+        assert!(warm.store_stats.hits > 0);
+        // The recorder carries the knowledge-plane series.
+        let hits = warm.recorder.series("profile_hits").unwrap();
+        assert_eq!(hits.last().unwrap().1, warm.store_stats.hits as f64);
+        assert!(warm.recorder.series("profile_store_bytes").is_some());
+    }
+
+    #[test]
+    fn partition_heal_converges_the_stores_after_drift() {
+        // Both servers host the same mix (same fingerprints). Server 1
+        // is partitioned while server 0 suffers E4 drift: its profile is
+        // tombstoned and republished at a higher version. After the
+        // partition heals, heartbeats must bring server 1's store to the
+        // fresh version — no stale profile left anywhere.
+        let trace = short_trace(2);
+        let mixes = vec![mixes::mix(1).unwrap(), mixes::mix(1).unwrap()];
+        let faults = ClusterFaultConfig {
+            partitions: vec![PartitionWindow {
+                server: 1,
+                from_step: 10,
+                until_step: 60,
+            }],
+            ..ClusterFaultConfig::none(5)
+        };
+        let warm = WarmStartOptions {
+            drift_at: vec![(30, 0)],
+            ..WarmStartOptions::warm()
+        };
+        let report = run_cluster(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &ControlOptions {
+                faults,
+                warm_start: Some(warm),
+                ..ControlOptions::perfect(5)
+            },
+        );
+        assert!(
+            report.store_stats.invalidations >= 1,
+            "{:?}",
+            report.store_stats
+        );
+        assert_eq!(
+            report.store_divergence,
+            Some(0),
+            "stores must converge after the heal: {:?}",
+            report.store_stats
+        );
+        // The drift re-measurement ran fresh probes even though the
+        // first admission had already covered the schedule.
+        assert!(report.probe_split.measured() > 0);
     }
 
     #[test]

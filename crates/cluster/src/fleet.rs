@@ -12,10 +12,11 @@
 use powermed_core::policy::PolicyKind;
 use powermed_core::runtime::PowerMediator;
 use powermed_esd::{EnergyStorage, LeadAcidBattery, NoEsd};
+use powermed_profiles::ProfileStore;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::ServerSim;
 use powermed_units::Watts;
-use powermed_workloads::mixes::Mix;
+use powermed_workloads::{catalog, mixes::Mix};
 
 /// State of charge every cluster server's ESD boots (and reboots) with.
 pub const INITIAL_SOC: f64 = 0.5;
@@ -33,6 +34,35 @@ pub fn build_server(
     with_battery: bool,
     cap: Watts,
 ) -> (ServerSim, PowerMediator) {
+    build_server_with(spec, mix, kind, with_battery, cap, None)
+}
+
+/// How a warm-start server boots: the knowledge-plane store it consults
+/// (possibly restored from a crash-durable snapshot), its fleet-wide
+/// server id for digest provenance, and the online sparse-sampling
+/// fraction.
+#[derive(Debug)]
+pub struct WarmBoot {
+    /// The store the mediator consults and publishes to; `None` runs
+    /// online calibration cold (the baseline the experiment compares).
+    pub store: Option<ProfileStore>,
+    /// Provenance id stamped on profiles this server measures.
+    pub server_id: u64,
+    /// Fraction of the knob grid the online calibrator probes.
+    pub sampling_fraction: f64,
+}
+
+/// [`build_server`], optionally with online calibration and the profile
+/// knowledge plane attached. `warm: None` is byte-for-byte the classic
+/// exhaustive-calibration boot.
+pub fn build_server_with(
+    spec: &ServerSpec,
+    mix: &Mix,
+    kind: PolicyKind,
+    with_battery: bool,
+    cap: Watts,
+    warm: Option<WarmBoot>,
+) -> (ServerSim, PowerMediator) {
     let esd: Box<dyn EnergyStorage> = if with_battery {
         Box::new(LeadAcidBattery::server_ups().with_soc(INITIAL_SOC))
     } else {
@@ -40,6 +70,12 @@ pub fn build_server(
     };
     let mut sim = ServerSim::new(spec.clone(), esd);
     let mut mediator = PowerMediator::new(kind, spec.clone(), cap);
+    if let Some(warm) = warm {
+        mediator = mediator.with_online_calibration(&catalog::all(), warm.sampling_fraction);
+        if let Some(store) = warm.store {
+            mediator = mediator.with_profile_store(store, warm.server_id);
+        }
+    }
     for app in mix.apps() {
         mediator
             .admit(&mut sim, app.clone())

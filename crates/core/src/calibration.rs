@@ -7,15 +7,40 @@
 //! collaborative filtering against the corpus of previously-seen
 //! applications.
 
-use powermed_cf::als::{Completion, FitConfig};
+use std::collections::BTreeSet;
+
+use powermed_cf::als::{Completion, FitConfig, FoldedRow};
 use powermed_cf::matrix::UtilityMatrix;
 use powermed_cf::sampler::SparseSampler;
+use powermed_profiles::{AppFingerprint, ProbeSample, StoredProfile};
 use powermed_server::knobs::KnobSetting;
 use powermed_server::ServerSpec;
 use powermed_units::Watts;
 use powermed_workloads::profile::AppProfile;
 
 use crate::measurement::AppMeasurement;
+
+/// The result of one online calibration, rich enough to republish to
+/// the profile knowledge plane: the surface, the probe accounting, and
+/// the observations + folded rows that produced it.
+#[derive(Debug, Clone)]
+pub struct OnlineCalibration {
+    /// The completed utility surface.
+    pub measurement: AppMeasurement,
+    /// Settings actually probed on the server.
+    pub probed: usize,
+    /// Scheduled settings satisfied from the prior instead of probed.
+    pub skipped: usize,
+    /// Every observation backing the surface (fresh probes plus prior
+    /// samples), sorted by column — the payload a store republication
+    /// carries.
+    pub samples: Vec<ProbeSample>,
+    /// Folded-in row for the power channel (zeroed on the exhaustive
+    /// fallback, where no CF model exists).
+    pub power_row: FoldedRow,
+    /// Folded-in row for the performance channel.
+    pub perf_row: FoldedRow,
+}
 
 /// Builds [`AppMeasurement`]s, either exhaustively or by sparse sampling
 /// plus collaborative filtering.
@@ -26,6 +51,10 @@ pub struct Calibrator {
     sampling_fraction: f64,
     fit: FitConfig,
     corpus: UtilityMatrix,
+    /// Fingerprints of profiles already folded into the corpus, so the
+    /// same workload is never double-weighted however it arrives
+    /// (catalog seeding, store-derived sparse rows, repeat seeding).
+    seeded: BTreeSet<u64>,
     seed: u64,
 }
 
@@ -47,6 +76,7 @@ impl Calibrator {
             sampling_fraction,
             fit: FitConfig::default(),
             corpus: UtilityMatrix::new(columns),
+            seeded: BTreeSet::new(),
             seed: 17,
         }
     }
@@ -76,14 +106,42 @@ impl Calibrator {
 
     /// Seeds the corpus by exhaustively profiling `profiles` (the
     /// "previously seen applications" the paper's matrix starts with).
+    /// Profiles whose fingerprint is already in the corpus — under any
+    /// name, through any seeding path — are skipped, so repeat seeding
+    /// never double-weights a workload's row in the completion model.
     pub fn seed_corpus(&mut self, profiles: &[AppProfile]) {
         // The cached surface is exactly `AppMeasurement::exhaustive`
         // for any profile (nominal intensity, phases ignored), so the
         // corpus can always share it.
         for p in profiles {
+            if !self.seeded.insert(AppFingerprint::of(p).value()) {
+                continue;
+            }
             let m = crate::cache::MeasurementCache::global().measure(&self.spec, p);
             self.add_to_corpus(&m);
         }
+    }
+
+    /// Seeds the corpus with a *sparse* row from the profile knowledge
+    /// plane: measured `(column, power, perf)` samples for a workload
+    /// identified only by fingerprint. Returns `false` (and does
+    /// nothing) when that fingerprint is already represented, so a
+    /// store-derived row and a catalog row for the same workload
+    /// collapse to one.
+    pub fn seed_sparse_row(
+        &mut self,
+        fingerprint: AppFingerprint,
+        samples: &[ProbeSample],
+    ) -> bool {
+        if samples.is_empty() || !self.seeded.insert(fingerprint.value()) {
+            return false;
+        }
+        let name = format!("store:{fingerprint}");
+        for s in samples {
+            self.corpus
+                .insert(&name, s.col, Watts::new(s.power_w), s.perf);
+        }
+        true
     }
 
     /// Ground-truth calibration: probe every grid setting.
@@ -143,24 +201,105 @@ impl Calibrator {
         &self,
         name: &str,
         min_cores: usize,
-        mut probe: impl FnMut(KnobSetting) -> Option<(Watts, f64)>,
+        probe: impl FnMut(KnobSetting) -> Option<(Watts, f64)>,
     ) -> Option<(AppMeasurement, usize)> {
+        self.try_calibrate_online_seeded(name, min_cores, None, probe)
+            .map(|oc| (oc.measurement, oc.probed))
+    }
+
+    /// Online calibration with an optional warm-start prior from the
+    /// profile knowledge plane. Probe points the prior already covers
+    /// are satisfied from its samples instead of being run, so a warm
+    /// admission executes a strict subset of the cold probe schedule
+    /// (possibly the empty subset); every prior sample also feeds the
+    /// fold-in, tightening the completion beyond what the sparse
+    /// schedule alone would see. With `prior = None` this is
+    /// bit-identical to [`Self::try_calibrate_online`].
+    pub fn try_calibrate_online_seeded(
+        &self,
+        name: &str,
+        min_cores: usize,
+        prior: Option<&StoredProfile>,
+        mut probe: impl FnMut(KnobSetting) -> Option<(Watts, f64)>,
+    ) -> Option<OnlineCalibration> {
         let grid = self.spec.knob_grid();
+        let covered: std::collections::BTreeMap<usize, (f64, f64)> = prior
+            .map(|p| {
+                p.samples
+                    .iter()
+                    .filter(|s| s.col < grid.len())
+                    .map(|s| (s.col, (s.power_w, s.perf)))
+                    .collect()
+            })
+            .unwrap_or_default();
         if self.corpus.app_count() < 2 {
-            let m = self.try_calibrate_exhaustive(name, min_cores, probe)?;
-            let n = m.grid().len();
-            return Some((m, n));
+            // Nothing to collaborate with: exhaustive ground truth, with
+            // prior-covered settings taken on faith instead of probed.
+            let mut power = Vec::with_capacity(grid.len());
+            let mut perf = Vec::with_capacity(grid.len());
+            let mut probed = 0usize;
+            for (c, knob) in grid.iter().enumerate() {
+                let (p, q) = match covered.get(&c) {
+                    Some(&(p, q)) => (Watts::new(p), q),
+                    None => {
+                        probed += 1;
+                        probe(knob)?
+                    }
+                };
+                power.push(p);
+                perf.push(q);
+            }
+            let samples = power
+                .iter()
+                .zip(&perf)
+                .enumerate()
+                .map(|(c, (p, q))| ProbeSample {
+                    col: c,
+                    power_w: p.value(),
+                    perf: *q,
+                })
+                .collect();
+            let k = self.fit.factors;
+            let skipped = grid.len() - probed;
+            return Some(OnlineCalibration {
+                measurement: AppMeasurement::from_vectors(name, grid, power, perf, min_cores),
+                probed,
+                skipped,
+                samples,
+                power_row: FoldedRow::new(0.0, vec![0.0; k]),
+                perf_row: FoldedRow::new(0.0, vec![0.0; k]),
+            });
         }
         let sampler = SparseSampler::new(grid.len(), self.seed);
         let cols = sampler.columns_for(self.sampling_fraction);
 
         let mut power_obs = Vec::with_capacity(cols.len());
         let mut perf_obs = Vec::with_capacity(cols.len());
+        let mut probed = 0usize;
+        let mut skipped = 0usize;
         for &c in &cols {
             let knob = grid.get(c).expect("sampled column on grid");
-            let (p, q) = probe(knob)?;
+            let (p, q) = match covered.get(&c) {
+                Some(&(p, q)) => {
+                    skipped += 1;
+                    (Watts::new(p), q)
+                }
+                None => {
+                    probed += 1;
+                    probe(knob)?
+                }
+            };
             power_obs.push((c, p.value()));
             perf_obs.push((c, q));
+        }
+        // Prior samples outside the schedule are extra observations for
+        // free; appended after the scheduled columns so the prior-free
+        // path sums in exactly the historical order.
+        for (&c, &(p, q)) in &covered {
+            if cols.binary_search(&c).is_err() {
+                power_obs.push((c, p));
+                perf_obs.push((c, q));
+            }
         }
 
         let (_, power_entries) = self.corpus.power_channel();
@@ -169,8 +308,10 @@ impl Calibrator {
         let power_model = Completion::fit(rows, grid.len(), &power_entries, self.fit);
         let perf_model = Completion::fit(rows, grid.len(), &perf_entries, self.fit);
 
-        let mut power_pred = power_model.predict_row(&power_model.fold_in(&power_obs));
-        let mut perf_pred = perf_model.predict_row(&perf_model.fold_in(&perf_obs));
+        let power_row = power_model.fold_in(&power_obs);
+        let perf_row = perf_model.fold_in(&perf_obs);
+        let mut power_pred = power_model.predict_row(&power_row);
+        let mut perf_pred = perf_model.predict_row(&perf_row);
         for (c, v) in &power_obs {
             power_pred[*c] = *v;
         }
@@ -182,7 +323,16 @@ impl Calibrator {
                 *v = 0.0;
             }
         }
-        let probed = cols.len();
+        let mut samples: Vec<ProbeSample> = power_obs
+            .iter()
+            .zip(&perf_obs)
+            .map(|(&(c, p), &(_, q))| ProbeSample {
+                col: c,
+                power_w: p,
+                perf: q,
+            })
+            .collect();
+        samples.sort_by_key(|s| s.col);
         let m = AppMeasurement::from_vectors(
             name,
             grid,
@@ -190,7 +340,14 @@ impl Calibrator {
             perf_pred,
             min_cores,
         );
-        Some((m, probed))
+        Some(OnlineCalibration {
+            measurement: m,
+            probed,
+            skipped,
+            samples,
+            power_row,
+            perf_row,
+        })
     }
 }
 
@@ -308,6 +465,146 @@ mod tests {
         cal.seed_corpus(&catalog::all());
         let result = cal.try_calibrate_online("gone", 4, |_| None);
         assert!(result.is_none());
+    }
+
+    #[test]
+    fn seeding_the_same_profiles_twice_does_not_duplicate_rows() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        assert_eq!(cal.corpus_size(), 12);
+        cal.seed_corpus(&catalog::all());
+        assert_eq!(cal.corpus_size(), 12, "repeat seeding must be a no-op");
+    }
+
+    #[test]
+    fn sparse_row_and_catalog_row_for_one_workload_collapse() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        let fp = AppFingerprint::of(&catalog::stream());
+        let samples = [ProbeSample {
+            col: 0,
+            power_w: 10.0,
+            perf: 100.0,
+        }];
+        assert!(cal.seed_sparse_row(fp, &samples));
+        assert_eq!(cal.corpus_size(), 1);
+        // The catalog row for the same workload is skipped...
+        cal.seed_corpus(&catalog::all());
+        assert_eq!(cal.corpus_size(), 12, "stream arrived via the store");
+        // ...and so is a second copy of the sparse row.
+        assert!(!cal.seed_sparse_row(fp, &samples));
+    }
+
+    #[test]
+    fn empty_sparse_row_is_rejected_without_claiming_the_fingerprint() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        let fp = AppFingerprint::of(&catalog::bfs());
+        assert!(!cal.seed_sparse_row(fp, &[]));
+        assert!(cal.seed_sparse_row(
+            fp,
+            &[ProbeSample {
+                col: 1,
+                power_w: 9.0,
+                perf: 50.0,
+            }]
+        ));
+    }
+
+    #[test]
+    fn seeded_with_no_prior_matches_the_plain_online_path() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        let mut probe_a = probe_for(catalog::stream());
+        let (plain, probed_plain) = cal
+            .try_calibrate_online("s", 4, |k| Some(probe_a(k)))
+            .unwrap();
+        let mut probe_b = probe_for(catalog::stream());
+        let seeded = cal
+            .try_calibrate_online_seeded("s", 4, None, |k| Some(probe_b(k)))
+            .unwrap();
+        assert_eq!(seeded.probed, probed_plain);
+        assert_eq!(seeded.skipped, 0);
+        for i in 0..plain.grid().len() {
+            assert_eq!(plain.power(i), seeded.measurement.power(i));
+            assert_eq!(plain.perf(i), seeded.measurement.perf(i));
+        }
+    }
+
+    #[test]
+    fn full_prior_makes_a_warm_admission_probe_nothing() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        // Cold pass: measure and keep the observations as the prior.
+        let mut probe = probe_for(catalog::bfs());
+        let cold = cal
+            .try_calibrate_online_seeded("b", 4, None, |k| Some(probe(k)))
+            .unwrap();
+        assert!(cold.probed > 0);
+        let mut prior = StoredProfile::tombstone(1, 0);
+        prior.confidence = 1.0;
+        prior.samples = cold.samples.clone();
+        // Warm pass: every scheduled column is covered, so zero probes
+        // run and the surface comes out bit-identical (the sampler is
+        // deterministic, so cold and warm share one schedule).
+        let warm = cal
+            .try_calibrate_online_seeded("b", 4, Some(&prior), |_| {
+                panic!("a fully covered admission must not probe")
+            })
+            .unwrap();
+        assert_eq!(warm.probed, 0);
+        assert_eq!(warm.skipped, cold.probed);
+        for i in 0..warm.measurement.grid().len() {
+            assert_eq!(warm.measurement.power(i), cold.measurement.power(i));
+            assert_eq!(warm.measurement.perf(i), cold.measurement.perf(i));
+        }
+    }
+
+    #[test]
+    fn partial_prior_probes_only_the_uncovered_schedule() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        let mut probe = probe_for(catalog::x264());
+        let cold = cal
+            .try_calibrate_online_seeded("x", 4, None, |k| Some(probe(k)))
+            .unwrap();
+        // Prior covering half the cold observations.
+        let mut prior = StoredProfile::tombstone(1, 0);
+        prior.confidence = 1.0;
+        prior.samples = cold.samples.iter().step_by(2).copied().collect();
+        let half = prior.samples.len();
+        let mut probe2 = probe_for(catalog::x264());
+        let warm = cal
+            .try_calibrate_online_seeded("x", 4, Some(&prior), |k| Some(probe2(k)))
+            .unwrap();
+        assert_eq!(warm.skipped, half);
+        assert_eq!(warm.probed, cold.probed - half);
+        assert_eq!(
+            warm.samples.len(),
+            cold.samples.len(),
+            "union of fresh + prior covers the same columns"
+        );
+    }
+
+    #[test]
+    fn exhaustive_fallback_honours_the_prior() {
+        let cal = Calibrator::new(spec(), 0.1); // empty corpus
+        let mut probe = probe_for(catalog::kmeans());
+        let cold = cal
+            .try_calibrate_online_seeded("k", 4, None, |k| Some(probe(k)))
+            .unwrap();
+        assert_eq!(cold.probed, 432);
+        let mut prior = StoredProfile::tombstone(1, 0);
+        prior.confidence = 1.0;
+        prior.samples = cold.samples.clone();
+        let warm = cal
+            .try_calibrate_online_seeded("k", 4, Some(&prior), |_| {
+                panic!("fully covered exhaustive fallback must not probe")
+            })
+            .unwrap();
+        assert_eq!(warm.probed, 0);
+        assert_eq!(warm.skipped, 432);
+        for i in 0..warm.measurement.grid().len() {
+            assert_eq!(warm.measurement.power(i), cold.measurement.power(i));
+        }
     }
 
     #[test]

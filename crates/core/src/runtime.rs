@@ -9,11 +9,15 @@
 
 use std::collections::BTreeMap;
 
+use powermed_profiles::{
+    AppFingerprint, ProbeSplit, ProfileDigest, ProfileStore, Provenance, StoredProfile,
+};
 use powermed_server::knobs::{KnobGrid, KnobSetting};
 use powermed_server::server::AppRunState;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
 use powermed_telemetry::faults::HardeningStats;
+use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Ratio, Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
 
@@ -105,6 +109,21 @@ pub struct PowerMediator {
     escalated: bool,
     /// The most recent fault the hardened runtime acted on.
     last_fault_error: Option<CoreError>,
+    /// Fleet profile knowledge plane. `None` (the default) keeps every
+    /// calibration cold and the runtime bit-identical to the storeless
+    /// one.
+    store: Option<ProfileStore>,
+    /// Digests published or tombstoned since the last drain, awaiting
+    /// propagation over whatever plane the driver runs.
+    store_outbox: Vec<ProfileDigest>,
+    /// This server's identity in store provenance.
+    server_id: u64,
+    /// Content fingerprints of admitted applications (only populated
+    /// while a store is attached).
+    fingerprints: BTreeMap<String, AppFingerprint>,
+    /// Probe accounting split cold / warm / skipped;
+    /// `probe_split.measured()` always equals `probes`.
+    probe_split: ProbeSplit,
 }
 
 impl PowerMediator {
@@ -144,6 +163,11 @@ impl PowerMediator {
             safe_mode_breach_polls: 0,
             escalated: false,
             last_fault_error: None,
+            store: None,
+            store_outbox: Vec::new(),
+            server_id: 0,
+            fingerprints: BTreeMap::new(),
+            probe_split: ProbeSplit::default(),
         }
     }
 
@@ -210,6 +234,19 @@ impl PowerMediator {
         self
     }
 
+    /// Attaches a profile knowledge-plane store (effective only with
+    /// online calibration — the exhaustive paths are ground truth and
+    /// stay cold). Admissions then consult the store first: a confident
+    /// prior satisfies already-covered probe points without running
+    /// them, fresh measurements are republished as versioned digests
+    /// (drain with [`Self::take_store_outbox`]), and E4 drift
+    /// tombstones the entry fleet-wide.
+    pub fn with_profile_store(mut self, store: ProfileStore, server_id: u64) -> Self {
+        self.store = Some(store);
+        self.server_id = server_id;
+        self
+    }
+
     /// The policy being run.
     pub fn kind(&self) -> PolicyKind {
         self.policy.kind()
@@ -228,6 +265,57 @@ impl PowerMediator {
     /// Number of online calibration probes performed so far.
     pub fn probes(&self) -> usize {
         self.probes
+    }
+
+    /// Probe accounting split by how each point was satisfied.
+    pub fn probe_split(&self) -> ProbeSplit {
+        self.probe_split
+    }
+
+    /// The attached profile store, if any.
+    pub fn profile_store(&self) -> Option<&ProfileStore> {
+        self.store.as_ref()
+    }
+
+    /// Store event counters (all zero when no store is attached).
+    pub fn store_stats(&self) -> ProfileStoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Drains the digests published or tombstoned since the last drain.
+    pub fn take_store_outbox(&mut self) -> Vec<ProfileDigest> {
+        std::mem::take(&mut self.store_outbox)
+    }
+
+    /// Merges digests received from the fleet into the local store and
+    /// seeds the completion corpus with their sparse rows. Returns how
+    /// many store entries changed (0 when no store is attached).
+    pub fn absorb_digests(&mut self, digests: &[ProfileDigest]) -> usize {
+        let Some(store) = self.store.as_mut() else {
+            return 0;
+        };
+        let changed = store.merge_digests(digests);
+        for d in digests {
+            if !d.profile.is_tombstone() {
+                let _ = self
+                    .calibrator
+                    .seed_sparse_row(d.fingerprint, &d.profile.samples);
+            }
+        }
+        changed
+    }
+
+    /// Advances the store's epoch (for confidence decay); a no-op
+    /// without a store.
+    pub fn set_store_epoch(&mut self, epoch: u64) {
+        if let Some(store) = self.store.as_mut() {
+            store.set_epoch(epoch);
+        }
+    }
+
+    /// JSON snapshot of the attached store (crash-durable state), if any.
+    pub fn store_snapshot_json(&self) -> Option<String> {
+        self.store.as_ref().map(|s| s.snapshot_json())
     }
 
     /// Number of re-planning events handled so far.
@@ -294,6 +382,10 @@ impl PowerMediator {
             sim.host(profile.clone(), initial)?;
         }
         self.accountant.arrival(&name);
+        if self.store.is_some() && self.online_calibration {
+            self.fingerprints
+                .insert(name.clone(), AppFingerprint::of(&profile));
+        }
         if !self.online_calibration && profile.phases().is_none() {
             // Phase-free surfaces are time-invariant, so probing the
             // simulator at every grid setting reproduces the shared
@@ -302,6 +394,7 @@ impl PowerMediator {
             // full grid so reported totals match the uncached runtime.
             let m = MeasurementCache::global().measure(&self.spec, &profile);
             self.probes += m.grid().len();
+            self.probe_split.cold += m.grid().len() as u64;
             self.measurements.insert(name.clone(), (*m).clone());
         } else {
             self.calibrate(sim, &name, min_cores);
@@ -401,9 +494,13 @@ impl PowerMediator {
                     let _ = sim.remove(&name);
                     self.accountant.remove(&name);
                     self.measurements.remove(&name);
+                    self.fingerprints.remove(&name);
                     need_replan = true;
                 }
                 Event::Drift(name) => {
+                    // E4: the stored profile is now wrong everywhere,
+                    // not just here — tombstone it before re-measuring.
+                    self.invalidate_profile(&name);
                     let min_cores = self
                         .measurements
                         .get(&name)
@@ -433,6 +530,7 @@ impl PowerMediator {
     /// application vanished mid-calibration — the probe degrades to a
     /// skipped calibration and the departure is handled instead.
     pub fn recalibrate(&mut self, sim: &mut ServerSim, name: &str) -> bool {
+        self.invalidate_profile(name);
         let min_cores = self
             .measurements
             .get(name)
@@ -445,41 +543,109 @@ impl PowerMediator {
         ok
     }
 
-    fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) -> bool {
-        let result = if self.online_calibration {
-            let sim_ref: &ServerSim = sim;
-            self.calibrator
-                .try_calibrate_online(name, min_cores, |knob| sim_ref.probe(name, knob))
-        } else {
-            let sim_ref: &ServerSim = sim;
-            self.calibrator
-                .try_calibrate_exhaustive(name, min_cores, |knob| sim_ref.probe(name, knob))
-                .map(|m| {
-                    let n = m.grid().len();
-                    (m, n)
-                })
+    /// Tombstones `name`'s store entry (E4: the profile is stale
+    /// fleet-wide) and queues the tombstone for propagation.
+    fn invalidate_profile(&mut self, name: &str) {
+        let Some(fp) = self.fingerprints.get(name).copied() else {
+            return;
         };
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        if let Some(tombstone) = store.invalidate(fp) {
+            self.store_outbox.push(tombstone);
+        }
+    }
+
+    fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) -> bool {
+        if self.online_calibration {
+            return self.calibrate_online(sim, name, min_cores);
+        }
+        let sim_ref: &ServerSim = sim;
+        let result = self
+            .calibrator
+            .try_calibrate_exhaustive(name, min_cores, |knob| sim_ref.probe(name, knob));
         match result {
-            Some((m, probed)) => {
+            Some(m) => {
+                let probed = m.grid().len();
                 self.probes += probed;
+                self.probe_split.cold += probed as u64;
                 self.measurements.insert(name.to_string(), m);
                 true
             }
-            None => {
-                // The application departed mid-calibration. Degrade to a
-                // skipped probe: fire (or finish) its E3 instead of
-                // panicking on a half-measured surface.
-                self.hardening_stats.skipped_calibrations += 1;
-                if let Some(event) = self.accountant.force_departure(name) {
-                    self.handle_events(sim, vec![event]);
-                } else {
-                    let _ = sim.remove(name);
-                    self.accountant.remove(name);
-                    self.measurements.remove(name);
-                }
-                false
+            None => self.calibration_departed(sim, name),
+        }
+    }
+
+    /// Online calibration with the knowledge plane in the loop: consult
+    /// the store for a confident prior, probe only what it does not
+    /// cover, and republish whatever fresh measurement came out.
+    fn calibrate_online(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) -> bool {
+        let fingerprint = self.fingerprints.get(name).copied();
+        let prior = match (fingerprint, self.store.as_mut()) {
+            (Some(fp), Some(store)) => store.confident(fp),
+            _ => None,
+        };
+        let sim_ref: &ServerSim = sim;
+        let result =
+            self.calibrator
+                .try_calibrate_online_seeded(name, min_cores, prior.as_ref(), |knob| {
+                    sim_ref.probe(name, knob)
+                });
+        let Some(oc) = result else {
+            return self.calibration_departed(sim, name);
+        };
+        self.probes += oc.probed;
+        if prior.is_some() {
+            self.probe_split.warm += oc.probed as u64;
+            self.probe_split.skipped += oc.skipped as u64;
+        } else {
+            self.probe_split.cold += oc.probed as u64;
+        }
+        if let (Some(fp), Some(store)) = (fingerprint, self.store.as_mut()) {
+            if oc.probed > 0 {
+                // Fresh data: republish one version past whatever the
+                // store holds (so a post-tombstone recalibration wins
+                // back). A fully warm admission learned nothing new and
+                // republishes nothing.
+                let version = store.peek(fp).map(|p| p.version + 1).unwrap_or(1);
+                let coverage = oc.samples.len() as f64 / self.grid.len().max(1) as f64;
+                let published = StoredProfile {
+                    version,
+                    confidence: 0.6 + 0.4 * coverage,
+                    samples: oc.samples.clone(),
+                    power_row: oc.power_row.clone(),
+                    perf_row: oc.perf_row.clone(),
+                    provenance: Provenance {
+                        server: self.server_id,
+                        epoch: store.epoch(),
+                        probes: oc.probed as u64,
+                    },
+                };
+                store.publish(fp, published.clone());
+                self.store_outbox.push(ProfileDigest {
+                    fingerprint: fp,
+                    profile: published,
+                });
             }
         }
+        self.measurements.insert(name.to_string(), oc.measurement);
+        true
+    }
+
+    /// The application departed mid-calibration. Degrade to a skipped
+    /// probe: fire (or finish) its E3 instead of panicking on a
+    /// half-measured surface.
+    fn calibration_departed(&mut self, sim: &mut ServerSim, name: &str) -> bool {
+        self.hardening_stats.skipped_calibrations += 1;
+        if let Some(event) = self.accountant.force_departure(name) {
+            self.handle_events(sim, vec![event]);
+        } else {
+            let _ = sim.remove(name);
+            self.accountant.remove(name);
+            self.measurements.remove(name);
+        }
+        false
     }
 
     fn replan(&mut self, sim: &mut ServerSim) {
@@ -1256,6 +1422,118 @@ mod tests {
             sim.recorder().series("safe_mode").is_none(),
             "no hardened series recorded when hardening is off"
         );
+    }
+
+    #[test]
+    fn warm_admission_from_a_restored_store_probes_nothing() {
+        let corpus = catalog::all();
+        // Cold server: measures, publishes to its store.
+        let mut sim_a = sim_no_esd();
+        let mut med_a = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10)
+            .with_profile_store(ProfileStore::default(), 1);
+        med_a.admit(&mut sim_a, catalog::stream()).unwrap();
+        let cold = med_a.probe_split();
+        assert!(cold.cold > 0);
+        assert_eq!(cold.warm + cold.skipped, 0);
+        assert_eq!(med_a.take_store_outbox().len(), 1, "publication queued");
+        assert_eq!(med_a.store_stats().misses, 1, "cold lookup missed");
+
+        // Warm server: restores the snapshot (the crash-durable path)
+        // and admits the same workload without a single probe.
+        let snapshot = med_a.store_snapshot_json().unwrap();
+        let restored = ProfileStore::from_json(&snapshot).unwrap();
+        let mut sim_b = sim_no_esd();
+        let mut med_b = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10)
+            .with_profile_store(restored, 2);
+        med_b.admit(&mut sim_b, catalog::stream()).unwrap();
+        assert_eq!(med_b.probes(), 0, "fully covered prior: no probes");
+        let warm = med_b.probe_split();
+        assert_eq!(warm.cold + warm.warm, 0);
+        assert_eq!(warm.skipped as usize, cold.cold as usize);
+        assert_eq!(med_b.store_stats().hits, 1);
+        assert!(
+            med_b.take_store_outbox().is_empty(),
+            "nothing new learned, nothing republished"
+        );
+        // Both servers computed the same surface from the same samples.
+        let ma = med_a.measurement("stream").unwrap();
+        let mb = med_b.measurement("stream").unwrap();
+        for i in 0..ma.grid().len() {
+            assert_eq!(ma.power(i), mb.power(i));
+            assert_eq!(ma.perf(i), mb.perf(i));
+        }
+    }
+
+    #[test]
+    fn empty_store_matches_the_storeless_online_path() {
+        let corpus = catalog::all();
+        let run = |with_store: bool| {
+            let mut sim = sim_no_esd();
+            let mut med =
+                mediator(PolicyKind::AppResAware, 100.0).with_online_calibration(&corpus, 0.10);
+            if with_store {
+                med = med.with_profile_store(ProfileStore::default(), 0);
+            }
+            med.admit(&mut sim, catalog::kmeans()).unwrap();
+            med.run_for(&mut sim, Seconds::new(2.0), DT);
+            (med.probes(), sim.ops_done("kmeans"))
+        };
+        let (probes_plain, ops_plain) = run(false);
+        let (probes_store, ops_store) = run(true);
+        assert_eq!(probes_plain, probes_store);
+        assert_eq!(ops_plain, ops_store, "store must not perturb the run");
+    }
+
+    #[test]
+    fn drift_recalibration_tombstones_then_republishes() {
+        let corpus = catalog::all();
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10)
+            .with_profile_store(ProfileStore::default(), 3);
+        med.admit(&mut sim, catalog::bfs()).unwrap();
+        let first = med.take_store_outbox();
+        assert_eq!(first.len(), 1);
+        let v1 = first[0].profile.version;
+
+        // Forced E4: the entry is tombstoned (v+1), then the fresh
+        // recalibration republishes over it (v+2).
+        assert!(med.recalibrate(&mut sim, "bfs"));
+        let after = med.take_store_outbox();
+        assert_eq!(after.len(), 2, "tombstone then republication");
+        assert!(after[0].profile.is_tombstone());
+        assert_eq!(after[0].profile.version, v1 + 1);
+        assert!(!after[1].profile.is_tombstone());
+        assert_eq!(after[1].profile.version, v1 + 2);
+        assert_eq!(med.store_stats().invalidations, 1);
+        // The stale profile was not served to the recalibration.
+        let split = med.probe_split();
+        assert_eq!(split.warm, 0, "post-tombstone lookup must miss");
+        assert_eq!(split.skipped, 0);
+    }
+
+    #[test]
+    fn absorbed_fleet_digests_warm_up_local_admissions() {
+        let corpus = catalog::all();
+        // Server 1 measures x264 cold and broadcasts.
+        let mut sim_a = sim_no_esd();
+        let mut med_a = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10)
+            .with_profile_store(ProfileStore::default(), 1);
+        med_a.admit(&mut sim_a, catalog::x264()).unwrap();
+        let digests = med_a.take_store_outbox();
+
+        // Server 2 absorbs the broadcast, then admits the same app warm.
+        let mut sim_b = sim_no_esd();
+        let mut med_b = mediator(PolicyKind::AppResAware, 100.0)
+            .with_online_calibration(&corpus, 0.10)
+            .with_profile_store(ProfileStore::default(), 2);
+        assert_eq!(med_b.absorb_digests(&digests), 1);
+        med_b.admit(&mut sim_b, catalog::x264()).unwrap();
+        assert_eq!(med_b.probes(), 0, "fleet knowledge made this warm");
+        assert_eq!(med_b.store_stats().hits, 1);
     }
 
     #[test]

@@ -29,8 +29,10 @@ pub mod faults;
 pub mod heartbeat;
 pub mod meter;
 pub mod recorder;
+pub mod store;
 
 pub use faults::{FaultStats, HardeningStats};
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
 pub use meter::{CapCompliance, PowerMeter};
 pub use recorder::{SharedRecorder, TraceRecorder};
+pub use store::ProfileStoreStats;
