@@ -1,0 +1,118 @@
+//! Decision-audit doctor: replays the reference fault scenario with the
+//! flight recorder attached and explains a mediator decision from the
+//! journal.
+//!
+//! ```text
+//! doctor --explain throttle [--app <name-or-1-based-index>] [--seed N]
+//! ```
+//!
+//! `--explain throttle` walks the journal backward from the last
+//! safe-mode force-throttle of the chosen app to the safe-mode
+//! engagement that issued it and the over-cap polls and sensor verdicts
+//! that armed the watchdog, then prints the whole chain chronologically
+//! (sequence number, poll, sim time, epoch, event). Exits nonzero when
+//! the chain cannot be reconstructed.
+use powermed_bench::experiments::{ext_faults, ext_obs};
+use powermed_telemetry::journal::{EventRecord, ObsConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn print_record(prefix: &str, r: &EventRecord) {
+    println!(
+        "{prefix}seq {:>5}  poll {:>4}  t {:>6.1}s  epoch {:>2}  {:?}",
+        r.seq,
+        r.poll,
+        r.at.value(),
+        r.epoch,
+        r.event
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = arg_value(&args, "--explain").unwrap_or_else(|| "throttle".to_string());
+    if what != "throttle" {
+        eprintln!("doctor: unknown --explain target {what:?} (supported: throttle)");
+        std::process::exit(2);
+    }
+    let seed = arg_value(&args, "--seed")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(ext_faults::SEED);
+
+    let mix = ext_faults::reference_mix();
+    // `--app` takes an app name or a 1-based index into the mix.
+    let app: Option<String> = arg_value(&args, "--app").map(|v| match v.parse::<usize>() {
+        Ok(i) if i >= 1 && i <= mix.apps().len() => mix.apps()[i - 1].name().to_string(),
+        _ => v,
+    });
+
+    let scenario = ext_obs::reference_scenario(seed);
+    println!(
+        "doctor: replaying {:?} for {} s (seed {seed:#x}, hardened, flight recorder on)",
+        scenario.label,
+        ext_faults::SCENARIO_DURATION.value()
+    );
+    let run = ext_obs::run_observed(
+        &scenario,
+        &mix,
+        ext_faults::SCENARIO_DURATION,
+        ObsConfig::default(),
+    );
+    let journal = run.obs.journal_snapshot();
+    let (retained, evicted, total) = run.obs.journal_counts();
+    println!(
+        "journal: {retained} records retained ({evicted} evicted of {total}); \
+         run ended {} safe mode\n",
+        if run.safe_mode { "inside" } else { "outside" }
+    );
+
+    match ext_obs::explain_throttle(&journal, app.as_deref()) {
+        Some(ex) => {
+            println!(
+                "why was {} force-throttled? ({} evidence records)",
+                match &ex.throttle.event {
+                    powermed_telemetry::journal::ObsEvent::ForceThrottle { app } => app.as_str(),
+                    _ => "?",
+                },
+                ex.causes.len()
+            );
+            for r in &ex.causes {
+                print_record("  cause   ", r);
+            }
+            print_record("  decide  ", &ex.engage);
+            print_record("  effect  ", &ex.throttle);
+            println!(
+                "\nverdict: {} over-cap poll(s) and {} sensor verdict(s) armed the \
+                 watchdog; safe mode engaged at poll {} and force-throttled the app.",
+                ex.causes
+                    .iter()
+                    .filter(|c| matches!(
+                        c.event,
+                        powermed_telemetry::journal::ObsEvent::Poll { over_cap: true, .. }
+                    ))
+                    .count(),
+                ex.causes
+                    .iter()
+                    .filter(|c| matches!(
+                        c.event,
+                        powermed_telemetry::journal::ObsEvent::SensorSuspect { .. }
+                            | powermed_telemetry::journal::ObsEvent::SensorFault { .. }
+                    ))
+                    .count(),
+                ex.engage.poll
+            );
+        }
+        None => {
+            eprintln!(
+                "doctor: no force-throttle for {} found in the journal",
+                app.as_deref().unwrap_or("any app")
+            );
+            std::process::exit(1);
+        }
+    }
+}

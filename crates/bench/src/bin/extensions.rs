@@ -8,4 +8,5 @@ fn main() {
     ex::ext_latency::print();
     ex::ext_cluster::print();
     ex::ext_faults::print();
+    ex::ext_obs::print();
 }

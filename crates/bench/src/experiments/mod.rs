@@ -6,6 +6,7 @@ pub mod ext_cluster_faults;
 pub mod ext_faults;
 pub mod ext_latency;
 pub mod ext_napp;
+pub mod ext_obs;
 pub mod ext_warmstart;
 pub mod fig10;
 pub mod fig11;

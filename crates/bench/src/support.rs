@@ -212,6 +212,14 @@ impl HarnessDoc {
         }
     }
 
+    /// The raw pre-rendered JSON value of section `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Renders the document back to JSON text.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");
@@ -391,6 +399,34 @@ mod tests {
         assert!(text.contains("\"fig2\": 0.7"), "{text}");
         assert!(!text.contains("\"fig2\": 0.5"), "{text}");
         assert!(text.contains("\"ext_faults\""), "{text}");
+    }
+
+    #[test]
+    fn metrics_section_round_trips_through_the_harness_doc() {
+        use powermed_telemetry::metrics::{prom_label, Histogram, MetricsRegistry};
+        // A registry exactly as `ext_obs` writes it: counters (labeled
+        // and bare), a gauge, and a log-bucketed histogram with samples.
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc_by("events_total", 42);
+        metrics.inc(&prom_label("events_by_kind_total", &[("kind", "poll")]));
+        metrics.set_gauge("safe_mode_engaged", 1.0);
+        metrics.register_histogram("cap_violation_w", Histogram::log_bucketed(1e-3, 2.0, 12));
+        metrics.observe("cap_violation_w", 0.25);
+        metrics.observe("cap_violation_w", 3.5);
+
+        let mut doc = HarnessDoc::default();
+        doc.set("experiments", json_object(&[("fig2".into(), "0.5".into())]));
+        doc.set("ext_obs_metrics", metrics.to_json());
+        let text = doc.render();
+
+        // Other sections survive, and the metrics section parses back
+        // into an identical registry.
+        let back = HarnessDoc::parse(&text).expect("own output parses");
+        assert_eq!(back.get("experiments"), doc.get("experiments"));
+        let section = back.get("ext_obs_metrics").expect("section present");
+        let restored = MetricsRegistry::from_json(section).expect("section parses");
+        assert_eq!(restored, metrics, "lossless round trip");
+        assert_eq!(back.render(), text, "render is a fixed point");
     }
 
     #[test]

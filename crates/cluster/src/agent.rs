@@ -24,6 +24,7 @@ use powermed_core::runtime::PowerMediator;
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore};
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{ServerSim, StepReport};
+use powermed_telemetry::journal::Obs;
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::Mix;
@@ -107,6 +108,9 @@ pub struct ServerAgent {
     probes_before: ProbeSplit,
     /// Store counters banked from previous incarnations.
     store_stats_before: ProfileStoreStats,
+    /// Flight-recorder handle, re-wired onto every incarnation's
+    /// mediator and simulation. `None` (the default) is zero-cost.
+    obs: Option<Obs>,
 }
 
 impl ServerAgent {
@@ -177,7 +181,16 @@ impl ServerAgent {
             store_snapshot: None,
             probes_before: ProbeSplit::default(),
             store_stats_before: ProfileStoreStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches a flight-recorder handle to this agent's mediator and
+    /// simulation (and to every future incarnation after a restart).
+    pub fn set_observability(&mut self, obs: Obs) {
+        self.mediator.set_observability(obs.clone());
+        self.sim.set_observability(obs.clone());
+        self.obs = Some(obs);
     }
 
     /// The cap currently enforced on this server.
@@ -232,6 +245,11 @@ impl ServerAgent {
         }
         if let Some(freshest) = msgs.iter().map(|m| m.epoch).max() {
             self.mediator.set_store_epoch(freshest);
+            // Journal records from here on carry the adopted epoch, so
+            // `doctor` can correlate decisions with assignment waves.
+            if let Some(obs) = self.obs.as_ref() {
+                obs.set_epoch(freshest);
+            }
         }
         if !self.resilient {
             for m in msgs {
@@ -389,6 +407,10 @@ impl ServerAgent {
         );
         self.sim = sim;
         self.mediator = mediator;
+        if let Some(obs) = self.obs.as_ref() {
+            self.mediator.set_observability(obs.clone());
+            self.sim.set_observability(obs.clone());
+        }
         self.current_cap = boot_cap;
         self.steps_since_downlink = 0;
         self.needs_cap = self.resilient;

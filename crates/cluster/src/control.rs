@@ -31,6 +31,7 @@ use powermed_core::policy::{PolicyKind, PowerPolicy};
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore, StoreConfig};
 use powermed_server::ServerSpec;
 use powermed_telemetry::faults::ClusterControlStats;
+use powermed_telemetry::journal::{Obs, ObsEvent};
 use powermed_telemetry::recorder::TraceRecorder;
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Joules, Ratio, Seconds, Watts};
@@ -302,6 +303,11 @@ pub struct ControlPlane {
     down_until: Vec<Option<u64>>,
     stats: ClusterControlStats,
     records: Vec<ClusterFaultRecord>,
+    /// Flight-recorder handle; every fault record and message send is
+    /// mirrored into its journal. `None` (the default) is zero-cost.
+    obs: Option<Obs>,
+    /// Wall-clock length of one control step, for journal timestamps.
+    obs_dt: Seconds,
 }
 
 impl ControlPlane {
@@ -319,10 +325,29 @@ impl ControlPlane {
             down_until: vec![None; servers],
             stats: ClusterControlStats::default(),
             records: Vec::new(),
+            obs: None,
+            obs_dt: Seconds::new(1.0),
             config,
             servers,
             step: 0,
         }
+    }
+
+    /// Attaches a flight-recorder handle. Fault records and message
+    /// sends are journalled from then on, timestamped `step * dt`.
+    pub fn set_observability(&mut self, obs: Obs, dt: Seconds) {
+        self.obs = Some(obs);
+        self.obs_dt = dt;
+    }
+
+    /// The attached flight-recorder handle, if any.
+    pub fn observability(&self) -> Option<&Obs> {
+        self.obs.as_ref()
+    }
+
+    /// Journal timestamp for the current control step.
+    fn obs_now(&self) -> Seconds {
+        Seconds::new(self.step as f64 * self.obs_dt.value())
     }
 
     /// Advances the plane to `step` and records scheduled manager events.
@@ -339,6 +364,34 @@ impl ControlPlane {
     }
 
     fn record(&mut self, event: ClusterFaultEvent) {
+        if let Some(obs) = self.obs.as_ref() {
+            let mirrored = match event {
+                ClusterFaultEvent::DownlinkDropped { server } => ObsEvent::LinkDropped {
+                    server,
+                    uplink: false,
+                },
+                ClusterFaultEvent::DownlinkDelayed { server, steps } => ObsEvent::LinkDelayed {
+                    server,
+                    uplink: false,
+                    steps,
+                },
+                ClusterFaultEvent::UplinkDropped { server } => ObsEvent::LinkDropped {
+                    server,
+                    uplink: true,
+                },
+                ClusterFaultEvent::UplinkDelayed { server, steps } => ObsEvent::LinkDelayed {
+                    server,
+                    uplink: true,
+                    steps,
+                },
+                ClusterFaultEvent::EndpointLoss { server } => ObsEvent::EndpointLoss { server },
+                ClusterFaultEvent::NodeCrash { server } => ObsEvent::NodeCrash { server },
+                ClusterFaultEvent::NodeRestart { server } => ObsEvent::NodeRestart { server },
+                ClusterFaultEvent::ManagerCrash => ObsEvent::ManagerCrash,
+                ClusterFaultEvent::ManagerTakeover => ObsEvent::ManagerTakeover,
+            };
+            obs.emit(self.obs_now(), mirrored);
+        }
         self.records.push(ClusterFaultRecord {
             step: self.step,
             event,
@@ -439,6 +492,17 @@ impl ControlPlane {
                 }
             }
         }
+        if let Some(obs) = self.obs.as_ref() {
+            obs.emit(
+                self.obs_now(),
+                ObsEvent::DownlinkSent {
+                    server: i,
+                    epoch: msg.epoch,
+                    cap_w: msg.cap.value(),
+                    repair: msg.repair,
+                },
+            );
+        }
         self.downlinks[i].push(InFlight {
             deliver_at: self.step + delay,
             msg,
@@ -472,6 +536,15 @@ impl ControlPlane {
                     });
                 }
             }
+        }
+        if let Some(obs) = self.obs.as_ref() {
+            obs.emit(
+                self.obs_now(),
+                ObsEvent::UplinkSent {
+                    server: i,
+                    step: msg.sent_step,
+                },
+            );
         }
         // Uplinks become deliverable the step after they were sent (the
         // manager runs before the servers within a step), plus any delay.
@@ -814,7 +887,10 @@ impl Manager {
                 }
                 self.state.last_key = key;
                 self.state.epoch = step + 1;
-                self.state.caps = self.apportion(total, floor);
+                self.state.caps = {
+                    let _span = plane.observability().map(|o| o.span("coordination"));
+                    self.apportion(total, floor)
+                };
                 self.broadcast(plane, repair);
             } else if self.resilient
                 && self.config.heartbeat_interval_steps > 0
@@ -1121,6 +1197,21 @@ pub fn run_cluster(
     dt: Seconds,
     options: &ControlOptions,
 ) -> ResilienceReport {
+    run_cluster_observed(mixes, policy, trace, dt, options, None)
+}
+
+/// [`run_cluster`] with an optional flight-recorder handle attached to
+/// the control plane and every agent's mediator and simulation. Passing
+/// `None` is exactly [`run_cluster`]; the handle changes bookkeeping
+/// only, never physics or policy.
+pub fn run_cluster_observed(
+    mixes: &[Mix],
+    policy: ManagedPolicy,
+    trace: &ClusterPowerTrace,
+    dt: Seconds,
+    options: &ControlOptions,
+    obs: Option<&Obs>,
+) -> ResilienceReport {
     let spec = ServerSpec::xeon_e5_2620();
     let servers = mixes.len();
     assert!(servers > 0, "cluster needs at least one server");
@@ -1154,6 +1245,12 @@ pub fn run_cluster(
     };
 
     let mut plane = ControlPlane::new(options.faults.clone(), servers);
+    if let Some(obs) = obs {
+        plane.set_observability(obs.clone(), dt);
+        for agent in &mut agents {
+            agent.set_observability(obs.clone());
+        }
+    }
     let manager_store = options
         .warm_start
         .as_ref()
@@ -1359,6 +1456,7 @@ pub fn run_cluster(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powermed_telemetry::metrics::prom_label;
     use powermed_workloads::mixes;
 
     const DT: Seconds = Seconds::new(0.5);
@@ -1670,6 +1768,62 @@ mod tests {
         // The drift re-measurement ran fresh probes even though the
         // first admission had already covered the schedule.
         assert!(report.probe_split.measured() > 0);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_journals_the_control_plane() {
+        use powermed_telemetry::journal::ObsConfig;
+        // A budget step mid-run forces a real reapportionment, so the
+        // journal sees fresh-epoch assignment waves, not just heartbeats.
+        let trace = ClusterPowerTrace::from_samples(vec![
+            (Seconds::ZERO, Watts::new(160.0)),
+            (Seconds::new(30.0), Watts::new(130.0)),
+            (Seconds::new(60.0), Watts::new(160.0)),
+        ]);
+        let mixes = mixes_for(2);
+        let options = ControlOptions {
+            faults: ClusterFaultConfig::default_scenario(13),
+            ..ControlOptions::perfect(13)
+        };
+        let base = run_cluster(&mixes, ManagedPolicy::equal_ours(), &trace, DT, &options);
+        let obs = Obs::new(ObsConfig::default());
+        let observed = run_cluster_observed(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &options,
+            Some(&obs),
+        );
+        // The flight recorder is bookkeeping only: physics, policy, and
+        // the fault history are untouched by attaching it.
+        assert_eq!(base.report, observed.report);
+        assert_eq!(base.trace_digest, observed.trace_digest);
+        assert_eq!(base.violation_seconds, observed.violation_seconds);
+        assert_eq!(base.recorder, observed.recorder);
+        // Message lifecycle and mirrored fault records hit the journal.
+        let journal = obs.journal_snapshot();
+        let kinds: std::collections::BTreeSet<&str> =
+            journal.iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains("downlink_sent"), "kinds: {kinds:?}");
+        assert!(kinds.contains("uplink_sent"), "kinds: {kinds:?}");
+        assert!(
+            kinds.contains("link_dropped") || kinds.contains("link_delayed"),
+            "the reference scenario injects link faults: {kinds:?}"
+        );
+        assert!(kinds.contains("poll"), "mediator polls are journalled");
+        let metrics = obs.metrics();
+        assert!(
+            metrics.counter(&prom_label(
+                "events_by_kind_total",
+                &[("kind", "uplink_sent")]
+            )) > 0
+        );
+        // Adopted assignment epochs are stamped onto later records.
+        assert!(
+            journal.iter().any(|r| r.epoch > 0),
+            "downlink adoption sets the journal epoch"
+        );
     }
 
     #[test]

@@ -132,6 +132,14 @@ impl Accountant {
         self.allocations.get(name).copied()
     }
 
+    /// Sum of every budget currently on record — the "allocation out"
+    /// half of a poll's ledger, as journalled by the flight recorder.
+    pub fn total_allocation(&self) -> Watts {
+        self.allocations
+            .values()
+            .fold(Watts::ZERO, |acc, w| acc + *w)
+    }
+
     /// E5: a knob write for `name` failed and exhausted its retries.
     /// Clears the allocation on record (the substrate is not running it)
     /// so stale drift evidence cannot accumulate against it.

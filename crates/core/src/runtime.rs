@@ -17,6 +17,7 @@ use powermed_server::server::AppRunState;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
 use powermed_telemetry::faults::HardeningStats;
+use powermed_telemetry::journal::{KnobWriteVerdict, Obs, ObsEvent, SafeModeTransition};
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Ratio, Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
@@ -54,6 +55,9 @@ struct RetryState {
     attempts: u32,
     /// Sim time before which the next attempt must not run (backoff).
     next_at: Seconds,
+    /// Sim time of the original write that failed to land (the
+    /// actuation-retry-latency metric measures from here).
+    since: Seconds,
 }
 
 /// The mediation runtime: one policy, one server, one cap.
@@ -124,6 +128,10 @@ pub struct PowerMediator {
     /// Probe accounting split cold / warm / skipped;
     /// `probe_split.measured()` always equals `probes`.
     probe_split: ProbeSplit,
+    /// Flight-recorder handle; `None` (the default) keeps every
+    /// emission site a skipped branch, so the unobserved runtime is
+    /// bit-identical to before the observability plane existed.
+    obs: Option<Obs>,
 }
 
 impl PowerMediator {
@@ -168,6 +176,7 @@ impl PowerMediator {
             server_id: 0,
             fingerprints: BTreeMap::new(),
             probe_split: ProbeSplit::default(),
+            obs: None,
         }
     }
 
@@ -245,6 +254,30 @@ impl PowerMediator {
         self.store = Some(store);
         self.server_id = server_id;
         self
+    }
+
+    /// Attaches a flight-recorder observability plane: every mediator
+    /// decision (polls, E1–E6, safe-mode transitions, probe choices,
+    /// knob-write verdicts) is journalled and counted through `obs`.
+    /// Share the same handle with the simulator (via
+    /// [`ServerSim::set_observability`]) so both sides write one
+    /// interleaved journal.
+    pub fn with_observability(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches (or replaces) the observability plane after
+    /// construction — the non-consuming form of
+    /// [`Self::with_observability`], for drivers that build mediators
+    /// through shared helpers.
+    pub fn set_observability(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability handle, if any.
+    pub fn observability(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// The policy being run.
@@ -382,6 +415,9 @@ impl PowerMediator {
             sim.host(profile.clone(), initial)?;
         }
         self.accountant.arrival(&name);
+        if let Some(obs) = &self.obs {
+            obs.emit(sim.now(), ObsEvent::Arrival { app: name.clone() });
+        }
         if self.store.is_some() && self.online_calibration {
             self.fingerprints
                 .insert(name.clone(), AppFingerprint::of(&profile));
@@ -395,6 +431,17 @@ impl PowerMediator {
             let m = MeasurementCache::global().measure(&self.spec, &profile);
             self.probes += m.grid().len();
             self.probe_split.cold += m.grid().len() as u64;
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    sim.now(),
+                    ObsEvent::Probe {
+                        app: name.clone(),
+                        cold: m.grid().len(),
+                        warm: 0,
+                        skipped: 0,
+                    },
+                );
+            }
             self.measurements.insert(name.clone(), (*m).clone());
         } else {
             self.calibrate(sim, &name, min_cores);
@@ -411,11 +458,17 @@ impl PowerMediator {
     /// E1: the server's cap changed.
     pub fn set_cap(&mut self, sim: &mut ServerSim, cap: Watts) {
         self.accountant.cap_changed(cap);
+        if let Some(obs) = &self.obs {
+            obs.emit(sim.now(), ObsEvent::CapChanged { cap_w: cap.value() });
+        }
         self.replan(sim);
     }
 
     /// Runs one control step of `dt`.
     pub fn step(&mut self, sim: &mut ServerSim, dt: Seconds) -> StepReport {
+        if let Some(obs) = &self.obs {
+            obs.begin_poll();
+        }
         self.ensure_cap(sim);
         if self.watchdog.engaged() {
             // Safe mode: the forced floor stays in place; the schedule
@@ -451,6 +504,9 @@ impl PowerMediator {
             } else {
                 None
             };
+            if let (Some(obs), Some(rate)) = (&self.obs, heartbeat) {
+                obs.note_heartbeat(&name, rate);
+            }
             observations.insert(
                 name,
                 Observation {
@@ -458,6 +514,20 @@ impl PowerMediator {
                     heartbeat,
                     completed,
                     suspended,
+                },
+            );
+        }
+        if let Some(obs) = &self.obs {
+            let cap = self.accountant.cap();
+            let observed = report.observed_net_power;
+            obs.emit(
+                now,
+                ObsEvent::Poll {
+                    alloc_w: self.accountant.total_allocation().value(),
+                    net_w: report.net_power.value(),
+                    observed_w: observed.map(Watts::value),
+                    cap_w: cap.value(),
+                    over_cap: observed.is_some_and(|o| o.violates_cap(cap)),
                 },
             );
         }
@@ -487,6 +557,20 @@ impl PowerMediator {
     }
 
     fn handle_events(&mut self, sim: &mut ServerSim, events: Vec<Event>) {
+        if let Some(obs) = &self.obs {
+            let now = sim.now();
+            for event in &events {
+                let record = match event {
+                    Event::CapChanged(cap) => ObsEvent::CapChanged { cap_w: cap.value() },
+                    Event::Arrival(name) => ObsEvent::Arrival { app: name.clone() },
+                    Event::Departure(name) => ObsEvent::Departure { app: name.clone() },
+                    Event::Drift(name) => ObsEvent::Drift { app: name.clone() },
+                    Event::ActuationFault(name) => ObsEvent::ActuationFault { app: name.clone() },
+                    Event::SensorFault(what) => ObsEvent::SensorFault { what: what.clone() },
+                };
+                obs.emit(now, record);
+            }
+        }
         let mut need_replan = false;
         for event in events {
             match event {
@@ -500,7 +584,7 @@ impl PowerMediator {
                 Event::Drift(name) => {
                     // E4: the stored profile is now wrong everywhere,
                     // not just here — tombstone it before re-measuring.
-                    self.invalidate_profile(&name);
+                    self.invalidate_profile(&name, sim.now());
                     let min_cores = self
                         .measurements
                         .get(&name)
@@ -530,7 +614,7 @@ impl PowerMediator {
     /// application vanished mid-calibration — the probe degrades to a
     /// skipped calibration and the departure is handled instead.
     pub fn recalibrate(&mut self, sim: &mut ServerSim, name: &str) -> bool {
-        self.invalidate_profile(name);
+        self.invalidate_profile(name, sim.now());
         let min_cores = self
             .measurements
             .get(name)
@@ -545,7 +629,7 @@ impl PowerMediator {
 
     /// Tombstones `name`'s store entry (E4: the profile is stale
     /// fleet-wide) and queues the tombstone for propagation.
-    fn invalidate_profile(&mut self, name: &str) {
+    fn invalidate_profile(&mut self, name: &str, now: Seconds) {
         let Some(fp) = self.fingerprints.get(name).copied() else {
             return;
         };
@@ -553,11 +637,21 @@ impl PowerMediator {
             return;
         };
         if let Some(tombstone) = store.invalidate(fp) {
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    now,
+                    ObsEvent::StoreTombstone {
+                        app: name.to_string(),
+                        version: tombstone.profile.version,
+                    },
+                );
+            }
             self.store_outbox.push(tombstone);
         }
     }
 
     fn calibrate(&mut self, sim: &mut ServerSim, name: &str, min_cores: usize) -> bool {
+        let _span = self.obs.as_ref().map(|o| o.span("calibration"));
         if self.online_calibration {
             return self.calibrate_online(sim, name, min_cores);
         }
@@ -570,6 +664,17 @@ impl PowerMediator {
                 let probed = m.grid().len();
                 self.probes += probed;
                 self.probe_split.cold += probed as u64;
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        sim.now(),
+                        ObsEvent::Probe {
+                            app: name.to_string(),
+                            cold: probed,
+                            warm: 0,
+                            skipped: 0,
+                        },
+                    );
+                }
                 self.measurements.insert(name.to_string(), m);
                 true
             }
@@ -602,6 +707,22 @@ impl PowerMediator {
         } else {
             self.probe_split.cold += oc.probed as u64;
         }
+        if let Some(obs) = &self.obs {
+            let (cold, warm, skipped) = if prior.is_some() {
+                (0, oc.probed, oc.skipped)
+            } else {
+                (oc.probed, 0, 0)
+            };
+            obs.emit(
+                sim.now(),
+                ObsEvent::Probe {
+                    app: name.to_string(),
+                    cold,
+                    warm,
+                    skipped,
+                },
+            );
+        }
         if let (Some(fp), Some(store)) = (fingerprint, self.store.as_mut()) {
             if oc.probed > 0 {
                 // Fresh data: republish one version past whatever the
@@ -623,6 +744,15 @@ impl PowerMediator {
                     },
                 };
                 store.publish(fp, published.clone());
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        sim.now(),
+                        ObsEvent::StorePublish {
+                            app: name.to_string(),
+                            version,
+                        },
+                    );
+                }
                 self.store_outbox.push(ProfileDigest {
                     fingerprint: fp,
                     profile: published,
@@ -649,6 +779,9 @@ impl PowerMediator {
     }
 
     fn replan(&mut self, sim: &mut ServerSim) {
+        // Wall-clock span around the planning pass (the DP allocator is
+        // the paper's dominant decision cost).
+        let _span = self.obs.as_ref().map(|o| o.span("plan"));
         self.replans += 1;
         let names: Vec<String> = sim.app_names();
         let apps: Vec<(&str, &AppMeasurement)> = names
@@ -688,11 +821,17 @@ impl PowerMediator {
         self.pending = None;
         // Pending retries target the old schedule's settings.
         self.retries.clear();
+        // Journalled allocations accumulate here so one Planned record
+        // precedes its per-app Allocation records.
+        let mut granted: Vec<(String, Watts)> = Vec::new();
         if let Schedule::Space { settings } | Schedule::EsdCycle { settings, .. } = &self.schedule {
             for (name, idx) in settings {
                 if let Some(m) = self.measurements.get(name) {
                     self.accountant.note_allocation(name, m.power(*idx));
                     self.accountant.note_expected_perf(name, m.perf(*idx));
+                    if self.obs.is_some() {
+                        granted.push((name.clone(), m.power(*idx)));
+                    }
                 }
             }
         }
@@ -701,6 +840,9 @@ impl PowerMediator {
                 if let Some(m) = self.measurements.get(&slot.app) {
                     self.accountant
                         .note_allocation(&slot.app, m.power(slot.setting));
+                    if self.obs.is_some() {
+                        granted.push((slot.app.clone(), m.power(slot.setting)));
+                    }
                 }
             }
         }
@@ -709,13 +851,44 @@ impl PowerMediator {
                 if let Some(m) = self.measurements.get(name) {
                     self.accountant.note_allocation(name, m.power(*idx));
                     self.accountant.note_expected_perf(name, m.perf(*idx));
+                    if self.obs.is_some() {
+                        granted.push((name.clone(), m.power(*idx)));
+                    }
                 }
             }
             for slot in slots {
                 if let Some(m) = self.measurements.get(&slot.app) {
                     self.accountant
                         .note_allocation(&slot.app, m.power(slot.setting));
+                    if self.obs.is_some() {
+                        granted.push((slot.app.clone(), m.power(slot.setting)));
+                    }
                 }
+            }
+        }
+        if let Some(obs) = &self.obs {
+            let mode = match &self.schedule {
+                Schedule::Space { .. } => "space",
+                Schedule::Alternate { .. } => "alternate",
+                Schedule::Hybrid { .. } => "hybrid",
+                Schedule::EsdCycle { .. } => "esd_cycle",
+                Schedule::Infeasible => "infeasible",
+            };
+            obs.emit(
+                now,
+                ObsEvent::Planned {
+                    apps: granted.len(),
+                    mode,
+                },
+            );
+            for (app, watts) in granted {
+                obs.emit(
+                    now,
+                    ObsEvent::Allocation {
+                        app,
+                        watts: watts.value(),
+                    },
+                );
             }
         }
     }
@@ -939,6 +1112,20 @@ impl PowerMediator {
         // backoff retry when they disagree.
         if let Some(cfg) = self.hardening {
             let landed = ok && sim.server().assignment(name).map(|a| a.knob()) == Some(knob);
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    sim.now(),
+                    ObsEvent::KnobWrite {
+                        app: name.to_string(),
+                        verdict: if landed {
+                            KnobWriteVerdict::Landed
+                        } else {
+                            KnobWriteVerdict::Deferred
+                        },
+                        attempts: 1,
+                    },
+                );
+            }
             if landed {
                 self.retries.remove(name);
             } else {
@@ -948,6 +1135,7 @@ impl PowerMediator {
                         idx,
                         attempts: 0,
                         next_at: sim.now() + cfg.retry_backoff,
+                        since: sim.now(),
                     },
                 );
             }
@@ -984,8 +1172,31 @@ impl PowerMediator {
             let landed = sim.set_knobs(&name, knob).is_ok()
                 && sim.server().assignment(&name).map(|a| a.knob()) == Some(knob);
             if landed {
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        now,
+                        ObsEvent::KnobWrite {
+                            app: name.clone(),
+                            verdict: KnobWriteVerdict::RetryLanded,
+                            attempts: st.attempts + 2,
+                        },
+                    );
+                    // Sim-time latency from the original failed write to
+                    // the retry that finally stuck.
+                    obs.observe("actuation_retry_latency_seconds", (now - st.since).value());
+                }
                 self.retries.remove(&name);
             } else if st.attempts + 1 >= cfg.max_retries {
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        now,
+                        ObsEvent::KnobWrite {
+                            app: name.clone(),
+                            verdict: KnobWriteVerdict::RetryExhausted,
+                            attempts: st.attempts + 2,
+                        },
+                    );
+                }
                 self.retries.remove(&name);
                 exhausted.push(name);
             } else {
@@ -996,6 +1207,7 @@ impl PowerMediator {
                         idx: st.idx,
                         attempts,
                         next_at: now + cfg.retry_backoff * f64::from(attempts + 1),
+                        since: st.since,
                     },
                 );
             }
@@ -1043,6 +1255,17 @@ impl PowerMediator {
             }
         }
         self.last_true_net = Some(report.net_power);
+        if let Some(obs) = &self.obs {
+            if self.consecutive_dropouts > 0 || self.stuck_observed > 0 {
+                obs.emit(
+                    sim.now(),
+                    ObsEvent::SensorSuspect {
+                        dropouts: self.consecutive_dropouts,
+                        stuck: self.stuck_observed,
+                    },
+                );
+            }
+        }
         let dropped_out = self.consecutive_dropouts >= cfg.dropout_patience;
         let stuck = self.stuck_observed >= cfg.stuck_patience;
         if (dropped_out || stuck) && !self.sensor_latched {
@@ -1086,6 +1309,10 @@ impl PowerMediator {
         sim.recorder_mut().push("safe_mode", now, engaged);
         sim.recorder_mut()
             .push("retries_total", now, self.hardening_stats.retries as f64);
+        if let Some(obs) = &self.obs {
+            obs.set_gauge("safe_mode_engaged", engaged);
+            obs.set_gauge("retries_total", self.hardening_stats.retries as f64);
+        }
     }
 
     /// The observed net draw stayed over the cap past the watchdog's
@@ -1097,6 +1324,14 @@ impl PowerMediator {
         self.hardening_stats.safe_mode_entries += 1;
         self.safe_mode_breach_polls = 0;
         self.escalated = false;
+        if let Some(obs) = &self.obs {
+            obs.emit(
+                sim.now(),
+                ObsEvent::SafeMode {
+                    transition: SafeModeTransition::Engaged,
+                },
+            );
+        }
         if matches!(self.schedule, Schedule::EsdCycle { .. }) {
             self.esd_quarantined = true;
         }
@@ -1106,6 +1341,9 @@ impl PowerMediator {
             };
             let floor = KnobSetting::min_for(&self.spec).with_cores(a.knob().cores());
             let _ = sim.set_knobs(&name, floor);
+            if let Some(obs) = &self.obs {
+                obs.emit(sim.now(), ObsEvent::ForceThrottle { app: name.clone() });
+            }
         }
         sim.set_esd_command(EsdCommand::Idle);
         self.retries.clear();
@@ -1119,6 +1357,14 @@ impl PowerMediator {
     fn escalate(&mut self, sim: &mut ServerSim) {
         self.escalated = true;
         self.hardening_stats.safe_mode_escalations += 1;
+        if let Some(obs) = &self.obs {
+            obs.emit(
+                sim.now(),
+                ObsEvent::SafeMode {
+                    transition: SafeModeTransition::Escalated,
+                },
+            );
+        }
         for name in sim.app_names() {
             let _ = sim.server_mut().suspend_app(&name);
         }
@@ -1132,6 +1378,14 @@ impl PowerMediator {
         self.hardening_stats.safe_mode_exits += 1;
         self.safe_mode_breach_polls = 0;
         self.escalated = false;
+        if let Some(obs) = &self.obs {
+            obs.emit(
+                sim.now(),
+                ObsEvent::SafeMode {
+                    transition: SafeModeTransition::Released,
+                },
+            );
+        }
         self.replan(sim);
     }
 }
@@ -1422,6 +1676,74 @@ mod tests {
             sim.recorder().series("safe_mode").is_none(),
             "no hardened series recorded when hardening is off"
         );
+    }
+
+    #[test]
+    fn observability_journals_the_safe_mode_decision_chain() {
+        use powermed_sim::faults::FaultConfig;
+        use powermed_telemetry::journal::ObsConfig;
+        let scenario = FaultConfig {
+            seed: 7,
+            esd_stuck_at_idle: true,
+            ..FaultConfig::default()
+        };
+        let run = |observed: bool| {
+            let mut sim = sim_with_battery().with_fault_injection(scenario.clone());
+            let mut med = mediator(PolicyKind::AppResEsdAware, 80.0)
+                .with_hardening(HardeningConfig::default());
+            let obs = Obs::new(ObsConfig::default());
+            if observed {
+                med.set_observability(obs.clone());
+                sim.set_observability(obs.clone());
+            }
+            med.admit(&mut sim, catalog::stream()).unwrap();
+            med.admit(&mut sim, catalog::kmeans()).unwrap();
+            med.run_for(&mut sim, Seconds::new(30.0), DT);
+            let ops = sim.ops_done("stream") + sim.ops_done("kmeans");
+            (sim.meter().compliance().violation_fraction(), ops, obs)
+        };
+        let (base_viol, base_ops, _) = run(false);
+        let (viol, ops, obs) = run(true);
+        assert_eq!(
+            (base_viol, base_ops),
+            (viol, ops),
+            "attaching the flight recorder must not change the physics"
+        );
+
+        let journal = obs.journal_snapshot();
+        let engaged_at = journal
+            .iter()
+            .position(|r| {
+                r.event
+                    == ObsEvent::SafeMode {
+                        transition: SafeModeTransition::Engaged,
+                    }
+            })
+            .expect("the stuck ESD forces a safe-mode entry");
+        let over_cap_before = journal[..engaged_at]
+            .iter()
+            .filter(|r| matches!(r.event, ObsEvent::Poll { over_cap: true, .. }))
+            .count();
+        assert!(
+            over_cap_before >= 1,
+            "the engage record is preceded by the over-cap polls that caused it"
+        );
+        assert!(
+            journal[engaged_at..]
+                .iter()
+                .any(|r| matches!(r.event, ObsEvent::ForceThrottle { .. })),
+            "the engage record is followed by per-app force-throttles"
+        );
+        let engage = &journal[engaged_at];
+        assert!(engage.poll > 0, "events carry their poll id");
+        let m = obs.metrics();
+        assert!(m.counter("events_by_kind_total{kind=\"poll\"}") > 0);
+        assert!(m.counter("events_by_kind_total{kind=\"allocation\"}") > 0);
+        assert_eq!(m.counter("polls_total"), 300);
+
+        // Same seed, same config: the deterministic digest matches.
+        let (_, _, twin) = run(true);
+        assert_eq!(obs.digest(), twin.digest());
     }
 
     #[test]

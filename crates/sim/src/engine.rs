@@ -6,7 +6,9 @@ use powermed_esd::{DegradedEsd, EnergyStorage};
 use powermed_server::server::{AppDemand, AppRunState, PowerBreakdown};
 use powermed_server::{KnobSetting, Server, ServerError, ServerSpec};
 use powermed_telemetry::faults::FaultStats;
+use powermed_telemetry::journal::Obs;
 use powermed_telemetry::meter::PowerMeter;
+use powermed_telemetry::metrics::prom_label;
 use powermed_telemetry::recorder::TraceRecorder;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
@@ -76,6 +78,9 @@ pub struct ServerSim {
     meter: PowerMeter,
     recorder: TraceRecorder,
     faults: Option<FaultInjector>,
+    /// Flight-recorder handle; `None` (the default) keeps every
+    /// emission site a skipped branch.
+    obs: Option<Obs>,
 }
 
 impl ServerSim {
@@ -93,7 +98,20 @@ impl ServerSim {
             meter: PowerMeter::new(),
             recorder: TraceRecorder::new(),
             faults: None,
+            obs: None,
         }
+    }
+
+    /// Attaches a flight-recorder observability handle. The handle is
+    /// usually a clone of the mediator's, so the simulator's metrics
+    /// and the mediator's journal land in one plane.
+    pub fn set_observability(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability handle, if any.
+    pub fn observability(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// Enables deterministic fault injection for this simulation.
@@ -225,6 +243,15 @@ impl ServerSim {
             .faults
             .as_mut()
             .map_or(KnobWriteOutcome::Apply, |f| f.knob_write(name));
+        if let Some(obs) = self.obs.as_ref() {
+            let label = match outcome {
+                KnobWriteOutcome::Apply => "apply",
+                KnobWriteOutcome::Reject => "reject",
+                KnobWriteOutcome::Stale => "stale",
+                KnobWriteOutcome::Partial => "partial",
+            };
+            obs.inc(&prom_label("knob_writes_total", &[("outcome", label)]));
+        }
         match outcome {
             KnobWriteOutcome::Apply => self.server.set_knobs(name, knob),
             KnobWriteOutcome::Reject => Err(ServerError::ActuationRejected(name.to_string())),
@@ -414,8 +441,15 @@ impl ServerSim {
                 Some(key) => self.recorder.push(key, now, p.value()),
                 None => self
                     .recorder
-                    .push(&format!("app_power_w.{name}"), now, p.value()),
+                    .push_owned(format!("app_power_w.{name}"), now, p.value()),
             }
+        }
+        // Observed-vs-true divergence is recorded whenever a sample
+        // exists (zero without injection), so sensor-fault figures can
+        // plot it without bespoke plumbing. Dropouts leave a gap.
+        if let Some(seen) = observed_net_power {
+            self.recorder
+                .push("net_divergence_w", now, (seen - net).value());
         }
         // Fault-only series: nothing extra is recorded when injection
         // is off, keeping fault-free traces bit-identical to before.
@@ -425,6 +459,17 @@ impl ServerSim {
             }
             self.recorder
                 .push("faults_total", now, f.stats().total_events() as f64);
+        }
+        if let Some(obs) = self.obs.as_ref() {
+            obs.inc("sim_steps_total");
+            if let Some(cap) = self.cap {
+                if cap_violated {
+                    obs.observe("cap_violation_w", (net - cap).value());
+                }
+            }
+            if observed_net_power.is_none() {
+                obs.inc("sensor_dropouts_total");
+            }
         }
 
         StepReport {
@@ -614,6 +659,48 @@ mod tests {
         assert_eq!(s.fault_stats().total_events(), 0);
         assert!(s.fault_trace().is_empty());
         assert!(s.recorder().series("net_observed_w").is_none());
+    }
+
+    #[test]
+    fn divergence_series_is_always_recorded() {
+        // Without injection the observed channel is the truth, so the
+        // divergence series exists and is identically zero.
+        let mut s = sim();
+        s.run_for(Seconds::new(0.5), DT);
+        let d = s.recorder().series("net_divergence_w").unwrap();
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|(_, v)| *v == 0.0));
+
+        // With meter noise it exists and deviates somewhere.
+        let cfg = crate::faults::FaultConfig {
+            seed: 11,
+            meter_noise_sigma: 0.1,
+            ..crate::faults::FaultConfig::default()
+        };
+        let mut noisy = sim().with_fault_injection(cfg);
+        let knob = KnobSetting::max_for(noisy.server().spec());
+        noisy.host(catalog::kmeans(), knob).unwrap();
+        noisy.run_for(Seconds::new(2.0), DT);
+        let d = noisy.recorder().series("net_divergence_w").unwrap();
+        assert!(d.iter().any(|(_, v)| v.abs() > 1e-6), "noise never showed");
+    }
+
+    #[test]
+    fn observability_counts_steps_violations_and_knob_outcomes() {
+        use powermed_telemetry::journal::{Obs, ObsConfig};
+        let mut s = sim();
+        let obs = Obs::new(ObsConfig::default());
+        s.set_observability(obs.clone());
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.set_cap(Some(Watts::new(60.0)));
+        s.set_knobs("kmeans", knob).unwrap();
+        s.run_for(Seconds::new(0.5), DT);
+        let m = obs.metrics();
+        assert_eq!(m.counter("sim_steps_total"), 5);
+        assert_eq!(m.counter("knob_writes_total{outcome=\"apply\"}"), 1);
+        let h = m.histogram("cap_violation_w").expect("over-cap steps seen");
+        assert_eq!(h.count(), 5, "every step violated the 60 W cap");
     }
 
     #[test]

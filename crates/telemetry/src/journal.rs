@@ -1,0 +1,815 @@
+//! Flight-recorder event journal with causal ids.
+//!
+//! The figure-oriented [`crate::recorder::TraceRecorder`] stores
+//! *signals*; this module stores *decisions*. Every consequential step
+//! the mediator, simulator or cluster control plane takes — an
+//! allocation installed, an E1–E6 event handled, a safe-mode
+//! escalation, a probe skipped, a knob write retried, an uplink
+//! dropped — is appended to a bounded ring buffer as a structured
+//! [`ObsEvent`] stamped with simulation time and three causal ids:
+//! the poll sequence number, the app name (when one is involved) and
+//! the control-plane epoch. A post-mortem tool (`doctor`) can then walk
+//! the journal backward from an effect (a force-throttle) to its causes
+//! (the over-cap polls and sensor verdicts that armed the watchdog).
+//!
+//! The whole plane hangs off an `Option<`[`Obs`]`>` in each producer:
+//! when the option is `None` (the default everywhere) no journal, no
+//! registry and no lock exist and every emission site is a skipped
+//! `if let` — the zero-cost-off property the bit-identical figure
+//! checks in CI enforce.
+
+use crate::metrics::{prom_label, Histogram, MetricsRegistry};
+use powermed_units::Seconds;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a knob write attempt came to, as seen by the hardened mediator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobWriteVerdict {
+    /// The write landed and read-back verified it on the first try.
+    Landed,
+    /// The write did not verify; a retry was scheduled.
+    Deferred,
+    /// A scheduled retry landed and verified.
+    RetryLanded,
+    /// The retry budget ran out; the fault was escalated as E5.
+    RetryExhausted,
+}
+
+/// A safe-mode state change in the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafeModeTransition {
+    /// The watchdog engaged: all apps forced to their floor knobs.
+    Engaged,
+    /// Observed power stayed under the cap long enough to release.
+    Released,
+    /// Still over cap after the patience budget: apps suspended.
+    Escalated,
+}
+
+/// One structured decision record.
+///
+/// Variants mirror the runtime's decision points one-to-one; the
+/// [`ObsEvent::kind`] string doubles as the per-kind counter label in
+/// the metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// One accounting poll: allocation out, net power in, the observed
+    /// channel's reading, the active cap, and whether the observed
+    /// reading violated the cap (the signal the watchdog feeds on).
+    Poll {
+        /// Total power currently allocated to apps, in watts.
+        alloc_w: f64,
+        /// True net draw this poll, in watts.
+        net_w: f64,
+        /// What the (possibly faulty) sensor channel reported.
+        observed_w: Option<f64>,
+        /// The active power cap, in watts.
+        cap_w: f64,
+        /// Whether the *observed* reading exceeded the cap.
+        over_cap: bool,
+    },
+    /// A plan was computed and a schedule installed.
+    Planned {
+        /// Number of apps covered by the new schedule.
+        apps: usize,
+        /// Schedule shape (`"space"`, `"alternate"`, `"hybrid"`, …).
+        mode: &'static str,
+    },
+    /// One app's power share under the freshly installed schedule.
+    Allocation {
+        /// The app receiving the share.
+        app: String,
+        /// Allocated watts.
+        watts: f64,
+    },
+    /// E1: the cap changed.
+    CapChanged {
+        /// The new cap, in watts.
+        cap_w: f64,
+    },
+    /// E2: an app arrived.
+    Arrival {
+        /// The arriving app.
+        app: String,
+    },
+    /// E3: an app departed.
+    Departure {
+        /// The departing app.
+        app: String,
+    },
+    /// E4: an app's performance drifted off its profile.
+    Drift {
+        /// The drifting app.
+        app: String,
+    },
+    /// E5: a knob write was lost (actuation fault).
+    ActuationFault {
+        /// The app whose knob write failed.
+        app: String,
+    },
+    /// E6: the power sensor was declared untrustworthy.
+    SensorFault {
+        /// The latched diagnosis (e.g. `"3 consecutive dropouts"`).
+        what: String,
+    },
+    /// Sensor health counters crossed zero but have not latched yet.
+    SensorSuspect {
+        /// Consecutive dropout count so far.
+        dropouts: u32,
+        /// Consecutive stuck-reading count so far.
+        stuck: u32,
+    },
+    /// A calibration decision for one admission.
+    Probe {
+        /// The app being calibrated.
+        app: String,
+        /// Grid points probed cold (measured on the platform).
+        cold: usize,
+        /// Grid points warm-started from a stored profile.
+        warm: usize,
+        /// Grid points skipped entirely thanks to prior knowledge.
+        skipped: usize,
+    },
+    /// A verified knob write (or its failure).
+    KnobWrite {
+        /// The app whose knob was written.
+        app: String,
+        /// How the write fared.
+        verdict: KnobWriteVerdict,
+        /// Attempts consumed so far, including the original write.
+        attempts: u32,
+    },
+    /// The safe-mode watchdog changed state.
+    SafeMode {
+        /// The transition taken.
+        transition: SafeModeTransition,
+    },
+    /// Safe mode forced one app to its floor setting.
+    ForceThrottle {
+        /// The throttled app.
+        app: String,
+    },
+    /// A profile version was published to the knowledge plane.
+    StorePublish {
+        /// The profiled app.
+        app: String,
+        /// Version number published.
+        version: u64,
+    },
+    /// A profile was invalidated (tombstoned) fleet-wide.
+    StoreTombstone {
+        /// The invalidated app.
+        app: String,
+        /// Version number of the tombstone.
+        version: u64,
+    },
+    /// The manager broadcast a downlink to one server.
+    DownlinkSent {
+        /// Destination server index.
+        server: usize,
+        /// Control-plane epoch carried by the frame.
+        epoch: u64,
+        /// Cap assignment carried by the frame, in watts.
+        cap_w: f64,
+        /// Whether this was a repair (re-send after suspected loss).
+        repair: bool,
+    },
+    /// A server sent its periodic uplink report.
+    UplinkSent {
+        /// Source server index.
+        server: usize,
+        /// Control-plane step the report was sent at.
+        step: u64,
+    },
+    /// A control-plane frame was dropped by the lossy network.
+    LinkDropped {
+        /// The server whose link dropped the frame.
+        server: usize,
+        /// `true` for uplink (server→manager), `false` for downlink.
+        uplink: bool,
+    },
+    /// A control-plane frame was delayed in flight.
+    LinkDelayed {
+        /// The server whose link delayed the frame.
+        server: usize,
+        /// `true` for uplink (server→manager), `false` for downlink.
+        uplink: bool,
+        /// Delay, in control-plane steps.
+        steps: u64,
+    },
+    /// A server lost both link directions (endpoint outage).
+    EndpointLoss {
+        /// The partitioned server.
+        server: usize,
+    },
+    /// A server crashed.
+    NodeCrash {
+        /// The crashed server.
+        server: usize,
+    },
+    /// A crashed server restarted.
+    NodeRestart {
+        /// The restarted server.
+        server: usize,
+    },
+    /// The manager crashed.
+    ManagerCrash,
+    /// A standby manager took over from a checkpoint.
+    ManagerTakeover,
+}
+
+impl ObsEvent {
+    /// Stable snake_case tag for this event, used as the `kind` label
+    /// on the per-kind event counter and in `doctor` output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::Poll { .. } => "poll",
+            ObsEvent::Planned { .. } => "planned",
+            ObsEvent::Allocation { .. } => "allocation",
+            ObsEvent::CapChanged { .. } => "cap_changed",
+            ObsEvent::Arrival { .. } => "arrival",
+            ObsEvent::Departure { .. } => "departure",
+            ObsEvent::Drift { .. } => "drift",
+            ObsEvent::ActuationFault { .. } => "actuation_fault",
+            ObsEvent::SensorFault { .. } => "sensor_fault",
+            ObsEvent::SensorSuspect { .. } => "sensor_suspect",
+            ObsEvent::Probe { .. } => "probe",
+            ObsEvent::KnobWrite { .. } => "knob_write",
+            ObsEvent::SafeMode { .. } => "safe_mode",
+            ObsEvent::ForceThrottle { .. } => "force_throttle",
+            ObsEvent::StorePublish { .. } => "store_publish",
+            ObsEvent::StoreTombstone { .. } => "store_tombstone",
+            ObsEvent::DownlinkSent { .. } => "downlink_sent",
+            ObsEvent::UplinkSent { .. } => "uplink_sent",
+            ObsEvent::LinkDropped { .. } => "link_dropped",
+            ObsEvent::LinkDelayed { .. } => "link_delayed",
+            ObsEvent::EndpointLoss { .. } => "endpoint_loss",
+            ObsEvent::NodeCrash { .. } => "node_crash",
+            ObsEvent::NodeRestart { .. } => "node_restart",
+            ObsEvent::ManagerCrash => "manager_crash",
+            ObsEvent::ManagerTakeover => "manager_takeover",
+        }
+    }
+
+    /// The app this event concerns, when it concerns exactly one.
+    pub fn app(&self) -> Option<&str> {
+        match self {
+            ObsEvent::Allocation { app, .. }
+            | ObsEvent::Arrival { app }
+            | ObsEvent::Departure { app }
+            | ObsEvent::Drift { app }
+            | ObsEvent::ActuationFault { app }
+            | ObsEvent::Probe { app, .. }
+            | ObsEvent::KnobWrite { app, .. }
+            | ObsEvent::ForceThrottle { app }
+            | ObsEvent::StorePublish { app, .. }
+            | ObsEvent::StoreTombstone { app, .. } => Some(app),
+            _ => None,
+        }
+    }
+}
+
+/// A journal entry: an [`ObsEvent`] plus its causal coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotone sequence number, never reused even across eviction.
+    pub seq: u64,
+    /// Simulation time the event was emitted at.
+    pub at: Seconds,
+    /// Poll sequence number active when the event fired (0 before the
+    /// first poll).
+    pub poll: u64,
+    /// Control-plane epoch active when the event fired (0 for a
+    /// standalone server).
+    pub epoch: u64,
+    /// The decision itself.
+    pub event: ObsEvent,
+}
+
+/// A bounded ring buffer of [`EventRecord`]s.
+///
+/// When full, the oldest record is evicted to admit the newest — the
+/// flight-recorder discipline: recent history is always present,
+/// ancient history is summarized by the metrics registry's counters. A
+/// capacity of zero stores nothing (every record counts as evicted),
+/// which keeps an attached-but-journalless configuration legal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventJournal {
+    capacity: usize,
+    ring: std::collections::VecDeque<EventRecord>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl EventJournal {
+    /// Creates an empty journal holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            // Reserve lazily for large capacities: a journal attached to
+            // a short smoke run should not pre-commit 64 Ki slots.
+            ring: std::collections::VecDeque::new(),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Appends an event, assigning the next sequence number. Returns
+    /// the sequence number assigned.
+    pub fn record(&mut self, at: Seconds, poll: u64, epoch: u64, event: ObsEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return seq;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(EventRecord {
+            seq,
+            at,
+            poll,
+            epoch,
+            event,
+        });
+        seq
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted (or dropped, at capacity zero) so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total records ever appended (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates the retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        self.ring.iter()
+    }
+
+    /// The most recent record, if any.
+    pub fn latest(&self) -> Option<&EventRecord> {
+        self.ring.back()
+    }
+}
+
+/// Configuration for the observability plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Ring-buffer bound for the event journal (0 disables retention
+    /// but keeps counting).
+    pub journal_capacity: usize,
+    /// Whether wall-clock self-profiling spans are recorded. Spans are
+    /// excluded from [`Obs::digest`] either way (wall time is not
+    /// deterministic), so this only controls the cost of `Instant`
+    /// reads.
+    pub spans: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            journal_capacity: 65_536,
+            spans: true,
+        }
+    }
+}
+
+/// Interior state behind the [`Obs`] handle.
+#[derive(Debug)]
+struct ObsCore {
+    config: ObsConfig,
+    journal: EventJournal,
+    metrics: MetricsRegistry,
+    /// Per-kind event tallies, kept on `&'static str` keys so the emit
+    /// hot path never allocates; rendered into the registry's
+    /// `events_total` / `events_by_kind_total{kind="…"}` counters only
+    /// when a snapshot is taken.
+    by_kind: BTreeMap<&'static str, u64>,
+    poll: u64,
+    epoch: u64,
+    last_rate: BTreeMap<String, f64>,
+}
+
+impl ObsCore {
+    /// The registry with the deferred per-kind event tallies folded in —
+    /// what [`Obs::metrics`] and [`Obs::digest`] observe.
+    fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = self.metrics.clone();
+        let mut total = 0;
+        for (&kind, &n) in &self.by_kind {
+            merged.inc_by(&prom_label("events_by_kind_total", &[("kind", kind)]), n);
+            total += n;
+        }
+        if total > 0 {
+            merged.inc_by("events_total", total);
+        }
+        merged
+    }
+}
+
+/// A cloneable handle on one observability plane.
+///
+/// Producers (`PowerMediator`, `ServerSim`, `ControlPlane`, agents)
+/// each hold an `Option<Obs>`; cloning the handle shares the same
+/// journal and registry, so a server's simulator and mediator write
+/// interleaved records into one flight recorder. The mutex is
+/// `parking_lot`'s (no poisoning), matching
+/// [`crate::recorder::SharedRecorder`].
+#[derive(Debug, Clone)]
+pub struct Obs {
+    inner: Arc<parking_lot::Mutex<ObsCore>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new(ObsConfig::default())
+    }
+}
+
+impl Obs {
+    /// Creates a fresh plane under `config`.
+    pub fn new(config: ObsConfig) -> Self {
+        let journal = EventJournal::new(config.journal_capacity);
+        Self {
+            inner: Arc::new(parking_lot::Mutex::new(ObsCore {
+                config,
+                journal,
+                metrics: MetricsRegistry::new(),
+                by_kind: BTreeMap::new(),
+                poll: 0,
+                epoch: 0,
+                last_rate: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Starts a new accounting poll and returns its sequence number
+    /// (1-based; 0 means "before the first poll").
+    pub fn begin_poll(&self) -> u64 {
+        let mut core = self.inner.lock();
+        core.poll += 1;
+        core.metrics.inc("polls_total");
+        core.poll
+    }
+
+    /// The current poll sequence number.
+    pub fn poll(&self) -> u64 {
+        self.inner.lock().poll
+    }
+
+    /// Sets the control-plane epoch stamped on subsequent records.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.inner.lock().epoch = epoch;
+    }
+
+    /// Appends `event` to the journal at simulation time `at`, stamped
+    /// with the current poll and epoch, and bumps the total and
+    /// per-kind event counters.
+    ///
+    /// The per-kind tally is kept on `&'static str` keys here and only
+    /// rendered into Prometheus-labeled counter names at snapshot time
+    /// ([`Obs::metrics`] / [`Obs::digest`]), so this hot path does one
+    /// lock, one map bump and one ring push — no string formatting.
+    pub fn emit(&self, at: Seconds, event: ObsEvent) {
+        let mut core = self.inner.lock();
+        *core.by_kind.entry(event.kind()).or_insert(0) += 1;
+        let (poll, epoch) = (core.poll, core.epoch);
+        core.journal.record(at, poll, epoch, event);
+    }
+
+    /// Increments the counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.inner.lock().metrics.inc(name);
+    }
+
+    /// Increments the counter `name` by `by`.
+    pub fn inc_by(&self, name: &str, by: u64) {
+        self.inner.lock().metrics.inc_by(name, by);
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.inner.lock().metrics.set_gauge(name, v);
+    }
+
+    /// Records `v` into the histogram `name` (default log layout).
+    pub fn observe(&self, name: &str, v: f64) {
+        self.inner.lock().metrics.observe(name, v);
+    }
+
+    /// Feeds one heartbeat-rate reading for `app`; the absolute change
+    /// versus the previous reading lands in the `heartbeat_jitter_hz`
+    /// histogram. Rates are simulation-derived, so this stays
+    /// deterministic and digest-safe.
+    pub fn note_heartbeat(&self, app: &str, rate: f64) {
+        let mut guard = self.inner.lock();
+        let core = &mut *guard;
+        if let Some(prev) = core.last_rate.get_mut(app) {
+            let jitter = (rate - *prev).abs();
+            *prev = rate;
+            core.metrics.observe("heartbeat_jitter_hz", jitter);
+        } else {
+            // First reading for this app: the only allocating path.
+            core.last_rate.insert(app.to_string(), rate);
+        }
+    }
+
+    /// Opens a wall-clock self-profiling span; the elapsed seconds land
+    /// in `span_seconds{name="…"}` when the guard drops. A no-op guard
+    /// is returned when spans are disabled in the config. Span
+    /// histograms never enter [`Obs::digest`].
+    pub fn span(&self, name: &'static str) -> ObsSpan {
+        let enabled = self.inner.lock().config.spans;
+        ObsSpan {
+            obs: enabled.then(|| self.clone()),
+            name,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// A copy of the retained journal records, oldest-first.
+    pub fn journal_snapshot(&self) -> Vec<EventRecord> {
+        self.inner.lock().journal.iter().cloned().collect()
+    }
+
+    /// `(retained, evicted, total)` journal record counts.
+    pub fn journal_counts(&self) -> (usize, u64, u64) {
+        let core = self.inner.lock();
+        (
+            core.journal.len(),
+            core.journal.evicted(),
+            core.journal.total_recorded(),
+        )
+    }
+
+    /// A copy of the metrics registry, with the deferred per-kind event
+    /// tallies folded into `events_total` and
+    /// `events_by_kind_total{kind="…"}`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.lock().merged_metrics()
+    }
+
+    /// Registers a custom histogram layout under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
+        self.inner
+            .lock()
+            .metrics
+            .register_histogram(name, histogram);
+    }
+
+    /// FNV-1a digest over the journal and the deterministic part of the
+    /// registry. Instruments whose family starts with `span_` carry
+    /// wall-clock samples and are excluded, so the digest is stable
+    /// across machines and runs — the property the `ext_obs --smoke`
+    /// double-run check in CI asserts.
+    pub fn digest(&self) -> u64 {
+        let core = self.inner.lock();
+        let merged = core.merged_metrics();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for rec in core.journal.iter() {
+            fold(format!("{rec:?}").as_bytes());
+        }
+        for (name, value) in merged.counters() {
+            if name.starts_with("span_") {
+                continue;
+            }
+            fold(name.as_bytes());
+            fold(&value.to_le_bytes());
+        }
+        for (name, value) in merged.gauges() {
+            if name.starts_with("span_") {
+                continue;
+            }
+            fold(name.as_bytes());
+            fold(&value.to_bits().to_le_bytes());
+        }
+        for (name, hist) in merged.histograms() {
+            if name.starts_with("span_") {
+                continue;
+            }
+            fold(name.as_bytes());
+            for &b in hist.buckets() {
+                fold(&b.to_le_bytes());
+            }
+            fold(&hist.count().to_le_bytes());
+            fold(&hist.sum().to_bits().to_le_bytes());
+        }
+        hash
+    }
+}
+
+/// RAII guard for a wall-clock span opened by [`Obs::span`].
+#[derive(Debug)]
+pub struct ObsSpan {
+    obs: Option<Obs>,
+    name: &'static str,
+    started: std::time::Instant,
+}
+
+impl Drop for ObsSpan {
+    fn drop(&mut self) {
+        if let Some(obs) = self.obs.take() {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            obs.observe(&prom_label("span_seconds", &[("name", self.name)]), elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(t: f64) -> Seconds {
+        Seconds::new(t)
+    }
+
+    #[test]
+    fn journal_retains_in_order_and_assigns_sequence_numbers() {
+        let mut j = EventJournal::new(8);
+        for i in 0..3 {
+            let seq = j.record(at(i as f64), i, 0, ObsEvent::CapChanged { cap_w: 80.0 });
+            assert_eq!(seq, i);
+        }
+        let seqs: Vec<u64> = j.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(j.evicted(), 0);
+        assert_eq!(j.latest().unwrap().poll, 2);
+    }
+
+    #[test]
+    fn journal_wraparound_evicts_oldest_first() {
+        let mut j = EventJournal::new(3);
+        for i in 0..7u64 {
+            j.record(
+                at(i as f64),
+                i,
+                0,
+                ObsEvent::UplinkSent { server: 0, step: i },
+            );
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.evicted(), 4);
+        assert_eq!(j.total_recorded(), 7);
+        let seqs: Vec<u64> = j.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn journal_capacity_one_keeps_only_the_latest() {
+        let mut j = EventJournal::new(1);
+        j.record(at(0.0), 1, 0, ObsEvent::ManagerCrash);
+        j.record(at(1.0), 2, 0, ObsEvent::ManagerTakeover);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.latest().unwrap().event, ObsEvent::ManagerTakeover);
+        assert_eq!(j.evicted(), 1);
+    }
+
+    #[test]
+    fn journal_capacity_zero_counts_but_stores_nothing() {
+        let mut j = EventJournal::new(0);
+        let seq0 = j.record(at(0.0), 0, 0, ObsEvent::ManagerCrash);
+        let seq1 = j.record(at(1.0), 0, 0, ObsEvent::ManagerTakeover);
+        assert_eq!((seq0, seq1), (0, 1), "sequence numbers still advance");
+        assert!(j.is_empty());
+        assert_eq!(j.evicted(), 2);
+        assert_eq!(j.total_recorded(), 2);
+    }
+
+    #[test]
+    fn obs_emit_stamps_poll_epoch_and_counts_by_kind() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.set_epoch(7);
+        let poll = obs.begin_poll();
+        assert_eq!(poll, 1);
+        obs.emit(
+            at(0.5),
+            ObsEvent::Arrival {
+                app: "stream".into(),
+            },
+        );
+        obs.emit(
+            at(0.5),
+            ObsEvent::SafeMode {
+                transition: SafeModeTransition::Engaged,
+            },
+        );
+        let records = obs.journal_snapshot();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.poll == 1 && r.epoch == 7));
+        let m = obs.metrics();
+        assert_eq!(m.counter("events_total"), 2);
+        assert_eq!(m.counter("events_by_kind_total{kind=\"arrival\"}"), 1);
+        assert_eq!(m.counter("events_by_kind_total{kind=\"safe_mode\"}"), 1);
+        assert_eq!(m.counter("polls_total"), 1);
+    }
+
+    #[test]
+    fn heartbeat_jitter_measures_rate_deltas() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.note_heartbeat("stream", 100.0);
+        obs.note_heartbeat("stream", 103.0);
+        obs.note_heartbeat("stream", 101.0);
+        obs.note_heartbeat("kmeans", 50.0); // first reading: no jitter yet
+        let m = obs.metrics();
+        let h = m.histogram("heartbeat_jitter_hz").expect("recorded");
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_record_only_when_enabled_and_never_enter_the_digest() {
+        let on = Obs::new(ObsConfig::default());
+        {
+            let _guard = on.span("plan");
+        }
+        assert_eq!(
+            on.metrics()
+                .histogram("span_seconds{name=\"plan\"}")
+                .map(Histogram::count),
+            Some(1)
+        );
+
+        let off = Obs::new(ObsConfig {
+            spans: false,
+            ..ObsConfig::default()
+        });
+        {
+            let _guard = off.span("plan");
+        }
+        assert!(off
+            .metrics()
+            .histogram("span_seconds{name=\"plan\"}")
+            .is_none());
+
+        // Same deterministic content, differing span samples → same digest.
+        let twin = Obs::new(ObsConfig::default());
+        {
+            let _guard = twin.span("plan");
+        }
+        {
+            let _guard = twin.span("plan");
+        }
+        on.emit(at(1.0), ObsEvent::ManagerCrash);
+        twin.emit(at(1.0), ObsEvent::ManagerCrash);
+        assert_eq!(on.digest(), twin.digest());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_journal_content() {
+        let a = Obs::new(ObsConfig::default());
+        let b = Obs::new(ObsConfig::default());
+        a.emit(at(0.0), ObsEvent::NodeCrash { server: 1 });
+        b.emit(at(0.0), ObsEvent::NodeCrash { server: 2 });
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn event_kind_and_app_accessors() {
+        let e = ObsEvent::KnobWrite {
+            app: "stream".into(),
+            verdict: KnobWriteVerdict::Deferred,
+            attempts: 1,
+        };
+        assert_eq!(e.kind(), "knob_write");
+        assert_eq!(e.app(), Some("stream"));
+        assert_eq!(ObsEvent::ManagerCrash.app(), None);
+    }
+
+    #[test]
+    fn cloned_handles_share_one_plane() {
+        let obs = Obs::new(ObsConfig::default());
+        let twin = obs.clone();
+        twin.inc("knob_writes_total");
+        obs.emit(at(0.0), ObsEvent::EndpointLoss { server: 3 });
+        assert_eq!(obs.metrics().counter("knob_writes_total"), 1);
+        assert_eq!(twin.journal_snapshot().len(), 1);
+    }
+}

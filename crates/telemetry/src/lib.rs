@@ -27,12 +27,18 @@
 
 pub mod faults;
 pub mod heartbeat;
+pub mod journal;
 pub mod meter;
+pub mod metrics;
 pub mod recorder;
 pub mod store;
 
 pub use faults::{FaultStats, HardeningStats};
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
+pub use journal::{
+    EventJournal, EventRecord, KnobWriteVerdict, Obs, ObsConfig, ObsEvent, SafeModeTransition,
+};
 pub use meter::{CapCompliance, PowerMeter};
+pub use metrics::{prom_label, Histogram, MetricsRegistry};
 pub use recorder::{SharedRecorder, TraceRecorder};
 pub use store::ProfileStoreStats;

@@ -35,6 +35,14 @@ impl TraceRecorder {
         }
     }
 
+    /// Like [`Self::push`], but takes ownership of an already-built key
+    /// so the first insert reuses it instead of re-allocating, and the
+    /// double lookup (`get_mut` then `insert`) collapses into one entry
+    /// walk. Use this on paths that `format!` their series names.
+    pub fn push_owned(&mut self, series: String, at: Seconds, value: f64) {
+        self.series.entry(series).or_default().push((at, value));
+    }
+
     /// The names of all recorded series, in name order.
     pub fn series_names(&self) -> Vec<&str> {
         self.series.keys().map(String::as_str).collect()
@@ -161,6 +169,23 @@ mod tests {
         assert_eq!(r.max("power"), Some(110.0));
         assert_eq!(r.series("nope"), None);
         assert_eq!(r.mean("nope"), None);
+    }
+
+    #[test]
+    fn push_owned_matches_push_behavior() {
+        let mut borrowed = TraceRecorder::new();
+        let mut owned = TraceRecorder::new();
+        for (name, t, v) in [
+            ("app_power_w.stream", 0.0, 30.0),
+            ("app_power_w.kmeans", 0.0, 40.0),
+            ("app_power_w.stream", 1.0, 35.0),
+        ] {
+            borrowed.push(name, Seconds::new(t), v);
+            owned.push_owned(name.to_string(), Seconds::new(t), v);
+        }
+        assert_eq!(borrowed, owned, "both insert paths build the same series");
+        assert_eq!(owned.series("app_power_w.stream").unwrap().len(), 2);
+        assert_eq!(owned.series("app_power_w.kmeans").unwrap().len(), 1);
     }
 
     #[test]

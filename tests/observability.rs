@@ -1,0 +1,92 @@
+//! End-to-end flight-recorder tests through the public facade: a run
+//! with the observability plane attached must behave bit-identically to
+//! one without, while the journal and registry tell the run's story.
+
+use powermed::esd::NoEsd;
+use powermed::mediator::policy::PolicyKind;
+use powermed::mediator::runtime::PowerMediator;
+use powermed::server::ServerSpec;
+use powermed::sim::engine::ServerSim;
+use powermed::telemetry::journal::{Obs, ObsEvent};
+use powermed::units::{Seconds, Watts};
+use powermed::workloads::mixes;
+
+const DT: Seconds = Seconds::new(0.1);
+
+/// Runs mix 10 under AppResAware with a mid-run cap drop (event E1),
+/// optionally flight-recorded; returns per-app work and compliance,
+/// plus the recorder when one was attached.
+fn run(observed: bool) -> (Vec<f64>, f64, Option<Obs>) {
+    let spec = ServerSpec::xeon_e5_2620();
+    let mut sim = ServerSim::new(spec.clone(), Box::new(NoEsd));
+    let mut med = PowerMediator::new(PolicyKind::AppResAware, spec, Watts::new(100.0));
+    let obs = observed.then(Obs::default);
+    if let Some(obs) = &obs {
+        sim.set_observability(obs.clone());
+        med = med.with_observability(obs.clone());
+    }
+    let mix = mixes::mix(10).expect("Table II mix 10");
+    for app in mix.apps() {
+        med.admit(&mut sim, app.clone()).expect("mix fits");
+    }
+    med.run_for(&mut sim, Seconds::new(3.0), DT);
+    // 90 W still clears the ~70 W idle + chip-maintenance floor plus
+    // the two per-app minimums, so the replan stays feasible.
+    med.set_cap(&mut sim, Watts::new(90.0));
+    med.run_for(&mut sim, Seconds::new(3.0), DT);
+    let work = mix
+        .apps()
+        .iter()
+        .map(|a| sim.ops_done(a.name()))
+        .collect::<Vec<_>>();
+    let violations = sim.meter().compliance().violation_fraction();
+    (work, violations, obs)
+}
+
+#[test]
+fn attaching_the_flight_recorder_never_changes_the_physics() {
+    let (base_work, base_viol, _) = run(false);
+    let (obs_work, obs_viol, _) = run(true);
+    assert_eq!(base_work, obs_work, "per-app work must be bit-identical");
+    assert_eq!(base_viol, obs_viol, "compliance must be bit-identical");
+}
+
+#[test]
+fn the_journal_tells_the_cap_change_story() {
+    let (_, _, obs) = run(true);
+    let obs = obs.expect("observed run");
+    let journal = obs.journal_snapshot();
+
+    // The E1 cap change is recorded at its simulation time, and a
+    // replan (schedule + per-app shares) follows in the same poll.
+    let e1 = journal
+        .iter()
+        .find(|r| matches!(r.event, ObsEvent::CapChanged { cap_w } if cap_w == 90.0))
+        .expect("the mid-run cap drop is journaled");
+    assert!(
+        (e1.at.value() - 3.0).abs() < 1e-9,
+        "stamped at sim time 3 s"
+    );
+    assert!(
+        journal
+            .iter()
+            .any(|r| r.seq > e1.seq && matches!(r.event, ObsEvent::Planned { .. })),
+        "the cap change triggers a recorded replan"
+    );
+    assert!(
+        journal
+            .iter()
+            .any(|r| r.seq > e1.seq && matches!(r.event, ObsEvent::Allocation { .. })),
+        "the replan records per-app shares"
+    );
+
+    // Poll causal ids are monotone and polls are counted: 6 s at 0.1 s.
+    let metrics = obs.metrics();
+    assert_eq!(metrics.counter("polls_total"), 60);
+    assert!(journal.windows(2).all(|w| w[0].poll <= w[1].poll));
+
+    // Prometheus exposition carries the event families end-to-end.
+    let text = metrics.to_prometheus();
+    assert!(text.contains("events_total"));
+    assert!(text.contains("events_by_kind_total{kind=\"cap_changed\"}"));
+}
