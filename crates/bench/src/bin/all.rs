@@ -1,10 +1,18 @@
 //! Regenerates every table and figure of the paper in order, timing
 //! each experiment and writing the wall-clock breakdown to
 //! `BENCH_harness.json` (see DESIGN.md for the format).
+//!
+//! `all --gate` additionally enforces the per-PR perf budget: the run
+//! exits nonzero when the total exceeds [`GATE_SECONDS`], so CI fails
+//! loudly instead of letting the harness creep slower release by
+//! release.
 use std::time::Instant;
 
 use powermed_bench::experiments as ex;
 use powermed_bench::support::{json_object, HarnessDoc};
+
+/// Perf-gate budget for the full sweep (release build, CI runner).
+const GATE_SECONDS: f64 = 1.5;
 
 fn main() {
     let experiments: Vec<(&str, fn())> = vec![
@@ -54,5 +62,13 @@ fn main() {
     match doc.save("BENCH_harness.json") {
         Ok(()) => println!("wrote BENCH_harness.json"),
         Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
+    }
+
+    if std::env::args().any(|a| a == "--gate") {
+        if total > GATE_SECONDS {
+            eprintln!("perf gate FAILED: total {total:.3} s exceeds the {GATE_SECONDS} s budget");
+            std::process::exit(1);
+        }
+        println!("perf gate passed: total {total:.3} s within the {GATE_SECONDS} s budget");
     }
 }

@@ -6,10 +6,17 @@
 //! pair twice (plus once reseeded) and exits nonzero unless the two
 //! same-seed runs are bit-identical and the reseeded one diverges — the
 //! determinism contract CI relies on.
+//!
+//! `ext_warmstart --gate` runs the full experiment and additionally
+//! exits nonzero when the wall clock reaches [`GATE_SECONDS`] — the
+//! per-PR perf budget CI enforces.
 use std::time::Instant;
 
 use powermed_bench::experiments::ext_warmstart;
 use powermed_bench::support::{json_object, HarnessDoc};
+
+/// Perf-gate budget for the full experiment (release build, CI runner).
+const GATE_SECONDS: f64 = 10.0;
 
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
@@ -62,6 +69,14 @@ fn main() {
     match doc.save("BENCH_harness.json") {
         Ok(()) => println!("merged ext_warmstart into BENCH_harness.json"),
         Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
+    }
+
+    if std::env::args().any(|a| a == "--gate") {
+        if secs >= GATE_SECONDS {
+            eprintln!("perf gate FAILED: {secs:.3} s reaches the {GATE_SECONDS} s budget");
+            std::process::exit(1);
+        }
+        println!("perf gate passed: {secs:.3} s within the {GATE_SECONDS} s budget");
     }
 }
 

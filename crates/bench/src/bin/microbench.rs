@@ -1,0 +1,73 @@
+//! Kernel-level microbenchmarks for the calibration hot paths, persisted
+//! to `BENCH_harness.json`.
+//!
+//! The criterion benches under `benches/` print to stdout and vanish;
+//! this binary runs the same three kernels through the vendored
+//! criterion shim and writes each mean seconds-per-iteration into a
+//! `microbench` section of the harness document, so kernel-level
+//! regressions are visible in the committed numbers next to the
+//! experiment wall clocks:
+//!
+//! * `als_fit_corpus_12x432` — one full [`Completion::fit`] over the
+//!   12-app catalog corpus (the unit the fold-model cache saves);
+//! * `fold_in_predict_10pct` — per-arrival fold-in plus fused row
+//!   prediction at the production 10% sampling rate (event E2's kernel);
+//! * `dp_apportion_6apps` — one DP apportionment over six apps (the
+//!   allocator work on every re-allocation event).
+use criterion::Criterion;
+use powermed_bench::support::{json_object, HarnessDoc};
+use powermed_cf::als::{Completion, FitConfig};
+use powermed_cf::sampler::SparseSampler;
+use powermed_core::allocator::PowerAllocator;
+use powermed_core::measurement::AppMeasurement;
+use powermed_server::ServerSpec;
+use powermed_units::Watts;
+use powermed_workloads::catalog;
+
+fn main() {
+    let spec = ServerSpec::xeon_e5_2620();
+    let apps: Vec<AppMeasurement> = catalog::all()
+        .iter()
+        .map(|p| AppMeasurement::exhaustive(&spec, p))
+        .collect();
+    let cols = spec.knob_grid().len();
+    let mut entries = Vec::new();
+    for (r, m) in apps.iter().enumerate() {
+        for c in 0..cols {
+            entries.push((r, c, m.power(c).value()));
+        }
+    }
+    let cfg = FitConfig::default();
+
+    let mut crit = Criterion::default();
+    crit.bench_function("als_fit_corpus_12x432", |b| {
+        b.iter(|| Completion::fit(apps.len(), cols, &entries, cfg))
+    });
+
+    let model = Completion::fit(apps.len(), cols, &entries, cfg);
+    let sampled = SparseSampler::new(cols, 3).columns_for(0.10);
+    let observed: Vec<(usize, f64)> = sampled.iter().map(|&c| (c, 8.0)).collect();
+    crit.bench_function("fold_in_predict_10pct", |b| {
+        b.iter(|| model.predict_row(&model.fold_in(&observed)))
+    });
+
+    let slice: Vec<(&AppMeasurement, Option<&[usize]>)> =
+        apps.iter().take(6).map(|m| (m, None)).collect();
+    let alloc = PowerAllocator::default();
+    crit.bench_function("dp_apportion_6apps", |b| {
+        b.iter(|| alloc.apportion(&slice, Watts::new(30.0)))
+    });
+
+    let fields: Vec<(String, String)> = crit
+        .results()
+        .iter()
+        .map(|(name, secs)| (name.clone(), format!("{secs:.9}")))
+        .collect();
+    let mut doc = HarnessDoc::load("BENCH_harness.json");
+    doc.set("microbench", json_object(&fields));
+    doc.set("microbench_unit", "\"seconds_per_iteration\"");
+    match doc.save("BENCH_harness.json") {
+        Ok(()) => println!("merged microbench into BENCH_harness.json"),
+        Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
+    }
+}

@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::linalg::{dot, solve};
+use crate::linalg::{dot, solve_into};
 
 /// Configuration for [`Completion::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +38,11 @@ impl Default for FitConfig {
 }
 
 /// A fitted matrix-completion model.
+///
+/// Factor matrices are stored as flat buffers with each entity's `k`
+/// latent factors contiguous (`user_f[r*k..(r+1)*k]` is row `r`), so the
+/// ALS inner loops and the predict paths read straight slices instead of
+/// chasing one heap allocation per row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
     factors: usize,
@@ -45,8 +50,76 @@ pub struct Completion {
     mean: f64,
     user_bias: Vec<f64>,
     item_bias: Vec<f64>,
-    user_f: Vec<Vec<f64>>,
-    item_f: Vec<Vec<f64>>,
+    user_f: Vec<f64>,
+    item_f: Vec<f64>,
+}
+
+/// Scratch buffers for the augmented `(k+1) × (k+1)` normal equations,
+/// reused across every row/column solve of a fit (and across sweeps) so
+/// the inner loop is allocation-free.
+struct SolveWorkspace {
+    ata: Vec<f64>,
+    atb: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    fn new(k: usize) -> Self {
+        let n = k + 1;
+        Self {
+            ata: vec![0.0; n * n],
+            atb: vec![0.0; n],
+            sol: vec![0.0; n],
+        }
+    }
+}
+
+/// Solves the regularized least squares for one row (or column) —
+/// unknown bias + factor vector against the fixed other side — writing
+/// the factors into `factors_out` and returning the bias.
+///
+/// The augmented design is `x = [1, q_j]`, so the first solved
+/// coefficient is the bias. The normal equations accumulate directly
+/// from the flat `other_f` slices (no per-observation design vector),
+/// in the same term order as the historical allocating path, so
+/// results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn solve_side(
+    observed: &[(usize, f64)],
+    other_bias: &[f64],
+    other_f: &[f64],
+    mean: f64,
+    k: usize,
+    lambda: f64,
+    ws: &mut SolveWorkspace,
+    factors_out: &mut [f64],
+) -> f64 {
+    let n = k + 1;
+    ws.ata.fill(0.0);
+    ws.atb.fill(0.0);
+    for &(j, v) in observed {
+        let target = v - mean - other_bias[j];
+        let f = &other_f[j * k..j * k + k];
+        for a in 0..n {
+            let xa = if a == 0 { 1.0 } else { f[a - 1] };
+            ws.atb[a] += xa * target;
+            for b in 0..n {
+                let xb = if b == 0 { 1.0 } else { f[b - 1] };
+                ws.ata[a * n + b] += xa * xb;
+            }
+        }
+    }
+    let reg = lambda * observed.len().max(1) as f64;
+    for a in 0..n {
+        ws.ata[a * n + a] += reg;
+    }
+    if solve_into(&mut ws.ata, &mut ws.atb, &mut ws.sol, n) {
+        factors_out.copy_from_slice(&ws.sol[1..]);
+        ws.sol[0]
+    } else {
+        factors_out.fill(0.0);
+        0.0
+    }
 }
 
 /// Factors for a new row obtained by [`Completion::fold_in`].
@@ -91,11 +164,11 @@ impl Completion {
         let k = cfg.factors;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let scale = 0.1;
-        let mut init = |n: usize| -> Vec<Vec<f64>> {
-            (0..n)
-                .map(|_| (0..k).map(|_| rng.gen_range(-scale..scale)).collect())
-                .collect()
-        };
+        // Flat init draws the same RNG sequence as the historical
+        // row-of-Vecs layout (row by row, k values each), so fits stay
+        // bit-identical across the storage change.
+        let mut init =
+            |n: usize| -> Vec<f64> { (0..n * k).map(|_| rng.gen_range(-scale..scale)).collect() };
         let mut model = Self {
             factors: k,
             lambda: cfg.lambda,
@@ -114,78 +187,44 @@ impl Completion {
             by_col[c].push((r, v));
         }
 
+        let mut ws = SolveWorkspace::new(k);
         for _ in 0..cfg.sweeps {
             // Solve users given items.
             for (r, row) in by_row.iter().enumerate() {
                 if row.is_empty() {
                     continue;
                 }
-                let (bias, f) = Self::solve_side(
+                let bias = solve_side(
                     row,
                     &model.item_bias,
                     &model.item_f,
                     model.mean,
                     k,
                     cfg.lambda,
+                    &mut ws,
+                    &mut model.user_f[r * k..(r + 1) * k],
                 );
                 model.user_bias[r] = bias;
-                model.user_f[r] = f;
             }
             // Solve items given users.
             for (c, col) in by_col.iter().enumerate() {
                 if col.is_empty() {
                     continue;
                 }
-                let (bias, f) = Self::solve_side(
+                let bias = solve_side(
                     col,
                     &model.user_bias,
                     &model.user_f,
                     model.mean,
                     k,
                     cfg.lambda,
+                    &mut ws,
+                    &mut model.item_f[c * k..(c + 1) * k],
                 );
                 model.item_bias[c] = bias;
-                model.item_f[c] = f;
             }
         }
         model
-    }
-
-    /// Solves the regularized least squares for one row (or column):
-    /// unknown bias + factor vector against the fixed other side.
-    fn solve_side(
-        observed: &[(usize, f64)],
-        other_bias: &[f64],
-        other_f: &[Vec<f64>],
-        mean: f64,
-        k: usize,
-        lambda: f64,
-    ) -> (f64, Vec<f64>) {
-        // Augmented design: x = [1, q_i] so the first coefficient is the
-        // bias and the rest are factors.
-        let n = k + 1;
-        let mut ata = vec![0.0; n * n];
-        let mut atb = vec![0.0; n];
-        for &(j, v) in observed {
-            let target = v - mean - other_bias[j];
-            let mut x = Vec::with_capacity(n);
-            x.push(1.0);
-            x.extend_from_slice(&other_f[j]);
-            for a in 0..n {
-                atb[a] += x[a] * target;
-                for b in 0..n {
-                    ata[a * n + b] += x[a] * x[b];
-                }
-            }
-        }
-        let reg = lambda * observed.len().max(1) as f64;
-        for a in 0..n {
-            ata[a * n + a] += reg;
-        }
-        match solve(&ata, &atb, n) {
-            Some(sol) => (sol[0], sol[1..].to_vec()),
-            None => (0.0, vec![0.0; k]),
-        }
     }
 
     /// The global mean of the training observations.
@@ -199,10 +238,14 @@ impl Completion {
     ///
     /// Panics if indices are out of range.
     pub fn predict(&self, row: usize, col: usize) -> f64 {
+        let k = self.factors;
         self.mean
             + self.user_bias[row]
             + self.item_bias[col]
-            + dot(&self.user_f[row], &self.item_f[col])
+            + dot(
+                &self.user_f[row * k..(row + 1) * k],
+                &self.item_f[col * k..(col + 1) * k],
+            )
     }
 
     /// Estimates factors for a **new** row from sparse observations
@@ -227,13 +270,17 @@ impl Completion {
         for &(c, _) in observed {
             assert!(c < self.item_bias.len(), "column {c} out of range");
         }
-        let (bias, factors) = Self::solve_side(
+        let mut ws = SolveWorkspace::new(self.factors);
+        let mut factors = vec![0.0; self.factors];
+        let bias = solve_side(
             observed,
             &self.item_bias,
             &self.item_f,
             self.mean,
             self.factors,
             self.lambda,
+            &mut ws,
+            &mut factors,
         );
         FoldedRow { bias, factors }
     }
@@ -244,13 +291,24 @@ impl Completion {
     ///
     /// Panics if `col` is out of range.
     pub fn predict_folded(&self, row: &FoldedRow, col: usize) -> f64 {
-        self.mean + row.bias + self.item_bias[col] + dot(&row.factors, &self.item_f[col])
+        let k = self.factors;
+        self.mean
+            + row.bias
+            + self.item_bias[col]
+            + dot(&row.factors, &self.item_f[col * k..(col + 1) * k])
     }
 
-    /// Predicts every column for a folded-in row.
+    /// Predicts every column for a folded-in row: a fused sweep over the
+    /// flat item buffers, equivalent to calling [`Self::predict_folded`]
+    /// per column but without the per-column dispatch.
     pub fn predict_row(&self, row: &FoldedRow) -> Vec<f64> {
-        (0..self.item_bias.len())
-            .map(|c| self.predict_folded(row, c))
+        let k = self.factors;
+        self.item_bias
+            .iter()
+            .enumerate()
+            .map(|(c, &ib)| {
+                self.mean + row.bias + ib + dot(&row.factors, &self.item_f[c * k..(c + 1) * k])
+            })
             .collect()
     }
 }
@@ -358,6 +416,153 @@ mod tests {
                 "fold-in with {n} samples: relative RMSE {}",
                 err / mean
             );
+        }
+    }
+
+    /// The historical ALS implementation: `Vec<Vec<f64>>` factor rows,
+    /// a fresh design vector per observation, and an allocating solve.
+    /// Kept verbatim as the bit-compatibility oracle for the flat-buffer
+    /// kernels: every prediction must match to the last bit.
+    mod reference {
+        use crate::linalg::solve;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub struct Model {
+            pub mean: f64,
+            pub user_bias: Vec<f64>,
+            pub item_bias: Vec<f64>,
+            pub user_f: Vec<Vec<f64>>,
+            pub item_f: Vec<Vec<f64>>,
+        }
+
+        fn solve_side(
+            observed: &[(usize, f64)],
+            other_bias: &[f64],
+            other_f: &[Vec<f64>],
+            mean: f64,
+            k: usize,
+            lambda: f64,
+        ) -> (f64, Vec<f64>) {
+            let n = k + 1;
+            let mut ata = vec![0.0; n * n];
+            let mut atb = vec![0.0; n];
+            for &(j, v) in observed {
+                let target = v - mean - other_bias[j];
+                let mut x = Vec::with_capacity(n);
+                x.push(1.0);
+                x.extend_from_slice(&other_f[j]);
+                for a in 0..n {
+                    atb[a] += x[a] * target;
+                    for b in 0..n {
+                        ata[a * n + b] += x[a] * x[b];
+                    }
+                }
+            }
+            let reg = lambda * observed.len().max(1) as f64;
+            for a in 0..n {
+                ata[a * n + a] += reg;
+            }
+            match solve(&ata, &atb, n) {
+                Some(sol) => (sol[0], sol[1..].to_vec()),
+                None => (0.0, vec![0.0; k]),
+            }
+        }
+
+        pub fn fit(
+            rows: usize,
+            cols: usize,
+            entries: &[(usize, usize, f64)],
+            cfg: super::FitConfig,
+        ) -> Model {
+            let k = cfg.factors;
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let scale = 0.1;
+            let mut init = |n: usize| -> Vec<Vec<f64>> {
+                (0..n)
+                    .map(|_| (0..k).map(|_| rng.gen_range(-scale..scale)).collect())
+                    .collect()
+            };
+            let mut m = Model {
+                mean: entries.iter().map(|e| e.2).sum::<f64>() / entries.len() as f64,
+                user_bias: vec![0.0; rows],
+                item_bias: vec![0.0; cols],
+                user_f: init(rows),
+                item_f: init(cols),
+            };
+            let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+            let mut by_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cols];
+            for &(r, c, v) in entries {
+                by_row[r].push((c, v));
+                by_col[c].push((r, v));
+            }
+            for _ in 0..cfg.sweeps {
+                for (r, row) in by_row.iter().enumerate() {
+                    if row.is_empty() {
+                        continue;
+                    }
+                    let (bias, f) = solve_side(row, &m.item_bias, &m.item_f, m.mean, k, cfg.lambda);
+                    m.user_bias[r] = bias;
+                    m.user_f[r] = f;
+                }
+                for (c, col) in by_col.iter().enumerate() {
+                    if col.is_empty() {
+                        continue;
+                    }
+                    let (bias, f) = solve_side(col, &m.user_bias, &m.user_f, m.mean, k, cfg.lambda);
+                    m.item_bias[c] = bias;
+                    m.item_f[c] = f;
+                }
+            }
+            m
+        }
+
+        pub fn fold_in(
+            m: &Model,
+            k: usize,
+            lambda: f64,
+            observed: &[(usize, f64)],
+        ) -> (f64, Vec<f64>) {
+            solve_side(observed, &m.item_bias, &m.item_f, m.mean, k, lambda)
+        }
+    }
+
+    #[test]
+    fn flat_kernels_are_bit_identical_to_the_reference_implementation() {
+        // Seeded sparse fixture (~70% fill) over a rank-2 surface.
+        let dense = synthetic(9, 25);
+        let train = entries_from(&dense, |r, c| (r + 3 * c) % 10 != 0);
+        let cfg = FitConfig::default();
+        let model = Completion::fit(9, 25, &train, cfg);
+        let oracle = reference::fit(9, 25, &train, cfg);
+
+        for r in 0..9 {
+            for c in 0..25 {
+                let want = oracle.mean
+                    + oracle.user_bias[r]
+                    + oracle.item_bias[c]
+                    + dot(&oracle.user_f[r], &oracle.item_f[c]);
+                assert_eq!(
+                    model.predict(r, c).to_bits(),
+                    want.to_bits(),
+                    "predict({r},{c}) drifted from the reference"
+                );
+            }
+        }
+
+        // Fold-in and the fused predict_row must match as exactly.
+        let observed: Vec<(usize, f64)> = (0..25).step_by(4).map(|c| (c, dense[3][c])).collect();
+        let folded = model.fold_in(&observed);
+        let (ref_bias, ref_factors) =
+            reference::fold_in(&oracle, cfg.factors, cfg.lambda, &observed);
+        assert_eq!(folded.bias().to_bits(), ref_bias.to_bits());
+        for (a, b) in folded.factors().iter().zip(&ref_factors) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (c, pred) in model.predict_row(&folded).into_iter().enumerate() {
+            let want =
+                oracle.mean + ref_bias + oracle.item_bias[c] + dot(&ref_factors, &oracle.item_f[c]);
+            assert_eq!(pred.to_bits(), want.to_bits(), "predict_row[{c}]");
         }
     }
 

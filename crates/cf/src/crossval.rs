@@ -44,7 +44,13 @@ impl FoldReport {
 
     /// Mean power *underestimation* (watts): the dangerous direction,
     /// since allocating on an underestimate overshoots the server cap.
+    ///
+    /// Returns 0.0 for an empty report (no grid points), mirroring the
+    /// empty-input guard in [`rmse`] rather than dividing by zero.
     pub fn mean_power_underestimate(&self) -> f64 {
+        if self.power_true.is_empty() {
+            return 0.0;
+        }
         let total: f64 = self
             .power_true
             .iter()
@@ -97,11 +103,43 @@ impl CrossValidator {
     /// Returns one report per application (each app is held out exactly
     /// once).
     ///
+    /// Convenience wrapper over the two-phase API: equivalent to
+    /// `self.fit_folds(matrix).evaluate(fraction, seed)`. Callers
+    /// sweeping several fractions should hold on to the
+    /// [`FoldModels`] instead — the ALS fits depend only on the fold
+    /// split and the fit config, not on the fraction, so refitting per
+    /// fraction is pure waste.
+    ///
     /// # Panics
     ///
     /// Panics if the matrix has fewer apps than folds, or any row is not
     /// fully dense.
     pub fn run(&self, matrix: &UtilityMatrix, fraction: f64, seed: u64) -> Vec<FoldReport> {
+        self.fit_folds(matrix).evaluate(fraction, seed)
+    }
+
+    /// Phase 1, serial form: fits every fold's power/perf models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has fewer apps than folds, or any row is not
+    /// fully dense.
+    pub fn fit_folds(&self, matrix: &UtilityMatrix) -> FoldModels {
+        let jobs = self.fold_jobs(matrix);
+        let fits = jobs.iter().map(FoldFitJob::fit).collect();
+        self.assemble(matrix, fits)
+    }
+
+    /// Phase 1, fan-out form: the independent `(fold × channel)` fit
+    /// jobs backing [`Self::fit_folds`]. Run them in any order (e.g.
+    /// on a worker pool — each job is `Send`), then pass the fitted
+    /// models back to [`Self::assemble`] **in job order**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has fewer apps than folds, or any row is not
+    /// fully dense.
+    pub fn fold_jobs(&self, matrix: &UtilityMatrix) -> Vec<FoldFitJob> {
         let names: Vec<String> = matrix.app_names().iter().map(|s| s.to_string()).collect();
         assert!(
             names.len() >= self.folds,
@@ -115,28 +153,18 @@ impl CrossValidator {
             );
         }
         let cols = matrix.columns();
-        let sampler = SparseSampler::new(cols, seed);
-        let sampled_cols = sampler.columns_for(fraction);
-
-        let mut reports = Vec::with_capacity(names.len());
+        let mut jobs = Vec::with_capacity(2 * self.folds);
         for fold in 0..self.folds {
-            let held_out: Vec<&String> = names
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % self.folds == fold)
-                .map(|(_, n)| n)
-                .collect();
-            if held_out.is_empty() {
-                continue;
-            }
             let train: Vec<&String> = names
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| i % self.folds != fold)
                 .map(|(_, n)| n)
                 .collect();
-
-            // Build training channels restricted to the training rows.
+            if train.len() == names.len() {
+                // Empty fold: nothing held out, nothing to fit.
+                continue;
+            }
             let mut power_entries = Vec::new();
             let mut perf_entries = Vec::new();
             for (ri, name) in train.iter().enumerate() {
@@ -145,25 +173,183 @@ impl CrossValidator {
                     perf_entries.push((ri, c, q));
                 }
             }
-            let power_model = Completion::fit(train.len(), cols, &power_entries, self.fit);
-            let perf_model = Completion::fit(train.len(), cols, &perf_entries, self.fit);
+            jobs.push(FoldFitJob {
+                fold,
+                channel: Channel::Power,
+                rows: train.len(),
+                cols,
+                entries: power_entries,
+                fit: self.fit,
+            });
+            jobs.push(FoldFitJob {
+                fold,
+                channel: Channel::Perf,
+                rows: train.len(),
+                cols,
+                entries: perf_entries,
+                fit: self.fit,
+            });
+        }
+        jobs
+    }
 
-            for name in held_out {
-                let row = matrix.row(name);
-                let power_true: Vec<f64> = row.iter().map(|(_, p, _)| p.value()).collect();
-                let perf_true: Vec<f64> = row.iter().map(|(_, _, q)| *q).collect();
+    /// Phase 1 completion: pairs the fitted models (in
+    /// [`Self::fold_jobs`] order) with each fold's held-out ground
+    /// truth, producing a reusable [`FoldModels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fits` does not line up with this validator's jobs for
+    /// `matrix` (wrong length), or the matrix fails the density checks.
+    pub fn assemble(&self, matrix: &UtilityMatrix, mut fits: Vec<Completion>) -> FoldModels {
+        let names: Vec<String> = matrix.app_names().iter().map(|s| s.to_string()).collect();
+        assert!(
+            names.len() >= self.folds,
+            "need at least as many apps as folds"
+        );
+        let mut slots = Vec::with_capacity(self.folds);
+        let mut drain = fits.drain(..);
+        for fold in 0..self.folds {
+            let held_out: Vec<HeldOutApp> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % self.folds == fold)
+                .map(|(_, name)| {
+                    let row = matrix.row(name);
+                    HeldOutApp {
+                        name: name.clone(),
+                        power_true: row.iter().map(|(_, p, _)| p.value()).collect(),
+                        perf_true: row.iter().map(|(_, _, q)| *q).collect(),
+                    }
+                })
+                .collect();
+            if held_out.is_empty() {
+                continue;
+            }
+            let power_model = drain.next().expect("one power fit per non-empty fold");
+            let perf_model = drain.next().expect("one perf fit per non-empty fold");
+            slots.push(FoldSlot {
+                power_model,
+                perf_model,
+                held_out,
+            });
+        }
+        assert!(
+            drain.next().is_none(),
+            "more fits than folds: fit list does not match fold_jobs order"
+        );
+        drop(drain);
+        FoldModels {
+            columns: matrix.columns(),
+            slots,
+        }
+    }
+}
 
-                let power_obs: Vec<(usize, f64)> =
-                    sampled_cols.iter().map(|&c| (c, power_true[c])).collect();
-                let perf_obs: Vec<(usize, f64)> =
-                    sampled_cols.iter().map(|&c| (c, perf_true[c])).collect();
+/// Which estimation channel a [`FoldFitJob`] trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// The power surface (watts).
+    Power,
+    /// The performance surface.
+    Perf,
+}
 
-                let mut power_pred = power_model.predict_row(&power_model.fold_in(&power_obs));
-                let mut perf_pred = perf_model.predict_row(&perf_model.fold_in(&perf_obs));
+/// One independent ALS fit of a fold's training rows for one channel.
+///
+/// Produced by [`CrossValidator::fold_jobs`]; `Send`, so the
+/// `(fold × channel)` fits can fan out across a worker pool and be
+/// reassembled with [`CrossValidator::assemble`].
+#[derive(Debug, Clone)]
+pub struct FoldFitJob {
+    /// The fold whose training rows this job fits.
+    pub fold: usize,
+    /// The channel this job trains.
+    pub channel: Channel,
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+    fit: FitConfig,
+}
+
+impl FoldFitJob {
+    /// Runs the ALS fit (the expensive part of cross-validation).
+    pub fn fit(&self) -> Completion {
+        Completion::fit(self.rows, self.cols, &self.entries, self.fit)
+    }
+}
+
+/// One fold's held-out application with its dense ground truth.
+#[derive(Debug, Clone)]
+struct HeldOutApp {
+    name: String,
+    power_true: Vec<f64>,
+    perf_true: Vec<f64>,
+}
+
+/// One fold's fitted channel models plus its held-out ground truth.
+#[derive(Debug, Clone)]
+struct FoldSlot {
+    power_model: Completion,
+    perf_model: Completion,
+    held_out: Vec<HeldOutApp>,
+}
+
+/// Phase-1 output of cross-validation: the per-fold ALS fits, reusable
+/// across sampling fractions.
+///
+/// The fits depend only on the fold split and the [`FitConfig`] — never
+/// on the sampling fraction — so a fraction sweep evaluates one
+/// `FoldModels` at each fraction instead of refitting
+/// `folds × channels` models per point (fig7's 6-fraction sweep: 10
+/// fits instead of 60).
+#[derive(Debug, Clone)]
+pub struct FoldModels {
+    columns: usize,
+    slots: Vec<FoldSlot>,
+}
+
+impl FoldModels {
+    /// Number of fitted `(fold × channel)` models held.
+    pub fn model_count(&self) -> usize {
+        2 * self.slots.len()
+    }
+
+    /// Phase 2: evaluates the held-out applications at one sampling
+    /// fraction — fold-in from the sampled columns, fused predict,
+    /// measured pass-through, physical floor. Cheap relative to the
+    /// fits; bit-identical to the historical single-phase
+    /// [`CrossValidator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]`.
+    pub fn evaluate(&self, fraction: f64, seed: u64) -> Vec<FoldReport> {
+        let sampler = SparseSampler::new(self.columns, seed);
+        let sampled_cols = sampler.columns_for(fraction);
+
+        let mut reports = Vec::with_capacity(self.slots.iter().map(|s| s.held_out.len()).sum());
+        for slot in &self.slots {
+            for app in &slot.held_out {
+                let power_obs: Vec<(usize, f64)> = sampled_cols
+                    .iter()
+                    .map(|&c| (c, app.power_true[c]))
+                    .collect();
+                let perf_obs: Vec<(usize, f64)> = sampled_cols
+                    .iter()
+                    .map(|&c| (c, app.perf_true[c]))
+                    .collect();
+
+                let mut power_pred = slot
+                    .power_model
+                    .predict_row(&slot.power_model.fold_in(&power_obs));
+                let mut perf_pred = slot
+                    .perf_model
+                    .predict_row(&slot.perf_model.fold_in(&perf_obs));
                 // Measured settings are known exactly: pass them through.
                 for &c in &sampled_cols {
-                    power_pred[c] = power_true[c];
-                    perf_pred[c] = perf_true[c];
+                    power_pred[c] = app.power_true[c];
+                    perf_pred[c] = app.perf_true[c];
                 }
                 // Physical floor: neither power nor perf can be negative.
                 for v in power_pred.iter_mut().chain(perf_pred.iter_mut()) {
@@ -173,11 +359,11 @@ impl CrossValidator {
                 }
 
                 reports.push(FoldReport {
-                    app: name.clone(),
+                    app: app.name.clone(),
                     sampled_cols: sampled_cols.clone(),
-                    power_true,
+                    power_true: app.power_true.clone(),
                     power_pred,
-                    perf_true,
+                    perf_true: app.perf_true.clone(),
                     perf_pred,
                 });
             }
@@ -305,5 +491,67 @@ mod tests {
     #[test]
     fn summarize_empty_is_zero() {
         assert_eq!(summarize(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_report_metrics_are_zero_not_nan() {
+        let r = FoldReport {
+            app: "ghost".to_string(),
+            sampled_cols: Vec::new(),
+            power_true: Vec::new(),
+            power_pred: Vec::new(),
+            perf_true: Vec::new(),
+            perf_pred: Vec::new(),
+        };
+        // A degenerate report must not poison a summary with NaN.
+        assert_eq!(r.mean_power_underestimate(), 0.0);
+        assert_eq!(r.worst_power_underestimate(), 0.0);
+        assert_eq!(r.power_rmse(), 0.0);
+        assert_eq!(r.perf_rmse(), 0.0);
+        let (power_rmse, under, perf_rmse) = summarize(&[r]);
+        assert_eq!((power_rmse, under, perf_rmse), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn two_phase_api_is_bit_identical_to_run() {
+        let m = synthetic_matrix(10, 40);
+        let cv = CrossValidator::new(5);
+        let models = cv.fit_folds(&m);
+        assert_eq!(models.model_count(), 10, "5 folds × 2 channels");
+        for fraction in [0.05, 0.2, 0.5] {
+            let single = cv.run(&m, fraction, 23);
+            let phased = models.evaluate(fraction, 23);
+            assert_eq!(single.len(), phased.len());
+            for (a, b) in single.iter().zip(&phased) {
+                assert_eq!(a, b, "fraction {fraction}: reports drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_jobs_roundtrip_through_assemble() {
+        let m = synthetic_matrix(8, 32);
+        let cv = CrossValidator::new(4);
+        let jobs = cv.fold_jobs(&m);
+        assert_eq!(jobs.len(), 8, "4 folds × 2 channels");
+        assert!(jobs.chunks(2).all(|pair| pair[0].fold == pair[1].fold
+            && pair[0].channel == Channel::Power
+            && pair[1].channel == Channel::Perf));
+        // Fitting the jobs independently (as a worker pool would) and
+        // reassembling matches the serial phase-1 output exactly.
+        let fits: Vec<Completion> = jobs.iter().map(FoldFitJob::fit).collect();
+        let assembled = cv.assemble(&m, fits).evaluate(0.1, 2);
+        let serial = cv.fit_folds(&m).evaluate(0.1, 2);
+        assert_eq!(assembled, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match fold_jobs")]
+    fn assemble_rejects_extra_fits() {
+        let m = synthetic_matrix(6, 24);
+        let cv = CrossValidator::new(3);
+        let mut fits: Vec<Completion> = cv.fold_jobs(&m).iter().map(FoldFitJob::fit).collect();
+        fits.push(fits[0].clone());
+        let _ = cv.assemble(&m, fits);
     }
 }

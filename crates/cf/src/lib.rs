@@ -17,7 +17,9 @@
 //! * [`sampler::SparseSampler`] — which settings to measure online for a
 //!   given sampling fraction;
 //! * [`crossval::CrossValidator`] — the k-fold protocol behind Fig. 7
-//!   (80% of applications estimate the metrics for the held-out 20%).
+//!   (80% of applications estimate the metrics for the held-out 20%),
+//!   split into a fit phase ([`crossval::FoldModels`], reusable across
+//!   sampling fractions) and a cheap per-fraction evaluate phase.
 //!
 //! # Example
 //!
@@ -41,6 +43,6 @@ pub mod matrix;
 pub mod sampler;
 
 pub use als::{Completion, FitConfig, FoldedRow};
-pub use crossval::{CrossValidator, FoldReport};
+pub use crossval::{Channel, CrossValidator, FoldFitJob, FoldModels, FoldReport};
 pub use matrix::UtilityMatrix;
 pub use sampler::SparseSampler;

@@ -10,10 +10,28 @@
 ///
 /// Panics if `a.len() != n*n` or `b.len() != n`.
 pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
-    assert_eq!(a.len(), n * n, "A must be n x n");
-    assert_eq!(b.len(), n, "b must be length n");
     let mut m = a.to_vec();
     let mut rhs = b.to_vec();
+    let mut x = vec![0.0; n];
+    solve_into(&mut m, &mut rhs, &mut x, n).then_some(x)
+}
+
+/// Allocation-free form of [`solve`]: eliminates in place, destroying
+/// `m` (the `n × n` matrix) and `rhs`, and writes the solution into `x`.
+///
+/// Returns `false` when the matrix is singular to working precision
+/// (`x` is then untouched past the point of failure; treat it as
+/// garbage). ALS calls this once per row per sweep, so the scratch
+/// buffers live in the caller's workspace instead of being reallocated
+/// on every solve.
+///
+/// # Panics
+///
+/// Panics if `m.len() != n*n` or `rhs.len() != n` or `x.len() != n`.
+pub fn solve_into(m: &mut [f64], rhs: &mut [f64], x: &mut [f64], n: usize) -> bool {
+    assert_eq!(m.len(), n * n, "A must be n x n");
+    assert_eq!(rhs.len(), n, "b must be length n");
+    assert_eq!(x.len(), n, "x must be length n");
 
     for col in 0..n {
         // Partial pivot.
@@ -27,7 +45,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
             }
         }
         if best < 1e-12 {
-            return None;
+            return false;
         }
         if pivot != col {
             for k in 0..n {
@@ -50,7 +68,6 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     }
 
     // Back substitution.
-    let mut x = vec![0.0; n];
     for row in (0..n).rev() {
         let mut acc = rhs[row];
         for k in (row + 1)..n {
@@ -58,7 +75,7 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
         }
         x[row] = acc / m[row * n + row];
     }
-    Some(x)
+    true
 }
 
 /// Dot product of two equal-length slices.
@@ -124,6 +141,28 @@ mod tests {
         let a = vec![1.0, 2.0, 2.0, 4.0];
         let b = vec![1.0, 2.0];
         assert_eq!(solve(&a, &b, 2), None);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_reuses_buffers() {
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let expect = solve(&a, &b, 2).unwrap();
+        let mut m = vec![0.0; 4];
+        let mut rhs = vec![0.0; 2];
+        let mut x = vec![0.0; 2];
+        // Two consecutive solves through the same scratch buffers must
+        // each reproduce the allocating path bit-for-bit.
+        for _ in 0..2 {
+            m.copy_from_slice(&a);
+            rhs.copy_from_slice(&b);
+            assert!(solve_into(&mut m, &mut rhs, &mut x, 2));
+            assert_eq!(x, expect);
+        }
+        // Singular input reports failure instead of allocating a None.
+        m.copy_from_slice(&[1.0, 2.0, 2.0, 4.0]);
+        rhs.copy_from_slice(&[1.0, 2.0]);
+        assert!(!solve_into(&mut m, &mut rhs, &mut x, 2));
     }
 
     #[test]

@@ -104,6 +104,34 @@ impl UtilityMatrix {
         self.channel(|(_, q)| *q)
     }
 
+    /// FNV-1a fingerprint of the full matrix content (dimensions, row
+    /// names, and every entry's column and exact bit patterns).
+    ///
+    /// Two matrices share a fingerprint iff they would produce the same
+    /// channels in the same row order — which makes it a sound
+    /// memoization key for completion-model fits over the matrix.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.columns as u64).to_le_bytes());
+        for (name, row) in &self.rows {
+            eat(name.as_bytes());
+            eat(&[0xff]); // name terminator: "ab"+"c" must differ from "a"+"bc"
+            eat(&(row.len() as u64).to_le_bytes());
+            for (c, (p, q)) in row {
+                eat(&(*c as u64).to_le_bytes());
+                eat(&p.value().to_bits().to_le_bytes());
+                eat(&q.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     fn channel(&self, f: impl Fn(&(Watts, f64)) -> f64) -> (Vec<String>, Vec<(usize, usize, f64)>) {
         let names: Vec<String> = self.rows.keys().cloned().collect();
         let mut triples = Vec::new();
@@ -166,6 +194,24 @@ mod tests {
         assert_eq!(names_p, vec!["a".to_string(), "b".to_string()]);
         assert_eq!(power, vec![(0, 1, 2.0), (1, 2, 4.0)]);
         assert_eq!(perf, vec![(0, 1, 20.0), (1, 2, 40.0)]);
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_content() {
+        let mut a = UtilityMatrix::new(4);
+        a.insert("x", 0, Watts::new(1.0), 2.0);
+        let mut b = UtilityMatrix::new(4);
+        b.insert("x", 0, Watts::new(1.0), 2.0);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        // Any change — value, column, name, dimensions — moves the key.
+        b.insert("x", 0, Watts::new(1.0), 3.0);
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+        let mut c = UtilityMatrix::new(5);
+        c.insert("x", 0, Watts::new(1.0), 2.0);
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+        let mut d = UtilityMatrix::new(4);
+        d.insert("y", 0, Watts::new(1.0), 2.0);
+        assert_ne!(a.content_fingerprint(), d.content_fingerprint());
     }
 
     #[test]

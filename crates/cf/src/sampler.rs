@@ -54,14 +54,21 @@ impl SparseSampler {
     pub fn columns_for(&self, fraction: f64) -> Vec<usize> {
         let n = self.sample_count(fraction);
         let mut picked = vec![false; self.columns];
-        // Backbone: half the budget spread evenly, ends included.
+        // Backbone: half the budget spread evenly, ends included. The
+        // integer division can map two backbone slots onto one column at
+        // small grids; deduping to the next free column keeps the
+        // backbone at exactly `backbone` distinct anchors instead of
+        // silently handing slots to the random fill.
         let backbone = (n / 2).max(2.min(n));
         for i in 0..backbone {
-            let col = if backbone == 1 {
+            let mut col = if backbone == 1 {
                 0
             } else {
                 (i * (self.columns - 1)) / (backbone - 1)
             };
+            while picked[col] {
+                col = (col + 1) % self.columns;
+            }
             picked[col] = true;
         }
         // Random fill for the rest.
@@ -141,13 +148,36 @@ mod tests {
         let _ = SparseSampler::new(10, 0).sample_count(0.0);
     }
 
+    #[test]
+    fn tiny_grids_still_fill_the_whole_budget() {
+        // Exhaustive over the small grids where backbone collisions are
+        // conceivable: the returned set must always have exactly
+        // sample_count(fraction) distinct columns.
+        for cols in 1..=12usize {
+            for seed in 0..8u64 {
+                let s = SparseSampler::new(cols, seed);
+                for pct in 1..=100u32 {
+                    let frac = f64::from(pct) / 100.0;
+                    let picked = s.columns_for(frac);
+                    assert_eq!(
+                        picked.len(),
+                        s.sample_count(frac),
+                        "cols={cols} seed={seed} frac={frac}"
+                    );
+                    assert!(picked.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+
     proptest! {
         #[test]
-        fn prop_valid_for_any_grid(cols in 2usize..500, frac in 0.01f64..1.0, seed in 0u64..100) {
+        fn prop_exact_budget_for_any_grid(cols in 2usize..500, frac in 0.01f64..1.0, seed in 0u64..100) {
             let s = SparseSampler::new(cols, seed);
             let picked = s.columns_for(frac);
-            prop_assert!(picked.len() >= 2.min(cols));
-            prop_assert!(picked.len() <= cols);
+            // Exactly the budget: duplicates anywhere in the selection
+            // would shrink the effective sample below sample_count.
+            prop_assert_eq!(picked.len(), s.sample_count(frac));
             prop_assert!(picked.windows(2).all(|w| w[0] < w[1]));
             prop_assert!(picked.iter().all(|c| *c < cols));
         }

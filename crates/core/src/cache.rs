@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
+use powermed_cf::als::Completion;
 use powermed_server::ServerSpec;
 use powermed_workloads::AppProfile;
 
@@ -58,6 +59,12 @@ struct Inner {
     surfaces: RwLock<HashMap<(u64, u64), Arc<AppMeasurement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Fitted `(power, perf)` completion-model pairs keyed by the
+    /// caller's content fingerprint (corpus + fit config). Online
+    /// calibration refits the same corpus on every admission otherwise.
+    models: RwLock<HashMap<u64, Arc<(Completion, Completion)>>>,
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
 }
 
 /// A thread-safe, cheaply clonable cache of exhaustive measurement
@@ -104,6 +111,45 @@ impl MeasurementCache {
         Arc::clone(surfaces.entry(key).or_insert(fresh))
     }
 
+    /// Returns the `(power, perf)` completion-model pair for `key`,
+    /// fitting and storing it on first use.
+    ///
+    /// `key` must fingerprint everything the fit depends on — the full
+    /// corpus content *and* the fit configuration (see
+    /// `Calibrator::corpus_model_key`) — so equal keys imply
+    /// bit-identical fits and sharing is exact, not approximate. Like
+    /// [`Self::measure`], concurrent misses may race to build; the
+    /// first insert wins.
+    pub fn completion_pair(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> (Completion, Completion),
+    ) -> Arc<(Completion, Completion)> {
+        if let Some(found) = self.inner.models.read().get(&key) {
+            self.inner.model_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.inner.model_misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(build());
+        let mut models = self.inner.models.write();
+        Arc::clone(models.entry(key).or_insert(fresh))
+    }
+
+    /// Completion-model lookups served from the cache.
+    pub fn model_hits(&self) -> u64 {
+        self.inner.model_hits.load(Ordering::Relaxed)
+    }
+
+    /// Completion-model lookups that had to run an ALS fit.
+    pub fn model_misses(&self) -> u64 {
+        self.inner.model_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct completion-model pairs stored.
+    pub fn model_count(&self) -> usize {
+        self.inner.models.read().len()
+    }
+
     /// Number of distinct `(spec, profile)` surfaces stored.
     pub fn len(&self) -> usize {
         self.inner.surfaces.read().len()
@@ -124,11 +170,15 @@ impl MeasurementCache {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops every stored surface and resets the hit/miss counters.
+    /// Drops every stored surface and model pair and resets the
+    /// hit/miss counters.
     pub fn clear(&self) {
         self.inner.surfaces.write().clear();
         self.inner.hits.store(0, Ordering::Relaxed);
         self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.models.write().clear();
+        self.inner.model_hits.store(0, Ordering::Relaxed);
+        self.inner.model_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -176,9 +226,38 @@ mod tests {
         let cache = MeasurementCache::new();
         let spec = ServerSpec::xeon_e5_2620();
         cache.measure(&spec, &catalog::pagerank());
+        cache.completion_pair(1, tiny_pair);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.model_count(), 0);
+        assert_eq!(cache.model_hits(), 0);
+        assert_eq!(cache.model_misses(), 0);
+    }
+
+    fn tiny_pair() -> (Completion, Completion) {
+        let entries = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)];
+        let cfg = powermed_cf::als::FitConfig::default();
+        (
+            Completion::fit(2, 2, &entries, cfg),
+            Completion::fit(2, 2, &entries, cfg),
+        )
+    }
+
+    #[test]
+    fn completion_pair_shares_one_fit_per_key() {
+        let cache = MeasurementCache::new();
+        let first = cache.completion_pair(42, tiny_pair);
+        let second = cache.completion_pair(42, || panic!("must be served from the cache"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.model_hits(), 1);
+        assert_eq!(cache.model_misses(), 1);
+        assert_eq!(cache.model_count(), 1);
+        // A different key builds fresh.
+        let third = cache.completion_pair(43, tiny_pair);
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(cache.model_misses(), 2);
+        assert_eq!(cache.model_count(), 2);
     }
 }

@@ -97,6 +97,25 @@ impl Calibrator {
         self.corpus.app_count()
     }
 
+    /// Memoization key for the corpus completion models: the exact
+    /// corpus content plus every [`FitConfig`] field. Two calibrators
+    /// with equal keys would fit bit-identical `(power, perf)` model
+    /// pairs, so the pair can be shared through the measurement cache.
+    fn corpus_model_key(&self) -> u64 {
+        let mut h = self.corpus.content_fingerprint();
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.fit.factors as u64);
+        mix(self.fit.lambda.to_bits());
+        mix(self.fit.sweeps as u64);
+        mix(self.fit.seed);
+        h
+    }
+
     /// Adds a fully measured application to the corpus (dense row).
     pub fn add_to_corpus(&mut self, m: &AppMeasurement) {
         for (i, _) in m.grid().iter().enumerate() {
@@ -302,11 +321,23 @@ impl Calibrator {
             }
         }
 
-        let (_, power_entries) = self.corpus.power_channel();
-        let (_, perf_entries) = self.corpus.perf_channel();
-        let rows = self.corpus.app_count();
-        let power_model = Completion::fit(rows, grid.len(), &power_entries, self.fit);
-        let perf_model = Completion::fit(rows, grid.len(), &perf_entries, self.fit);
+        // The fits depend only on corpus content + fit config, both of
+        // which the key fingerprints exactly, so every admission against
+        // an unchanged corpus (every warm re-admission, every server in
+        // a sweep sharing a catalog) reuses one bit-identical pair.
+        let models = crate::cache::MeasurementCache::global().completion_pair(
+            self.corpus_model_key(),
+            || {
+                let (_, power_entries) = self.corpus.power_channel();
+                let (_, perf_entries) = self.corpus.perf_channel();
+                let rows = self.corpus.app_count();
+                (
+                    Completion::fit(rows, grid.len(), &power_entries, self.fit),
+                    Completion::fit(rows, grid.len(), &perf_entries, self.fit),
+                )
+            },
+        );
+        let (power_model, perf_model) = (&models.0, &models.1);
 
         let power_row = power_model.fold_in(&power_obs);
         let perf_row = perf_model.fold_in(&perf_obs);
@@ -605,6 +636,45 @@ mod tests {
         for i in 0..warm.measurement.grid().len() {
             assert_eq!(warm.measurement.power(i), cold.measurement.power(i));
         }
+    }
+
+    #[test]
+    fn repeated_admissions_share_one_model_fit() {
+        let mut cal = Calibrator::new(spec(), 0.1);
+        cal.seed_corpus(&catalog::all());
+        let cache = crate::cache::MeasurementCache::global();
+        let misses_before = cache.model_misses();
+        let mut probe = probe_for(catalog::stream());
+        let first = cal
+            .try_calibrate_online_seeded("s1", 4, None, |k| Some(probe(k)))
+            .unwrap();
+        // Other tests share the global cache, so counter checks are
+        // lower bounds rather than exact deltas.
+        let fits_run = cache.model_misses() - misses_before;
+        assert!(
+            fits_run <= 1,
+            "one pair fit per corpus state, got {fits_run}"
+        );
+        // Same corpus, different app: the pair must come from the cache
+        // and the result must match the first admission bit for bit.
+        let hits_before = cache.model_hits();
+        let mut probe2 = probe_for(catalog::stream());
+        let second = cal
+            .try_calibrate_online_seeded("s2", 4, None, |k| Some(probe2(k)))
+            .unwrap();
+        assert!(cache.model_hits() > hits_before);
+        for i in 0..first.measurement.grid().len() {
+            assert_eq!(first.measurement.power(i), second.measurement.power(i));
+            assert_eq!(first.measurement.perf(i), second.measurement.perf(i));
+        }
+        // Growing the corpus moves the key: the stale pair is not reused.
+        let mut gen = WorkloadGenerator::new(3);
+        cal.seed_corpus(&gen.variant_corpus(2, 0.25));
+        let misses_mid = cache.model_misses();
+        let mut probe3 = probe_for(catalog::stream());
+        cal.try_calibrate_online_seeded("s3", 4, None, |k| Some(probe3(k)))
+            .unwrap();
+        assert!(cache.model_misses() > misses_mid);
     }
 
     #[test]

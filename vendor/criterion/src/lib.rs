@@ -44,8 +44,15 @@ impl Bencher {
 }
 
 /// Top-level handle, mirroring `criterion::Criterion`.
+///
+/// Beyond the upstream API, every finished benchmark's mean
+/// seconds-per-iteration is retained and exposed through
+/// [`Criterion::results`], so harness binaries can persist the numbers
+/// (e.g. into `BENCH_harness.json`) instead of scraping stdout.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
 
 impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
@@ -55,19 +62,33 @@ impl Criterion {
         };
         f(&mut b);
         report(name, &b);
+        self.record(name, &b);
         self
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
+        }
+    }
+
+    /// `(name, mean seconds per iteration)` for every benchmark run so
+    /// far, in execution order.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    fn record(&mut self, name: &str, b: &Bencher) {
+        if b.iters > 0 {
+            self.results
+                .push((name.to_string(), b.elapsed.as_secs_f64() / b.iters as f64));
         }
     }
 }
 
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
 }
 
@@ -81,7 +102,9 @@ impl BenchmarkGroup<'_> {
             elapsed: Duration::ZERO,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.0), &b);
+        let full = format!("{}/{}", self.name, id.0);
+        report(&full, &b);
+        self.parent.record(&full, &b);
         self
     }
 
