@@ -1,9 +1,10 @@
-//! Decision-audit doctor: replays the reference fault scenario with the
+//! Decision-audit doctor: replays a reference fault scenario with the
 //! flight recorder attached and explains a mediator decision from the
 //! journal.
 //!
 //! ```text
 //! doctor --explain throttle [--app <name-or-1-based-index>] [--seed N]
+//! doctor --explain sensor-fault [--seed N]
 //! ```
 //!
 //! `--explain throttle` walks the journal backward from the last
@@ -12,8 +13,13 @@
 //! that armed the watchdog, then prints the whole chain chronologically
 //! (sequence number, poll, sim time, epoch, event). Exits nonzero when
 //! the chain cannot be reconstructed.
-use powermed_bench::experiments::{ext_faults, ext_obs};
-use powermed_telemetry::journal::{EventRecord, ObsConfig};
+//!
+//! `--explain sensor-fault` replays the shared-meter-bias scenario on
+//! the *estimated* power stack and walks the journal backward from the
+//! last confidence-fallback engagement to the E6 it latched and the
+//! residual spikes that armed the degradation ladder.
+use powermed_bench::experiments::{ext_disagg, ext_faults, ext_obs};
+use powermed_telemetry::journal::{EventRecord, ObsConfig, ObsEvent};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -36,17 +42,23 @@ fn print_record(prefix: &str, r: &EventRecord) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let what = arg_value(&args, "--explain").unwrap_or_else(|| "throttle".to_string());
-    if what != "throttle" {
-        eprintln!("doctor: unknown --explain target {what:?} (supported: throttle)");
-        std::process::exit(2);
+    let seed = arg_value(&args, "--seed").and_then(|v| v.parse::<u64>().ok());
+    match what.as_str() {
+        "throttle" => explain_throttle(&args, seed.unwrap_or(ext_faults::SEED)),
+        "sensor-fault" => explain_sensor_fault(seed.unwrap_or(ext_disagg::SEED)),
+        other => {
+            eprintln!(
+                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault)"
+            );
+            std::process::exit(2);
+        }
     }
-    let seed = arg_value(&args, "--seed")
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(ext_faults::SEED);
+}
 
+fn explain_throttle(args: &[String], seed: u64) {
     let mix = ext_faults::reference_mix();
     // `--app` takes an app name or a 1-based index into the mix.
-    let app: Option<String> = arg_value(&args, "--app").map(|v| match v.parse::<usize>() {
+    let app: Option<String> = arg_value(args, "--app").map(|v| match v.parse::<usize>() {
         Ok(i) if i >= 1 && i <= mix.apps().len() => mix.apps()[i - 1].name().to_string(),
         _ => v,
     });
@@ -76,7 +88,7 @@ fn main() {
             println!(
                 "why was {} force-throttled? ({} evidence records)",
                 match &ex.throttle.event {
-                    powermed_telemetry::journal::ObsEvent::ForceThrottle { app } => app.as_str(),
+                    ObsEvent::ForceThrottle { app } => app.as_str(),
                     _ => "?",
                 },
                 ex.causes.len()
@@ -91,17 +103,13 @@ fn main() {
                  watchdog; safe mode engaged at poll {} and force-throttled the app.",
                 ex.causes
                     .iter()
-                    .filter(|c| matches!(
-                        c.event,
-                        powermed_telemetry::journal::ObsEvent::Poll { over_cap: true, .. }
-                    ))
+                    .filter(|c| matches!(c.event, ObsEvent::Poll { over_cap: true, .. }))
                     .count(),
                 ex.causes
                     .iter()
                     .filter(|c| matches!(
                         c.event,
-                        powermed_telemetry::journal::ObsEvent::SensorSuspect { .. }
-                            | powermed_telemetry::journal::ObsEvent::SensorFault { .. }
+                        ObsEvent::SensorSuspect { .. } | ObsEvent::SensorFault { .. }
                     ))
                     .count(),
                 ex.engage.poll
@@ -112,6 +120,58 @@ fn main() {
                 "doctor: no force-throttle for {} found in the journal",
                 app.as_deref().unwrap_or("any app")
             );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn explain_sensor_fault(seed: u64) {
+    let scenario = ext_disagg::doctor_scenario(seed);
+    println!(
+        "doctor: replaying {:?} for {} s (seed {seed:#x}, estimated power, flight recorder on)",
+        scenario.label,
+        ext_faults::SCENARIO_DURATION.value()
+    );
+    let run = ext_disagg::run_observed(
+        &scenario,
+        &ext_faults::reference_mix(),
+        ext_faults::SCENARIO_DURATION,
+        ObsConfig::default(),
+    );
+    let journal = run.obs.journal_snapshot();
+    let (retained, evicted, total) = run.obs.journal_counts();
+    println!(
+        "journal: {retained} records retained ({evicted} evicted of {total}); \
+         {} residual spike(s), {} fallback engagement(s), {} escalation(s)\n",
+        run.outcome.estimation.residual_spikes,
+        run.outcome.estimation.fallback_engagements,
+        run.outcome.estimation.escalations,
+    );
+
+    match ext_disagg::explain_sensor_fault(&journal) {
+        Some(ex) => {
+            println!(
+                "why did the estimation ladder latch an E6? ({} evidence records)",
+                ex.causes.len()
+            );
+            for r in &ex.causes {
+                print_record("  cause   ", r);
+            }
+            print_record("  decide  ", &ex.fallback);
+            print_record("  effect  ", &ex.fault);
+            println!(
+                "\nverdict: {} residual spike(s) exceeded the confidence band; the \
+                 conservative fallback engaged at poll {} (planning cap shaved) and \
+                 latched the E6 sensor fault.",
+                ex.causes
+                    .iter()
+                    .filter(|c| matches!(c.event, ObsEvent::ResidualSpike { .. }))
+                    .count(),
+                ex.fallback.poll
+            );
+        }
+        None => {
+            eprintln!("doctor: no residual-spike -> fallback -> E6 chain found in the journal");
             std::process::exit(1);
         }
     }

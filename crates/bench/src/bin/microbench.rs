@@ -13,16 +13,35 @@
 //! * `fold_in_predict_10pct` — per-arrival fold-in plus fused row
 //!   prediction at the production 10% sampling rate (event E2's kernel);
 //! * `dp_apportion_6apps` — one DP apportionment over six apps (the
-//!   allocator work on every re-allocation event).
+//!   allocator work on every re-allocation event);
+//! * `disagg_solve_{8,32,128}apps` — one constrained least-squares
+//!   disaggregation solve (the estimated-power stack's per-poll
+//!   kernel) at three app counts.
 use criterion::Criterion;
 use powermed_bench::support::{json_object, HarnessDoc};
 use powermed_cf::als::{Completion, FitConfig};
 use powermed_cf::sampler::SparseSampler;
 use powermed_core::allocator::PowerAllocator;
 use powermed_core::measurement::AppMeasurement;
+use powermed_disagg::{solve_shares, AppPrior};
 use powermed_server::ServerSpec;
 use powermed_units::Watts;
 use powermed_workloads::catalog;
+
+/// Synthetic priors for the disaggregation-solve kernel: varied
+/// predictions and sigmas, with the meter budget 10% below the prior
+/// sum so the correction and clamping paths both run.
+fn disagg_case(n: usize) -> (f64, Vec<AppPrior>) {
+    let priors: Vec<AppPrior> = (0..n)
+        .map(|i| AppPrior {
+            name: format!("app{i}"),
+            predicted_w: 5.0 + (i % 7) as f64,
+            sigma_w: 0.5 + 0.1 * (i % 3) as f64,
+        })
+        .collect();
+    let total = 0.9 * priors.iter().map(|p| p.predicted_w).sum::<f64>();
+    (total, priors)
+}
 
 fn main() {
     let spec = ServerSpec::xeon_e5_2620();
@@ -57,6 +76,13 @@ fn main() {
     crit.bench_function("dp_apportion_6apps", |b| {
         b.iter(|| alloc.apportion(&slice, Watts::new(30.0)))
     });
+
+    for n in [8usize, 32, 128] {
+        let (total, priors) = disagg_case(n);
+        crit.bench_function(&format!("disagg_solve_{n}apps"), |b| {
+            b.iter(|| solve_shares(total, &priors))
+        });
+    }
 
     let fields: Vec<(String, String)> = crit
         .results()

@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod ext_cluster;
 pub mod ext_cluster_faults;
+pub mod ext_disagg;
 pub mod ext_faults;
 pub mod ext_latency;
 pub mod ext_napp;

@@ -9,6 +9,9 @@
 
 use std::collections::BTreeMap;
 
+use powermed_disagg::{
+    AppPrior, DegradeAction, EstimatedBreakdown, EstimatorConfig, PowerEstimator,
+};
 use powermed_profiles::{
     AppFingerprint, ProbeSplit, ProfileDigest, ProfileStore, Provenance, StoredProfile,
 };
@@ -16,7 +19,7 @@ use powermed_server::knobs::{KnobGrid, KnobSetting};
 use powermed_server::server::AppRunState;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
-use powermed_telemetry::faults::HardeningStats;
+use powermed_telemetry::faults::{EstimationStats, HardeningStats};
 use powermed_telemetry::journal::{KnobWriteVerdict, Obs, ObsEvent, SafeModeTransition};
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Ratio, Seconds, Watts};
@@ -132,6 +135,23 @@ pub struct PowerMediator {
     /// emission site a skipped branch, so the unobserved runtime is
     /// bit-identical to before the observability plane existed.
     obs: Option<Obs>,
+    /// Non-intrusive power estimation. `None` (the default) feeds the
+    /// policy stack the simulator's oracle per-app breakdown,
+    /// bit-identical to before the estimation layer existed; `Some`
+    /// reconstructs per-app shares from the aggregate meter alone.
+    estimator: Option<PowerEstimator>,
+    estimation_stats: EstimationStats,
+    /// Conservative headroom shaved off the planning cap while the
+    /// estimation fallback is engaged (zero otherwise). The enforced
+    /// cap handed to the simulator never changes — only how
+    /// aggressively the planner fills it.
+    fallback_shave: Watts,
+    /// The most recent reconstructed breakdown (estimation mode only).
+    last_estimate: Option<EstimatedBreakdown>,
+    /// Confidence of the profile each app's prior rides on (1.0 for a
+    /// freshly measured surface; the store's confidence for a
+    /// warm-started one). Only populated while estimation is on.
+    prior_confidence: BTreeMap<String, f64>,
 }
 
 impl PowerMediator {
@@ -177,6 +197,11 @@ impl PowerMediator {
             fingerprints: BTreeMap::new(),
             probe_split: ProbeSplit::default(),
             obs: None,
+            estimator: None,
+            estimation_stats: EstimationStats::default(),
+            fallback_shave: Watts::ZERO,
+            last_estimate: None,
+            prior_confidence: BTreeMap::new(),
         }
     }
 
@@ -187,6 +212,19 @@ impl PowerMediator {
     pub fn with_hardening(mut self, config: HardeningConfig) -> Self {
         self.watchdog = SafeModeWatchdog::new(config.watchdog_patience, config.watchdog_release);
         self.hardening = Some(config);
+        self
+    }
+
+    /// Runs the full policy stack on *estimated* per-app power: the
+    /// oracle breakdown is replaced by a constrained least-squares
+    /// disaggregation of the aggregate net meter, seeded by the
+    /// calibrated profiles (and their knowledge-plane confidence).
+    /// A sustained residual between the meter and the model engages a
+    /// confidence-aware fallback — the planner targets the cap minus
+    /// the band — and escalates to safe mode if shaving does not stop
+    /// the spikes.
+    pub fn with_estimation(mut self, config: EstimatorConfig) -> Self {
+        self.estimator = Some(PowerEstimator::new(config));
         self
     }
 
@@ -371,6 +409,25 @@ impl PowerMediator {
         self.last_fault_error.as_ref()
     }
 
+    /// Estimation counters (all zero when estimation is off).
+    pub fn estimation_stats(&self) -> EstimationStats {
+        self.estimation_stats
+    }
+
+    /// The most recent reconstructed per-app breakdown, if estimation
+    /// is on and at least one step has run.
+    pub fn last_estimate(&self) -> Option<&EstimatedBreakdown> {
+        self.last_estimate.as_ref()
+    }
+
+    /// Whether the estimation fallback cap is currently engaged (the
+    /// planner is targeting the cap minus the confidence band).
+    pub fn estimation_fallback_engaged(&self) -> bool {
+        self.estimator
+            .as_ref()
+            .is_some_and(|e| e.fallback_engaged())
+    }
+
     /// The utility surface on record for `name`.
     pub fn measurement(&self, name: &str) -> Option<&AppMeasurement> {
         self.measurements.get(name)
@@ -485,14 +542,12 @@ impl PowerMediator {
         let now = sim.now();
         let heartbeat_clean = matches!(self.actuation, Actuation::Space)
             && (now - self.last_actuation_at) > Seconds::new(2.5);
-        let mut observations = BTreeMap::new();
+        // Per-app state is gathered once up front (heartbeat windows
+        // drain on read), then the power channel is filled in: the
+        // oracle per-app breakdown by default, the disaggregated
+        // estimate when estimation is on.
+        let mut meta: Vec<(String, bool, bool, Option<f64>)> = Vec::new();
         for name in sim.app_names() {
-            let power = report
-                .breakdown
-                .apps
-                .get(&name)
-                .copied()
-                .unwrap_or(Watts::ZERO);
             let completed = sim.app(&name).map(|a| a.completed()).unwrap_or(false);
             let suspended = sim
                 .server()
@@ -507,6 +562,24 @@ impl PowerMediator {
             if let (Some(obs), Some(rate)) = (&self.obs, heartbeat) {
                 obs.note_heartbeat(&name, rate);
             }
+            meta.push((name, completed, suspended, heartbeat));
+        }
+        let estimate = self.estimate_breakdown(sim, &report, &meta);
+        let mut observations = BTreeMap::new();
+        for (name, completed, suspended, heartbeat) in meta {
+            let power = match &estimate {
+                Some(eb) => eb
+                    .apps
+                    .get(&name)
+                    .map(|s| Watts::new(s.watts))
+                    .unwrap_or(Watts::ZERO),
+                None => report
+                    .breakdown
+                    .apps
+                    .get(&name)
+                    .copied()
+                    .unwrap_or(Watts::ZERO),
+            };
             observations.insert(
                 name,
                 Observation {
@@ -534,6 +607,9 @@ impl PowerMediator {
         let events = self.accountant.poll(&observations);
         if !events.is_empty() {
             self.handle_events(sim, events);
+        }
+        if let Some(eb) = estimate {
+            self.observe_estimated(sim, eb);
         }
         if self.hardening.is_some() {
             self.observe_hardened(sim, &report);
@@ -579,6 +655,7 @@ impl PowerMediator {
                     self.accountant.remove(&name);
                     self.measurements.remove(&name);
                     self.fingerprints.remove(&name);
+                    self.prior_confidence.remove(&name);
                     need_replan = true;
                 }
                 Event::Drift(name) => {
@@ -700,6 +777,13 @@ impl PowerMediator {
         let Some(oc) = result else {
             return self.calibration_departed(sim, name);
         };
+        if self.estimator.is_some() {
+            // Estimation priors inherit the trust of what seeded this
+            // surface: a warm start is only as good as the store entry
+            // it rode on; a freshly probed surface is fully trusted.
+            let confidence = prior.as_ref().map(|p| p.confidence).unwrap_or(1.0);
+            self.prior_confidence.insert(name.to_string(), confidence);
+        }
         self.probes += oc.probed;
         if prior.is_some() {
             self.probe_split.warm += oc.probed as u64;
@@ -789,6 +873,16 @@ impl PowerMediator {
             .filter_map(|n| self.measurements.get(n).map(|m| (n.as_str(), m)))
             .collect();
         let esd = self.esd_params(sim);
+        // The estimation fallback shaves headroom off the *planning*
+        // target only; the enforced cap (accountant, simulator, E6
+        // thresholds) is untouched. The branch keeps the shave-free
+        // path bit-identical to the pre-estimation planner.
+        let cap = self.accountant.cap();
+        let target = if self.fallback_shave.value() > 0.0 {
+            (cap - self.fallback_shave).max_zero()
+        } else {
+            cap
+        };
         let slo_relevant = self
             .slo_planner
             .as_ref()
@@ -798,9 +892,9 @@ impl PowerMediator {
             self.slo_planner
                 .as_ref()
                 .expect("checked above")
-                .plan(&apps, self.accountant.cap())
+                .plan(&apps, target)
         } else {
-            self.policy.plan(&apps, self.accountant.cap(), esd)
+            self.policy.plan(&apps, target, esd)
         };
         if self.actuation_latency.value() > 0.0 && self.actuation != Actuation::None {
             // Keep executing the old schedule until the actuation
@@ -1227,6 +1321,178 @@ impl PowerMediator {
         self.handle_events(sim, events);
     }
 
+    /// Estimation mode: reconstruct the per-app breakdown from the
+    /// aggregate meter sample, the knob settings on record, the
+    /// heartbeats just gathered, and the calibrated profiles. Returns
+    /// `None` when estimation is off (zero extra work per step).
+    fn estimate_breakdown(
+        &mut self,
+        sim: &ServerSim,
+        report: &StepReport,
+        meta: &[(String, bool, bool, Option<f64>)],
+    ) -> Option<EstimatedBreakdown> {
+        let cfg = *self.estimator.as_ref()?.config();
+        let mut priors = Vec::with_capacity(meta.len());
+        for (name, completed, suspended, heartbeat) in meta {
+            let prior = if *completed || *suspended {
+                // A suspended or finished app draws no dynamic power,
+                // and the runtime knows it (the suspension was its own
+                // command): a tight prior at zero.
+                AppPrior {
+                    name: name.clone(),
+                    predicted_w: 0.0,
+                    sigma_w: cfg.sigma_floor_w,
+                }
+            } else {
+                let idx = sim
+                    .server()
+                    .assignment(name)
+                    .and_then(|a| self.grid.index_of(a.knob()));
+                match (self.measurements.get(name), idx) {
+                    (Some(m), Some(idx)) => {
+                        let mut predicted = m.power(idx).value();
+                        if let Some(hb) = *heartbeat {
+                            // A heartbeat off the calibrated rate means
+                            // the app is not where the surface says it
+                            // is (a phase); scale the prior with it,
+                            // bounded so one noisy window cannot swing
+                            // the model.
+                            let expected = m.perf(idx);
+                            if expected > 0.0 {
+                                predicted *= (hb / expected).clamp(0.5, 1.5);
+                            }
+                        }
+                        let confidence = self
+                            .prior_confidence
+                            .get(name)
+                            .copied()
+                            .unwrap_or(1.0)
+                            .clamp(0.05, 1.0);
+                        let mut sigma = predicted.abs() * cfg.prior_rel_sigma / confidence;
+                        if self.retries.contains_key(name) {
+                            // The planned knob write has not verified:
+                            // the app may still run at the stale setting.
+                            sigma *= cfg.stale_knob_inflation;
+                        }
+                        AppPrior {
+                            name: name.clone(),
+                            predicted_w: predicted,
+                            sigma_w: sigma.max(cfg.sigma_floor_w),
+                        }
+                    }
+                    // No calibrated surface yet (mid-admission churn):
+                    // a wide prior lets the meter place it.
+                    _ => AppPrior {
+                        name: name.clone(),
+                        predicted_w: 0.0,
+                        sigma_w: 20.0 * cfg.sigma_floor_w,
+                    },
+                }
+            };
+            priors.push(prior);
+        }
+        // Idle + chip-maintenance power is deterministic in the knob
+        // assignments (spec constants per awake socket), not sensed per
+        // app, so subtracting it does not consult the oracle. ESD flows
+        // are separately metered by the BMS on a real server.
+        let static_floor = (report.breakdown.idle + report.breakdown.uncore).value();
+        let estimator = self.estimator.as_mut().expect("checked above");
+        let eb = estimator.estimate(
+            report.observed_net_power.map(Watts::value),
+            static_floor,
+            report.esd_charge.value(),
+            report.esd_discharge.value(),
+            &priors,
+        );
+        self.estimation_stats.estimates += 1;
+        if eb.held_polls > 0 {
+            if eb.held_polls <= cfg.hold_max_polls {
+                self.estimation_stats.held_samples += 1;
+            } else {
+                self.estimation_stats.blind_samples += 1;
+            }
+        }
+        Some(eb)
+    }
+
+    /// Post-poll estimation bookkeeping: journal this poll's residual
+    /// verdict, advance the degradation ladder, and act on whatever it
+    /// returns (engage / escalate / release).
+    fn observe_estimated(&mut self, sim: &mut ServerSim, eb: EstimatedBreakdown) {
+        let estimator = self
+            .estimator
+            .as_mut()
+            .expect("only called in estimation mode");
+        let cfg = *estimator.config();
+        let threshold = (cfg.residual_band_k * eb.band_w).max(cfg.residual_floor_w);
+        let spike = eb.held_polls == 0 && eb.residual_w.abs() > threshold;
+        let streak_before = estimator.spike_polls();
+        let action = estimator.note_residual(&eb);
+        if spike {
+            self.estimation_stats.residual_spikes += 1;
+            if let Some(obs) = &self.obs {
+                obs.emit(
+                    sim.now(),
+                    ObsEvent::ResidualSpike {
+                        residual_w: eb.residual_w,
+                        band_w: eb.band_w,
+                        streak: streak_before + 1,
+                    },
+                );
+            }
+        }
+        match action {
+            DegradeAction::None => {}
+            DegradeAction::EngageFallback => {
+                // Sustained model-vs-meter disagreement is a sensor
+                // fault the per-channel checks cannot see (a biased
+                // meter, a fleet-wide phase shift, a poisoned profile):
+                // fire E6 and plan against the cap minus the band.
+                self.estimation_stats.fallback_engagements += 1;
+                self.hardening_stats.sensor_faults += 1;
+                self.fallback_shave = Watts::new(eb.band_w.max(cfg.residual_floor_w));
+                let what = format!(
+                    "estimated-vs-meter residual {:.1} W exceeded the {:.1} W confidence band",
+                    eb.residual_w.abs(),
+                    eb.band_w,
+                );
+                self.last_fault_error = Some(CoreError::TelemetryLoss { what: what.clone() });
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        sim.now(),
+                        ObsEvent::FallbackCap {
+                            shave_w: self.fallback_shave.value(),
+                            engaged: true,
+                        },
+                    );
+                }
+                let event = self.accountant.sensor_fault(&what);
+                self.handle_events(sim, vec![event]);
+            }
+            DegradeAction::Escalate => {
+                self.estimation_stats.escalations += 1;
+                if self.watchdog.force_engage() == Some(WatchdogTransition::Engaged) {
+                    self.enter_safe_mode(sim);
+                }
+            }
+            DegradeAction::ReleaseFallback => {
+                self.estimation_stats.fallback_releases += 1;
+                self.fallback_shave = Watts::ZERO;
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        sim.now(),
+                        ObsEvent::FallbackCap {
+                            shave_w: 0.0,
+                            engaged: false,
+                        },
+                    );
+                }
+                self.replan(sim);
+            }
+        }
+        self.last_estimate = Some(eb);
+    }
+
     /// Post-step hardened telemetry: sensor health, the safe-mode
     /// watchdog over the observed net draw, and the hardened series.
     fn observe_hardened(&mut self, sim: &mut ServerSim, report: &StepReport) {
@@ -1283,9 +1549,18 @@ impl PowerMediator {
             self.sensor_latched = false;
         }
 
-        // Watchdog: only actual samples feed it (a dropout is neither
-        // over- nor under-cap evidence).
-        if let Some(obs) = report.observed_net_power {
+        // Watchdog: fresh samples feed it directly, and a brief dropout
+        // is bridged with the last good reading for a bounded window —
+        // a breach in progress keeps arming the watchdog through a
+        // flaky meter. Past the window the channel is treated as absent
+        // (stale evidence is neither over- nor under-cap) and the E6
+        // dropout deadline above takes over.
+        let watchdog_sample = match report.observed_net_power {
+            Some(o) => Some(o),
+            None if self.consecutive_dropouts <= cfg.dropout_hold_polls => self.last_observed,
+            None => None,
+        };
+        if let Some(obs) = watchdog_sample {
             let over = obs.violates_cap(self.accountant.cap());
             match self.watchdog.observe(over) {
                 Some(WatchdogTransition::Engaged) => self.enter_safe_mode(sim),
@@ -1856,6 +2131,133 @@ mod tests {
         med_b.admit(&mut sim_b, catalog::x264()).unwrap();
         assert_eq!(med_b.probes(), 0, "fleet knowledge made this warm");
         assert_eq!(med_b.store_stats().hits, 1);
+    }
+
+    fn over_cap_report(observed: Option<f64>) -> StepReport {
+        use powermed_server::server::PowerBreakdown;
+        StepReport {
+            now: Seconds::ZERO,
+            gross_power: Watts::new(90.0),
+            net_power: Watts::new(90.0),
+            esd_charge: Watts::ZERO,
+            esd_discharge: Watts::ZERO,
+            cap_violated: true,
+            observed_net_power: observed.map(Watts::new),
+            completed: Vec::new(),
+            breakdown: PowerBreakdown {
+                idle: Watts::new(30.0),
+                uncore: Watts::new(20.0),
+                apps: BTreeMap::new(),
+                granted_bandwidth: BTreeMap::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn held_samples_bridge_dropouts_then_go_stale_then_e6() {
+        let mut sim = sim_no_esd();
+        let mut med =
+            mediator(PolicyKind::AppResAware, 80.0).with_hardening(HardeningConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        // Two fresh over-cap samples start arming the watchdog…
+        med.observe_hardened(&mut sim, &over_cap_report(Some(90.0)));
+        med.observe_hardened(&mut sim, &over_cap_report(Some(90.0)));
+        assert!(!med.safe_mode());
+        // …then the meter goes dark. The held last-good reading keeps
+        // arming it through the bounded window: patience 5 is reached
+        // on the third held poll.
+        med.observe_hardened(&mut sim, &over_cap_report(None));
+        med.observe_hardened(&mut sim, &over_cap_report(None));
+        assert!(!med.safe_mode());
+        med.observe_hardened(&mut sim, &over_cap_report(None));
+        assert!(
+            med.safe_mode(),
+            "held samples bridge the dropout: a breach in progress still engages"
+        );
+        assert_eq!(med.hardening_stats().sensor_faults, 0, "not yet stale");
+        // Past the hold window the channel counts as absent, and the
+        // E6 dropout deadline fires at dropout_patience (5).
+        med.observe_hardened(&mut sim, &over_cap_report(None));
+        med.observe_hardened(&mut sim, &over_cap_report(None));
+        assert_eq!(
+            med.hardening_stats().sensor_faults,
+            1,
+            "sustained outage still raises E6 on schedule"
+        );
+    }
+
+    #[test]
+    fn estimation_reconstructs_shares_that_sum_to_the_meter() {
+        let mut sim = sim_no_esd();
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_estimation(EstimatorConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(5.0), DT);
+        let stats = med.estimation_stats();
+        assert_eq!(stats.estimates, 50, "one estimate per poll");
+        assert_eq!(
+            stats.fallback_engagements, 0,
+            "a clean meter must not trip the fallback"
+        );
+        let eb = med.last_estimate().expect("estimation ran");
+        let sum: f64 = eb.apps.values().map(|s| s.watts).sum();
+        assert!(
+            (sum - eb.dynamic_total_w).abs() < 1e-6,
+            "shares sum to the meter-implied dynamic budget"
+        );
+        assert!(
+            eb.residual_w.abs() < 5.0,
+            "the model tracks a clean meter, residual {}",
+            eb.residual_w
+        );
+        let violations = sim.meter().compliance().violation_fraction();
+        assert!(violations < 0.01, "violation fraction {violations}");
+        assert!(sim.ops_done("stream") > 0.0);
+        assert!(sim.ops_done("kmeans") > 0.0);
+    }
+
+    #[test]
+    fn estimation_off_keeps_the_oracle_loop_untouched() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0);
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.run_for(&mut sim, Seconds::new(2.0), DT);
+        assert_eq!(med.estimation_stats(), EstimationStats::default());
+        assert!(med.last_estimate().is_none());
+        assert!(!med.estimation_fallback_engaged());
+    }
+
+    #[test]
+    fn shared_meter_bias_engages_the_confidence_fallback() {
+        use powermed_sim::faults::FaultConfig;
+        let mut sim = sim_no_esd().with_fault_injection(FaultConfig {
+            seed: 11,
+            meter_bias_frac: 0.12,
+            ..FaultConfig::default()
+        });
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_estimation(EstimatorConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(10.0), DT);
+        let stats = med.estimation_stats();
+        assert!(stats.residual_spikes > 0, "the bias shows up as residual");
+        assert_eq!(
+            stats.fallback_engagements, 1,
+            "sustained correlated error engages the fallback once"
+        );
+        assert!(med.estimation_fallback_engaged(), "bias never clears");
+        assert_eq!(
+            med.hardening_stats().sensor_faults,
+            1,
+            "each engagement fires one E6"
+        );
+        assert_eq!(
+            sim.cap(),
+            Some(Watts::new(100.0)),
+            "the enforced cap is untouched; only the planning target shrinks"
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct HardeningConfig {
     pub watchdog_release: u32,
     /// Consecutive sample dropouts before an E6 sensor fault fires.
     pub dropout_patience: u32,
+    /// Dropout polls over which the mediator keeps feeding the *last
+    /// good* meter reading to the watchdog before going blind. Must be
+    /// below `dropout_patience`: holding bridges brief sensor gaps so a
+    /// breach in progress keeps arming the watchdog, while a sustained
+    /// outage still escalates to E6 on schedule.
+    pub dropout_hold_polls: u32,
     /// Consecutive bit-identical observed readings (while the internal
     /// RAPL-side reading moves) before an E6 sensor fault fires.
     pub stuck_patience: u32,
@@ -38,6 +44,7 @@ impl Default for HardeningConfig {
             watchdog_patience: 5,
             watchdog_release: 10,
             dropout_patience: 5,
+            dropout_hold_polls: 3,
             stuck_patience: 10,
         }
     }
@@ -89,6 +96,20 @@ impl SafeModeWatchdog {
     /// Whether safe mode is currently engaged.
     pub fn engaged(&self) -> bool {
         self.engaged
+    }
+
+    /// Engages immediately, bypassing the debounce. Used when an
+    /// external escalation source (the estimation ladder) has already
+    /// accumulated its own evidence; returns `None` when already
+    /// engaged so callers do not double-count the transition.
+    pub fn force_engage(&mut self) -> Option<WatchdogTransition> {
+        if self.engaged {
+            return None;
+        }
+        self.engaged = true;
+        self.over = 0;
+        self.under = 0;
+        Some(WatchdogTransition::Engaged)
     }
 
     /// Feeds one poll; returns a transition when the mode flips.
@@ -188,5 +209,19 @@ mod tests {
         assert!(c.max_retries >= 1);
         assert!(c.retry_backoff.value() > 0.0);
         assert!(c.watchdog_release >= c.watchdog_patience);
+        assert!(
+            c.dropout_hold_polls < c.dropout_patience,
+            "holding must not outlast the dropout E6 deadline"
+        );
+    }
+
+    #[test]
+    fn force_engage_bypasses_debounce_and_releases_normally() {
+        let mut w = SafeModeWatchdog::new(5, 2);
+        assert_eq!(w.force_engage(), Some(WatchdogTransition::Engaged));
+        assert!(w.engaged());
+        assert_eq!(w.force_engage(), None, "already engaged");
+        assert_eq!(w.observe(false), None);
+        assert_eq!(w.observe(false), Some(WatchdogTransition::Released));
     }
 }

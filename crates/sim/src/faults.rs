@@ -55,6 +55,13 @@ pub struct FaultConfig {
     pub knob_stale_steps: u64,
     /// Multiplicative Gaussian noise sigma on observed power (0 = off).
     pub meter_noise_sigma: f64,
+    /// Constant multiplicative bias on every observed sample
+    /// (`observed = net × (1 + bias)`; 0 = off). A *correlated* error
+    /// mode: unlike the zero-mean noise channel it skews every reading
+    /// the same way, so any per-app quantity derived from the meter
+    /// inherits the same systematic error. Draws no randomness, so
+    /// enabling it never perturbs the other channels' streams.
+    pub meter_bias_frac: f64,
     /// Probability (per step) that the meter sticks at its current
     /// reading.
     pub meter_stuck_prob: f64,
@@ -82,6 +89,7 @@ impl Default for FaultConfig {
             knob_failure_prob: 0.0,
             knob_stale_steps: 10,
             meter_noise_sigma: 0.0,
+            meter_bias_frac: 0.0,
             meter_stuck_prob: 0.0,
             meter_stuck_steps: 5,
             meter_dropout_prob: 0.0,
@@ -123,7 +131,10 @@ impl FaultConfig {
 
     /// Whether any meter channel is active.
     fn meter_active(&self) -> bool {
-        self.meter_noise_sigma > 0.0 || self.meter_stuck_prob > 0.0 || self.meter_dropout_prob > 0.0
+        self.meter_noise_sigma > 0.0
+            || self.meter_bias_frac != 0.0
+            || self.meter_stuck_prob > 0.0
+            || self.meter_dropout_prob > 0.0
     }
 }
 
@@ -339,9 +350,13 @@ impl FaultInjector {
             return None;
         }
         let mut observed = net;
+        if self.config.meter_bias_frac != 0.0 {
+            observed = (observed * (1.0 + self.config.meter_bias_frac)).max_zero();
+            self.stats.meter_biased += 1;
+        }
         if self.config.meter_noise_sigma > 0.0 {
             let g = gaussian(&mut self.meter_rng);
-            observed = (net * (1.0 + self.config.meter_noise_sigma * g)).max_zero();
+            observed = (observed * (1.0 + self.config.meter_noise_sigma * g)).max_zero();
             self.stats.meter_noisy += 1;
         }
         if self.config.meter_stuck_prob > 0.0
@@ -521,6 +536,52 @@ mod tests {
         for step in 1..=3u64 {
             inj.begin_step(step, Seconds::new(step as f64));
             assert_eq!(inj.observe_net(Watts::new(90.0)), Some(first));
+        }
+    }
+
+    #[test]
+    fn shared_bias_skews_every_sample_without_consuming_rng() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            meter_bias_frac: 0.05,
+            ..FaultConfig::default()
+        });
+        inj.begin_step(0, Seconds::ZERO);
+        assert_eq!(inj.observe_net(Watts::new(100.0)), Some(Watts::new(105.0)));
+        inj.begin_step(1, Seconds::new(0.1));
+        assert_eq!(inj.observe_net(Watts::new(80.0)), Some(Watts::new(84.0)));
+        // Bias is continuous: counted, but no discrete trace events and
+        // no RNG draws that would perturb the other channels.
+        assert!(inj.trace().is_empty());
+        assert_eq!(inj.stats().meter_biased, 2);
+        assert_eq!(inj.stats().total_events(), 0);
+    }
+
+    #[test]
+    fn bias_composes_under_noise_draws_identically_to_unbiased() {
+        // Common random numbers: the bias channel must not consume from
+        // the meter stream, so the noise multipliers line up between a
+        // biased and an unbiased run with the same seed.
+        let run = |bias: f64| -> Vec<Option<Watts>> {
+            let mut inj = FaultInjector::new(FaultConfig {
+                meter_noise_sigma: 0.02,
+                meter_bias_frac: bias,
+                ..FaultConfig::default()
+            });
+            (0..50u64)
+                .map(|s| {
+                    inj.begin_step(s, Seconds::new(s as f64 * 0.1));
+                    inj.observe_net(Watts::new(100.0))
+                })
+                .collect()
+        };
+        let plain = run(0.0);
+        let biased = run(0.06);
+        for (p, b) in plain.iter().zip(&biased) {
+            let (p, b) = (p.expect("no dropouts"), b.expect("no dropouts"));
+            assert!(
+                (b.value() - p.value() * 1.06).abs() < 1e-9,
+                "bias must scale the identical noisy sample: {p:?} vs {b:?}"
+            );
         }
     }
 

@@ -26,6 +26,9 @@ pub struct FaultStats {
     pub meter_dropouts: u64,
     /// Meter samples perturbed by multiplicative noise.
     pub meter_noisy: u64,
+    /// Meter samples skewed by the shared (whole-meter) bias — the
+    /// correlated error mode every per-app share inherits at once.
+    pub meter_biased: u64,
     /// Non-idle ESD commands silently ignored by a stuck device.
     pub esd_commands_ignored: u64,
     /// Application crash events.
@@ -35,8 +38,9 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
-    /// Total number of discrete fault events (noise perturbations are
-    /// continuous and excluded; stuck/dropout/rejection/crash count).
+    /// Total number of discrete fault events (noise perturbations and
+    /// the continuous shared bias are excluded;
+    /// stuck/dropout/rejection/crash count).
     pub fn total_events(&self) -> u64 {
         self.knob_rejections
             + self.knob_stale
@@ -68,6 +72,30 @@ pub struct HardeningStats {
     pub safe_mode_escalations: u64,
     /// Calibrations skipped because the application departed mid-probe.
     pub skipped_calibrations: u64,
+}
+
+/// Counters for the non-intrusive power-estimation layer (all zero
+/// when the mediator runs on oracle per-app power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EstimationStats {
+    /// Breakdowns estimated (one per poll while estimation is on).
+    pub estimates: u64,
+    /// Estimates served from a held (dropout-bridged) meter sample.
+    pub held_samples: u64,
+    /// Estimates served blind (dropout outlasted the hold window; the
+    /// prior-sum pseudo-meter took over).
+    pub blind_samples: u64,
+    /// Polls whose meter-vs-model residual exceeded the confidence
+    /// band (evidence toward the degradation ladder).
+    pub residual_spikes: u64,
+    /// Conservative fallback-cap engagements (planning cap shaved by
+    /// the confidence band; each fires an E6 `SensorFault`).
+    pub fallback_engagements: u64,
+    /// Fallback releases (residual stayed clean long enough).
+    pub fallback_releases: u64,
+    /// Ladder escalations to safe mode (shaving did not stop the
+    /// spikes).
+    pub escalations: u64,
 }
 
 /// Counters for the cluster control plane: faults injected into the
@@ -155,11 +183,16 @@ mod tests {
             meter_stuck: 4,
             meter_dropouts: 5,
             meter_noisy: 100,
+            meter_biased: 200,
             esd_commands_ignored: 6,
             app_crashes: 7,
             app_restarts: 8,
         };
-        assert_eq!(s.total_events(), 36, "noise is not a discrete event");
+        assert_eq!(
+            s.total_events(),
+            36,
+            "noise and shared bias are not discrete events"
+        );
     }
 
     #[test]
@@ -168,6 +201,9 @@ mod tests {
         let h = HardeningStats::default();
         assert_eq!(h.retries, 0);
         assert_eq!(h.safe_mode_entries, 0);
+        let e = EstimationStats::default();
+        assert_eq!(e.estimates, 0);
+        assert_eq!(e.fallback_engagements, 0);
         let c = ClusterControlStats::default();
         assert_eq!(c.injected_events(), 0);
         assert_eq!(c.response_events(), 0);

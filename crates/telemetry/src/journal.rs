@@ -120,6 +120,26 @@ pub enum ObsEvent {
         /// Consecutive stuck-reading count so far.
         stuck: u32,
     },
+    /// The estimated-power residual (meter vs model prediction) spiked
+    /// past the confidence band — one poll of evidence toward the
+    /// estimation degradation ladder.
+    ResidualSpike {
+        /// Meter minus model-predicted net, in watts.
+        residual_w: f64,
+        /// One-sigma confidence band on the total at that poll.
+        band_w: f64,
+        /// Consecutive spike polls so far (including this one).
+        streak: u32,
+    },
+    /// The estimation layer's conservative fallback cap changed state:
+    /// engaged (planning cap shaved by the confidence band) or
+    /// released (residual stayed clean long enough).
+    FallbackCap {
+        /// Watts shaved off the planning cap (0 on release).
+        shave_w: f64,
+        /// `true` on engage, `false` on release.
+        engaged: bool,
+    },
     /// A calibration decision for one admission.
     Probe {
         /// The app being calibrated.
@@ -234,6 +254,8 @@ impl ObsEvent {
             ObsEvent::ActuationFault { .. } => "actuation_fault",
             ObsEvent::SensorFault { .. } => "sensor_fault",
             ObsEvent::SensorSuspect { .. } => "sensor_suspect",
+            ObsEvent::ResidualSpike { .. } => "residual_spike",
+            ObsEvent::FallbackCap { .. } => "fallback_cap",
             ObsEvent::Probe { .. } => "probe",
             ObsEvent::KnobWrite { .. } => "knob_write",
             ObsEvent::SafeMode { .. } => "safe_mode",

@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod store;
 
-pub use faults::{FaultStats, HardeningStats};
+pub use faults::{EstimationStats, FaultStats, HardeningStats};
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
 pub use journal::{
     EventJournal, EventRecord, KnobWriteVerdict, Obs, ObsConfig, ObsEvent, SafeModeTransition,
