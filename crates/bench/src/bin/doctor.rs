@@ -5,6 +5,7 @@
 //! ```text
 //! doctor --explain throttle [--app <name-or-1-based-index>] [--seed N]
 //! doctor --explain sensor-fault [--seed N]
+//! doctor --explain quarantine [--seed N]
 //! ```
 //!
 //! `--explain throttle` walks the journal backward from the last
@@ -18,7 +19,13 @@
 //! the *estimated* power stack and walks the journal backward from the
 //! last confidence-fallback engagement to the E6 it latched and the
 //! residual spikes that armed the degradation ladder.
-use powermed_bench::experiments::{ext_disagg, ext_faults, ext_obs};
+//!
+//! `--explain quarantine` replays the knob-non-compliance adversary
+//! scenario with the integrity defense on and walks the journal
+//! backward from the last E7 quarantine to the trust downgrades that
+//! descended there and the clamp-bound heartbeat claims that armed
+//! them.
+use powermed_bench::experiments::{ext_adversary, ext_disagg, ext_faults, ext_obs};
 use powermed_telemetry::journal::{EventRecord, ObsConfig, ObsEvent};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -46,9 +53,10 @@ fn main() {
     match what.as_str() {
         "throttle" => explain_throttle(&args, seed.unwrap_or(ext_faults::SEED)),
         "sensor-fault" => explain_sensor_fault(seed.unwrap_or(ext_disagg::SEED)),
+        "quarantine" => explain_quarantine(seed.unwrap_or(ext_adversary::SEED)),
         other => {
             eprintln!(
-                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault)"
+                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault, quarantine)"
             );
             std::process::exit(2);
         }
@@ -172,6 +180,67 @@ fn explain_sensor_fault(seed: u64) {
         }
         None => {
             eprintln!("doctor: no residual-spike -> fallback -> E6 chain found in the journal");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn explain_quarantine(seed: u64) {
+    let scenario = ext_adversary::doctor_scenario(seed);
+    println!(
+        "doctor: replaying {:?} for {} s (seed {seed:#x}, integrity defense on, flight recorder on)",
+        scenario.label,
+        ext_adversary::SCENARIO_DURATION.value()
+    );
+    let run = ext_adversary::run_observed(
+        &scenario,
+        ext_adversary::SCENARIO_DURATION,
+        ObsConfig::default(),
+    );
+    let journal = run.obs.journal_snapshot();
+    let (retained, evicted, total) = run.obs.journal_counts();
+    println!(
+        "journal: {retained} records retained ({evicted} evicted of {total}); \
+         {} knob(s) defied, {} implausible poll(s), {} downgrade(s), {} quarantine(s), \
+         {:.1} W clawed back\n",
+        run.outcome.adversary.knobs_defied,
+        run.outcome.trust.implausible_polls,
+        run.outcome.trust.downgrades,
+        run.outcome.trust.quarantines,
+        run.outcome.debt_repaid_w,
+    );
+
+    match ext_adversary::explain_quarantine(&journal) {
+        Some(ex) => {
+            println!(
+                "why was {} quarantined? ({} evidence records, {} downgrades)",
+                ex.quarantine.event.app().unwrap_or("?"),
+                ex.evidence.len(),
+                ex.downgrades.len()
+            );
+            for r in &ex.evidence {
+                print_record("  cause   ", r);
+            }
+            for r in &ex.downgrades {
+                print_record("  decide  ", r);
+            }
+            print_record("  effect  ", &ex.quarantine);
+            if let Some(fault) = &ex.fault {
+                print_record("  effect  ", fault);
+            }
+            println!(
+                "\nverdict: {} physically implausible heartbeat claim(s) drove the trust \
+                 score down through {} downgrade(s); the quarantine at poll {} fired the E7 \
+                 integrity fault and clamped the app to its fair share.",
+                ex.evidence.len(),
+                ex.downgrades.len(),
+                ex.quarantine.poll
+            );
+        }
+        None => {
+            eprintln!(
+                "doctor: no clamp-bound -> downgrade -> quarantine chain found in the journal"
+            );
             std::process::exit(1);
         }
     }

@@ -1,6 +1,7 @@
 //! One module per table and figure of the paper's evaluation.
 
 pub mod ablations;
+pub mod ext_adversary;
 pub mod ext_cluster;
 pub mod ext_cluster_faults;
 pub mod ext_disagg;

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use powermed_core::policy::PolicyKind;
 use powermed_core::runtime::PowerMediator;
+use powermed_disagg::EstimatorConfig;
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore};
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{ServerSim, StepReport};
@@ -111,6 +112,9 @@ pub struct ServerAgent {
     /// Flight-recorder handle, re-wired onto every incarnation's
     /// mediator and simulation. `None` (the default) is zero-cost.
     obs: Option<Obs>,
+    /// Non-intrusive estimation configuration, re-attached to every
+    /// incarnation's mediator. `None` (the default) is the oracle fleet.
+    estimation: Option<EstimatorConfig>,
 }
 
 impl ServerAgent {
@@ -182,6 +186,7 @@ impl ServerAgent {
             probes_before: ProbeSplit::default(),
             store_stats_before: ProfileStoreStats::default(),
             obs: None,
+            estimation: None,
         }
     }
 
@@ -191,6 +196,30 @@ impl ServerAgent {
         self.mediator.set_observability(obs.clone());
         self.sim.set_observability(obs.clone());
         self.obs = Some(obs);
+    }
+
+    /// Switches this agent's mediator (and every future incarnation's)
+    /// to non-intrusive estimation: the policy stack plans on
+    /// disaggregated per-app shares instead of the oracle breakdown.
+    pub fn enable_estimation(&mut self, config: EstimatorConfig) {
+        self.mediator.set_estimation(config);
+        self.estimation = Some(config);
+    }
+
+    /// Estimated per-app dynamic shares from the latest poll, in watts
+    /// (empty until the first estimate, or when estimation is off) —
+    /// the uplink payload a real deployment can report without per-app
+    /// power meters.
+    pub fn estimated_shares(&self) -> Vec<(String, f64)> {
+        self.mediator
+            .last_estimate()
+            .map(|eb| {
+                eb.apps
+                    .iter()
+                    .map(|(name, share)| (name.clone(), share.watts))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// The cap currently enforced on this server.
@@ -411,6 +440,9 @@ impl ServerAgent {
             self.mediator.set_observability(obs.clone());
             self.sim.set_observability(obs.clone());
         }
+        if let Some(config) = self.estimation {
+            self.mediator.set_estimation(config);
+        }
         self.current_cap = boot_cap;
         self.steps_since_downlink = 0;
         self.needs_cap = self.resilient;
@@ -576,6 +608,44 @@ mod tests {
         let planned = n.replans();
         n.receive(&[Downlink::assignment(1, Watts::new(90.0), false)]);
         assert!(n.replans() > planned);
+    }
+
+    #[test]
+    fn estimation_survives_restart_and_reports_shares() {
+        let mut a = agent(true);
+        a.enable_estimation(EstimatorConfig::default());
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        for _ in 0..10 {
+            a.step(DT);
+        }
+        let shares = a.estimated_shares();
+        assert_eq!(shares.len(), 2, "one share per admitted app");
+        assert!(shares.iter().all(|(_, w)| *w >= 0.0));
+        a.crash();
+        a.restart();
+        assert!(
+            a.estimated_shares().is_empty(),
+            "a fresh incarnation has not estimated yet"
+        );
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        for _ in 0..10 {
+            a.step(DT);
+        }
+        assert_eq!(
+            a.estimated_shares().len(),
+            2,
+            "estimation re-attaches across a node restart"
+        );
+    }
+
+    #[test]
+    fn oracle_agent_reports_no_shares() {
+        let mut a = agent(true);
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        for _ in 0..5 {
+            a.step(DT);
+        }
+        assert!(a.estimated_shares().is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use powermed_core::cache::MeasurementCache;
 use powermed_core::coordinator::EsdParams;
 use powermed_core::policy::{PolicyKind, PowerPolicy};
+use powermed_disagg::EstimatorConfig;
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore, StoreConfig};
 use powermed_server::ServerSpec;
 use powermed_telemetry::faults::ClusterControlStats;
@@ -89,6 +90,12 @@ pub struct Uplink {
     /// Knowledge-plane payload: profile digests this server published
     /// since its last report (empty when warm start is off).
     pub profiles: Vec<ProfileDigest>,
+    /// Estimated per-app dynamic shares in watts, from the server's
+    /// non-intrusive disaggregation layer — what a real deployment can
+    /// actually report upstream, since no per-app power meter exists.
+    /// Empty when estimation is off ([`ControlOptions::estimation`] is
+    /// `None`), keeping the classic control plane bit-identical.
+    pub app_shares: Vec<(String, f64)>,
 }
 
 impl Uplink {
@@ -99,6 +106,7 @@ impl Uplink {
             sent_step,
             net_power,
             profiles: Vec::new(),
+            app_shares: Vec::new(),
         }
     }
 }
@@ -1092,6 +1100,12 @@ pub struct ControlOptions {
     /// Online calibration + profile knowledge plane (`None` keeps the
     /// exhaustive-calibration fleet bit-identical to before).
     pub warm_start: Option<WarmStartOptions>,
+    /// Non-intrusive per-app power estimation on every server: each
+    /// mediator plans on disaggregated shares instead of the oracle
+    /// breakdown, and uplinks carry the estimated shares. `None` (the
+    /// default, and what [`ControlOptions::perfect`] uses) keeps the
+    /// oracle fleet bit-identical to before.
+    pub estimation: Option<EstimatorConfig>,
 }
 
 impl ControlOptions {
@@ -1106,6 +1120,7 @@ impl ControlOptions {
             agent: AgentConfig::default(),
             breaker: BreakerConfig::disabled(),
             warm_start: None,
+            estimation: None,
         }
     }
 }
@@ -1244,6 +1259,11 @@ pub fn run_cluster_observed(
         Apportionment::UtilityDp => Some(value_curves(&spec, mixes)),
     };
 
+    if let Some(config) = options.estimation {
+        for agent in &mut agents {
+            agent.enable_estimation(config);
+        }
+    }
     let mut plane = ControlPlane::new(options.faults.clone(), servers);
     if let Some(obs) = obs {
         plane.set_observability(obs.clone(), dt);
@@ -1349,6 +1369,11 @@ pub fn run_cluster_observed(
                     sent_step: step,
                     net_power: report.net_power,
                     profiles: agent.take_profile_digests(),
+                    app_shares: if options.estimation.is_some() {
+                        agent.estimated_shares()
+                    } else {
+                        Vec::new()
+                    },
                 },
             );
         }
@@ -1469,6 +1494,38 @@ mod tests {
         ClusterPowerTrace::synthetic_diurnal(servers, Seconds::new(60.0), 3)
             .peak_shaved(Ratio::new(0.30))
             .clamped_below(Watts::new(78.0 * servers as f64))
+    }
+
+    #[test]
+    fn estimating_fleet_completes_under_the_same_fault_history() {
+        let trace = short_trace(2);
+        let mixes = mixes_for(2);
+        let oracle = run_cluster(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &ControlOptions::perfect(3),
+        );
+        let estimating = run_cluster(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &ControlOptions {
+                estimation: Some(EstimatorConfig::default()),
+                ..ControlOptions::perfect(3)
+            },
+        );
+        // Estimation changes what the mediators plan on, never the
+        // control plane's fault stream (CRN holds across the flavors).
+        assert_eq!(oracle.trace_digest, estimating.trace_digest);
+        for perf in &estimating.report.per_app_perf {
+            assert!(
+                (0.05..=1.1).contains(perf),
+                "estimating fleet keeps apps running: {perf}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //!   plan on record is no longer what is actuated);
 //! * **E6** — the observed power telemetry went bad (dropouts or a
 //!   stuck meter), so drift evidence is unreliable.
+//!
+//! The integrity layer adds a trust trigger:
+//!
+//! * **E7** — an application's self-reported signals failed the
+//!   physics-plausibility cross-checks repeatedly: its telemetry is
+//!   adversarial (or pathologically broken) rather than merely
+//!   drifting, and the app is quarantined to its fair share. E7 fires
+//!   once per quarantine episode (cleared when the app is re-admitted
+//!   after probation, so a relapse fires a fresh E7).
 
 use std::collections::BTreeMap;
 
@@ -41,6 +50,10 @@ pub enum Event {
     /// E6: the power telemetry channel degraded (description of what
     /// was seen — dropouts or a stuck reading).
     SensorFault(String),
+    /// E7: the named application's self-reported telemetry failed the
+    /// integrity layer's plausibility checks past its tolerance — the
+    /// app is quarantined to its fair share.
+    IntegrityFault(String),
 }
 
 /// One application's observed state at a poll.
@@ -73,6 +86,9 @@ pub struct Accountant {
     drift_counts: BTreeMap<String, u32>,
     /// Apps already reported as departed (E3 fires once).
     departed: BTreeMap<String, bool>,
+    /// Apps inside a quarantine episode (E7 fires once per episode;
+    /// [`Accountant::clear_integrity`] re-arms it on re-admission).
+    integrity_latched: BTreeMap<String, bool>,
 }
 
 impl Accountant {
@@ -90,6 +106,7 @@ impl Accountant {
             drift_patience,
             drift_counts: BTreeMap::new(),
             departed: BTreeMap::new(),
+            integrity_latched: BTreeMap::new(),
         }
     }
 
@@ -157,6 +174,34 @@ impl Accountant {
         Event::SensorFault(what.to_string())
     }
 
+    /// E7: `name` entered quarantine. Fires once per episode — `None`
+    /// while already latched. The app's drift count is reset: polls of
+    /// distrusted telemetry are not drift evidence (mirroring how E5
+    /// and E6 discard their channels).
+    pub fn integrity_fault(&mut self, name: &str) -> Option<Event> {
+        let fired = self
+            .integrity_latched
+            .entry(name.to_string())
+            .or_insert(false);
+        if *fired {
+            return None;
+        }
+        *fired = true;
+        self.drift_counts.insert(name.to_string(), 0);
+        Some(Event::IntegrityFault(name.to_string()))
+    }
+
+    /// Whether `name` is inside an E7 quarantine episode.
+    pub fn integrity_latched(&self, name: &str) -> bool {
+        self.integrity_latched.get(name).copied().unwrap_or(false)
+    }
+
+    /// Re-arms E7 for `name` (quarantine ended; a relapse is a new
+    /// episode and must fire a fresh event).
+    pub fn clear_integrity(&mut self, name: &str) {
+        self.integrity_latched.insert(name.to_string(), false);
+    }
+
     /// Marks `name` as departed out-of-band (e.g. it vanished while the
     /// runtime was mid-calibration), returning the E3 event if it had
     /// not already fired.
@@ -175,6 +220,7 @@ impl Accountant {
         self.expected_perf.remove(name);
         self.drift_counts.remove(name);
         self.departed.remove(name);
+        self.integrity_latched.remove(name);
     }
 
     /// Applications currently on the books.
@@ -483,6 +529,50 @@ mod tests {
         let e = a.sensor_fault("5 consecutive dropouts");
         assert_eq!(e, Event::SensorFault("5 consecutive dropouts".into()));
         assert!(a.poll(&high).is_empty(), "counts restarted for all apps");
+    }
+
+    #[test]
+    fn integrity_fault_fires_e7_once_per_episode() {
+        let mut a = accountant();
+        a.arrival("stream");
+        assert_eq!(
+            a.integrity_fault("stream"),
+            Some(Event::IntegrityFault("stream".into()))
+        );
+        assert!(a.integrity_latched("stream"));
+        assert_eq!(a.integrity_fault("stream"), None, "latched");
+        // Re-admission re-arms the latch: a relapse is a new episode.
+        a.clear_integrity("stream");
+        assert!(!a.integrity_latched("stream"));
+        assert_eq!(
+            a.integrity_fault("stream"),
+            Some(Event::IntegrityFault("stream".into()))
+        );
+    }
+
+    #[test]
+    fn integrity_fault_resets_the_apps_drift_count() {
+        let mut a = accountant(); // patience 3
+        a.arrival("stream");
+        a.note_allocation("stream", Watts::new(10.0));
+        let mut high = BTreeMap::new();
+        high.insert("stream".to_string(), obs(20.0, false, false));
+        a.poll(&high);
+        a.poll(&high);
+        let _ = a.integrity_fault("stream");
+        // Distrusted polls are not drift evidence; debounce restarts.
+        assert!(a.poll(&high).is_empty());
+        assert!(a.poll(&high).is_empty());
+        assert_eq!(a.poll(&high), vec![Event::Drift("stream".into())]);
+    }
+
+    #[test]
+    fn removal_clears_the_integrity_latch() {
+        let mut a = accountant();
+        a.arrival("bfs");
+        let _ = a.integrity_fault("bfs");
+        a.remove("bfs");
+        assert!(!a.integrity_latched("bfs"));
     }
 
     #[test]

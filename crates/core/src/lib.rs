@@ -55,6 +55,7 @@ pub mod measurement;
 pub mod policy;
 pub mod runtime;
 pub mod slo;
+pub mod trust;
 pub mod utility;
 pub mod watchdog;
 
@@ -67,5 +68,6 @@ pub use measurement::AppMeasurement;
 pub use policy::{PolicyKind, PowerPolicy};
 pub use runtime::PowerMediator;
 pub use slo::SloPlanner;
+pub use trust::{TrustConfig, TrustScore, TrustTier, WattDebtLedger};
 pub use utility::UtilityCurve;
 pub use watchdog::{HardeningConfig, SafeModeWatchdog, WatchdogTransition};

@@ -7,7 +7,7 @@
 //! telemetry, and (4) re-plans (and re-calibrates, for E4) whenever an
 //! event fires.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use powermed_disagg::{
     AppPrior, DegradeAction, EstimatedBreakdown, EstimatorConfig, PowerEstimator,
@@ -19,7 +19,7 @@ use powermed_server::knobs::{KnobGrid, KnobSetting};
 use powermed_server::server::AppRunState;
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{EsdCommand, ServerSim, StepReport};
-use powermed_telemetry::faults::{EstimationStats, HardeningStats};
+use powermed_telemetry::faults::{EstimationStats, HardeningStats, TrustStats};
 use powermed_telemetry::journal::{KnobWriteVerdict, Obs, ObsEvent, SafeModeTransition};
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Ratio, Seconds, Watts};
@@ -33,6 +33,9 @@ use crate::error::CoreError;
 use crate::measurement::AppMeasurement;
 use crate::policy::{PolicyKind, PowerPolicy};
 use crate::slo::SloPlanner;
+use crate::trust::{
+    clamp_budget, Evidence, TrustConfig, TrustScore, TrustTransition, WattDebtLedger,
+};
 use crate::watchdog::{HardeningConfig, SafeModeWatchdog, WatchdogTransition};
 
 /// Which part of a temporal schedule is currently actuated.
@@ -47,6 +50,19 @@ enum Actuation {
     EsdOff,
     EsdOn,
     Parked,
+}
+
+/// One poll's recorded self-report, held for the integrity layer's
+/// plausibility cross-checks (defense mode only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ClaimRecord {
+    /// Raw claimed-over-expected heartbeat ratio (pre-clamp).
+    ratio: f64,
+    /// The profile's unscaled prediction at the actuated knob, in
+    /// watts — what the claim moved the prior away from.
+    unscaled_w: f64,
+    /// Whether the ratio hit the estimator's clamp bound.
+    clamped: bool,
 }
 
 /// A pending hardened knob retry.
@@ -152,6 +168,41 @@ pub struct PowerMediator {
     /// freshly measured surface; the store's confidence for a
     /// warm-started one). Only populated while estimation is on.
     prior_confidence: BTreeMap<String, f64>,
+    /// Integrity defense against adversarial self-reports. `None` (the
+    /// default) keeps the trusting loop bit-identical; `Some` runs the
+    /// trust-score / quarantine / clawback machinery on top of
+    /// estimation.
+    defense: Option<TrustConfig>,
+    /// Per-app trust state (defense mode only).
+    trust: BTreeMap<String, TrustScore>,
+    /// Overdrawn watts awaiting clawback (defense mode only).
+    debts: WattDebtLedger,
+    /// Quarantined apps that kept overdrawing with the clamp in force
+    /// — the signature of knob non-compliance, which no commanded
+    /// setting can curb. A contained app is planned with *no* setting
+    /// (the actuator suspends it) until its watt debt is repaid in
+    /// idle time; run-state is the one lever a defiant app cannot
+    /// fake.
+    contained: BTreeSet<String>,
+    /// Deadline of the running integrity audit, if one is active: the
+    /// planner pins a minimum-power Space schedule until then so
+    /// heartbeat claims can mature and assign blame for an unexplained
+    /// residual (defense mode only).
+    audit_until: Option<Seconds>,
+    trust_stats: TrustStats,
+    /// Self-reports recorded by the latest estimate pass, keyed by app
+    /// (defense mode only).
+    last_claims: BTreeMap<String, ClaimRecord>,
+    /// Apps whose E4 churn crossed the threshold since the last
+    /// integrity pass (strong evidence queued to avoid re-entrant
+    /// event handling).
+    drift_strikes: Vec<String>,
+    /// When each app's knob last actually changed (defense mode only).
+    /// Replans that re-install the same setting do not reset an app's
+    /// heartbeat window — under an E4 storm the global actuation clock
+    /// never settles, and the defense still needs clean claims from
+    /// the apps whose settings are stable.
+    knob_stable_since: BTreeMap<String, Seconds>,
 }
 
 impl PowerMediator {
@@ -202,6 +253,15 @@ impl PowerMediator {
             fallback_shave: Watts::ZERO,
             last_estimate: None,
             prior_confidence: BTreeMap::new(),
+            defense: None,
+            trust: BTreeMap::new(),
+            debts: WattDebtLedger::new(),
+            contained: BTreeSet::new(),
+            audit_until: None,
+            trust_stats: TrustStats::default(),
+            last_claims: BTreeMap::new(),
+            drift_strikes: Vec::new(),
+            knob_stable_since: BTreeMap::new(),
         }
     }
 
@@ -224,7 +284,34 @@ impl PowerMediator {
     /// the band — and escalates to safe mode if shaving does not stop
     /// the spikes.
     pub fn with_estimation(mut self, config: EstimatorConfig) -> Self {
+        self.set_estimation(config);
+        self
+    }
+
+    /// In-place form of [`Self::with_estimation`], for call sites that
+    /// attach estimation to an already-built (and already-admitted)
+    /// mediator — e.g. a cluster agent re-attaching it after a node
+    /// restart rebuilt the stack.
+    pub fn set_estimation(&mut self, config: EstimatorConfig) {
         self.estimator = Some(PowerEstimator::new(config));
+    }
+
+    /// Enables the integrity defense: per-app trust scores driven by
+    /// physics plausibility cross-checks, a quarantine ladder (suspect
+    /// → E7 + fair-share clamp → probation → re-admission), and a
+    /// watt-debt ledger that claws back overdrawn watts so honest apps
+    /// are made whole. Rides on the estimation layer's view of the
+    /// world, so it requires [`Self::with_estimation`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if estimation is not enabled.
+    pub fn with_integrity_defense(mut self, config: TrustConfig) -> Self {
+        assert!(
+            self.estimator.is_some(),
+            "integrity defense requires with_estimation"
+        );
+        self.defense = Some(config);
         self
     }
 
@@ -428,6 +515,27 @@ impl PowerMediator {
             .is_some_and(|e| e.fallback_engaged())
     }
 
+    /// Integrity-defense counters (all zero when defense is off).
+    pub fn trust_stats(&self) -> TrustStats {
+        self.trust_stats
+    }
+
+    /// `name`'s trust state, if the defense has seen it.
+    pub fn trust_score(&self, name: &str) -> Option<&TrustScore> {
+        self.trust.get(name)
+    }
+
+    /// The watt-debt ledger (empty when defense is off).
+    pub fn watt_debts(&self) -> &WattDebtLedger {
+        &self.debts
+    }
+
+    /// Whether `name` is currently contained (suspended until its watt
+    /// debt is repaid — the escalation for overdraw under clamp).
+    pub fn is_contained(&self, name: &str) -> bool {
+        self.contained.contains(name)
+    }
+
     /// The utility surface on record for `name`.
     pub fn measurement(&self, name: &str) -> Option<&AppMeasurement> {
         self.measurements.get(name)
@@ -554,8 +662,28 @@ impl PowerMediator {
                 .assignment(&name)
                 .map(|a| a.run_state() == AppRunState::Suspended)
                 .unwrap_or(true);
-            let heartbeat = if heartbeat_clean && !suspended && !completed {
-                sim.app_mut(&name).and_then(|a| a.heartbeat_rate(now))
+            // Defense mode refines the cleanliness gate per app: a knob
+            // that has not actually changed keeps its window even when
+            // churn elsewhere resets the global actuation clock. The
+            // gate is deliberately per-app and schedule-shape-blind —
+            // `apply_setting` stamps every real disturbance (knob
+            // change or resume-from-suspend), so a pinned app in a
+            // Hybrid schedule, or the active slot of an Alternate one,
+            // still files claims. Gating on the global Space shape
+            // would blind the defense exactly when attackers force the
+            // planner into duty-cycling.
+            let clean = if self.defense.is_some() {
+                self.knob_stable_since
+                    .get(&name)
+                    .map_or(heartbeat_clean, |t| (now - *t) > Seconds::new(2.5))
+            } else {
+                heartbeat_clean
+            };
+            let heartbeat = if clean && !suspended && !completed {
+                // Read through the adversary layer: what the app
+                // *claims*, which is the truth unless an injector is
+                // misreporting for it.
+                sim.reported_heartbeat(&name, now)
             } else {
                 None
             };
@@ -611,6 +739,15 @@ impl PowerMediator {
         if let Some(eb) = estimate {
             self.observe_estimated(sim, eb);
         }
+        if self.defense.is_some() {
+            self.observe_integrity(sim);
+            if self.audit_until.is_some_and(|t| sim.now() >= t) {
+                // The audit expired without implicating anyone; return
+                // to policy planning.
+                self.audit_until = None;
+                self.replan(sim);
+            }
+        }
         if self.hardening.is_some() {
             self.observe_hardened(sim, &report);
         }
@@ -643,6 +780,7 @@ impl PowerMediator {
                     Event::Drift(name) => ObsEvent::Drift { app: name.clone() },
                     Event::ActuationFault(name) => ObsEvent::ActuationFault { app: name.clone() },
                     Event::SensorFault(what) => ObsEvent::SensorFault { what: what.clone() },
+                    Event::IntegrityFault(name) => ObsEvent::IntegrityFault { app: name.clone() },
                 };
                 obs.emit(now, record);
             }
@@ -656,9 +794,28 @@ impl PowerMediator {
                     self.measurements.remove(&name);
                     self.fingerprints.remove(&name);
                     self.prior_confidence.remove(&name);
+                    self.trust.remove(&name);
+                    self.debts.remove(&name);
+                    self.contained.remove(&name);
+                    self.last_claims.remove(&name);
+                    self.knob_stable_since.remove(&name);
                     need_replan = true;
                 }
                 Event::Drift(name) => {
+                    // Repeated E4s on one app are how a sandbagged
+                    // calibration looks from the outside: the strike is
+                    // queued (not applied inline) so evidence handling
+                    // never re-enters the event loop. Like overdraw,
+                    // churn only counts against an app the primary
+                    // detectors already distrust — a noisy neighbour
+                    // can force legitimate E4s onto an honest victim.
+                    if let Some(cfg) = self.defense {
+                        let trust = self.trust.entry(name.clone()).or_default();
+                        let churned = trust.note_drift(&cfg);
+                        if churned && trust.distrusted() {
+                            self.drift_strikes.push(name.clone());
+                        }
+                    }
                     // E4: the stored profile is now wrong everywhere,
                     // not just here — tombstone it before re-measuring.
                     self.invalidate_profile(&name, sim.now());
@@ -677,6 +834,11 @@ impl PowerMediator {
                 // what the plan assumes; re-planning re-installs the
                 // schedule, which re-actuates every knob.
                 Event::ActuationFault(_) | Event::SensorFault(_) => {
+                    need_replan = true;
+                }
+                // E7: the quarantine clamp only takes effect through a
+                // fresh plan.
+                Event::IntegrityFault(_) => {
                     need_replan = true;
                 }
             }
@@ -868,8 +1030,102 @@ impl PowerMediator {
         let _span = self.obs.as_ref().map(|o| o.span("plan"));
         self.replans += 1;
         let names: Vec<String> = sim.app_names();
+        // Quarantined apps are planned by fiat, not by the policy:
+        // clamped to their fair share of the dynamic budget minus
+        // whatever the watt-debt ledger claws back this plan. The
+        // branch is skipped entirely (and `clamped` stays empty) when
+        // the defense is off, keeping the trusting planner
+        // bit-identical.
+        let mut clamped: Vec<(String, usize, Watts)> = Vec::new();
+        if let Some(dcfg) = self.defense {
+            let cap_now = self.accountant.cap();
+            let static_floor = self.spec.idle_power() + self.spec.chip_maintenance_power();
+            let dynamic = (cap_now - static_floor).max_zero();
+            let fair = dynamic.value() / names.len().max(1) as f64;
+            for name in &names {
+                if !self.trust.get(name).is_some_and(|t| t.quarantined()) {
+                    continue;
+                }
+                if self.contained.contains(name) {
+                    // No setting at all: the actuator's "suspend
+                    // anything without a setting" branch parks it, and
+                    // its fair share flows back to the honest apps.
+                    continue;
+                }
+                let Some(m) = self.measurements.get(name) else {
+                    continue;
+                };
+                let (budget, clawback) =
+                    clamp_budget(fair, self.debts.outstanding(name), dcfg.clawback_rate);
+                let budget = Watts::new(budget);
+                let feasible = m.feasible_indices();
+                // Clamp to the best setting under the docked budget;
+                // below the app's floor, park it at the cheapest
+                // feasible setting (the clamp never evicts).
+                let idx = match m.best_within(budget, &feasible) {
+                    Some((i, _)) => i,
+                    None => feasible
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            m.power(a).partial_cmp(&m.power(b)).expect("finite powers")
+                        })
+                        .unwrap_or(0),
+                };
+                let repaid = self.debts.repay(name, clawback);
+                if repaid > 0.0 {
+                    self.trust_stats.clawback_polls += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.emit(
+                            sim.now(),
+                            ObsEvent::Clawback {
+                                app: name.clone(),
+                                w: repaid,
+                            },
+                        );
+                    }
+                }
+                clamped.push((name.clone(), idx, m.power(idx)));
+            }
+        }
+        // An active integrity audit overrides the policy wholesale:
+        // every (non-contained) app is pinned at its minimum-power
+        // feasible setting. Low and steady serves two purposes — the
+        // summed floors always fit the cap, and pinned knobs let
+        // heartbeat claims mature so the cross-checks can assign the
+        // unexplained residual to whoever is lying. Ends at the first
+        // quarantine or the deadline.
+        if self.defense.is_some() && self.audit_until.is_some_and(|t| sim.now() < t) {
+            let mut settings: BTreeMap<String, usize> = BTreeMap::new();
+            for name in &names {
+                if self.contained.contains(name) {
+                    continue;
+                }
+                let Some(m) = self.measurements.get(name) else {
+                    continue;
+                };
+                let feasible = m.feasible_indices();
+                let Some(idx) = feasible
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| m.power(a).partial_cmp(&m.power(b)).expect("finite powers"))
+                else {
+                    continue;
+                };
+                settings.insert(name.clone(), idx);
+            }
+            let planned = Schedule::Space { settings };
+            if self.actuation_latency.value() > 0.0 && self.actuation != Actuation::None {
+                self.pending = Some((planned, sim.now() + self.actuation_latency));
+            } else {
+                self.install_schedule(planned, sim.now());
+            }
+            return;
+        }
         let apps: Vec<(&str, &AppMeasurement)> = names
             .iter()
+            .filter(|n| !clamped.iter().any(|(c, _, _)| c == *n))
+            .filter(|n| !self.contained.contains(*n))
             .filter_map(|n| self.measurements.get(n).map(|m| (n.as_str(), m)))
             .collect();
         let esd = self.esd_params(sim);
@@ -878,17 +1134,24 @@ impl PowerMediator {
         // thresholds) is untouched. The branch keeps the shave-free
         // path bit-identical to the pre-estimation planner.
         let cap = self.accountant.cap();
-        let target = if self.fallback_shave.value() > 0.0 {
+        let mut target = if self.fallback_shave.value() > 0.0 {
             (cap - self.fallback_shave).max_zero()
         } else {
             cap
         };
+        // Honest apps are planned in the budget left after the
+        // quarantine clamps — the watts docked from offenders flow
+        // back to them.
+        if !clamped.is_empty() {
+            let clamped_sum: f64 = clamped.iter().map(|(_, _, w)| w.value()).sum();
+            target = (target - Watts::new(clamped_sum)).max_zero();
+        }
         let slo_relevant = self
             .slo_planner
             .as_ref()
             .map(|_| apps.iter().any(|(_, m)| m.slo().is_some()))
             .unwrap_or(false);
-        let planned = if slo_relevant {
+        let mut planned = if slo_relevant {
             self.slo_planner
                 .as_ref()
                 .expect("checked above")
@@ -896,12 +1159,300 @@ impl PowerMediator {
         } else {
             self.policy.plan(&apps, target, esd)
         };
+        if !clamped.is_empty() {
+            planned = Self::merge_quarantined(planned, &clamped);
+        }
         if self.actuation_latency.value() > 0.0 && self.actuation != Actuation::None {
             // Keep executing the old schedule until the actuation
             // completes (the paper's ~800 ms window).
             self.pending = Some((planned, sim.now() + self.actuation_latency));
         } else {
             self.install_schedule(planned, sim.now());
+        }
+    }
+
+    /// Grafts the quarantine clamps onto a freshly planned schedule:
+    /// clamped apps run always-on at their docked setting regardless of
+    /// what shape the policy chose for the honest ones.
+    fn merge_quarantined(planned: Schedule, clamped: &[(String, usize, Watts)]) -> Schedule {
+        match planned {
+            Schedule::Space { mut settings } => {
+                for (name, idx, _) in clamped {
+                    settings.insert(name.clone(), *idx);
+                }
+                Schedule::Space { settings }
+            }
+            Schedule::EsdCycle {
+                off,
+                on,
+                mut settings,
+                charge,
+                discharge,
+            } => {
+                for (name, idx, _) in clamped {
+                    settings.insert(name.clone(), *idx);
+                }
+                Schedule::EsdCycle {
+                    off,
+                    on,
+                    settings,
+                    charge,
+                    discharge,
+                }
+            }
+            Schedule::Alternate { slots } => {
+                // A quarantined app never rides the duty cycle (its
+                // claimed rates cannot be trusted to meter a slot):
+                // pin it, let the honest apps keep alternating.
+                let pinned = clamped
+                    .iter()
+                    .map(|(name, idx, _)| (name.clone(), *idx))
+                    .collect();
+                Schedule::Hybrid { pinned, slots }
+            }
+            Schedule::Hybrid { mut pinned, slots } => {
+                for (name, idx, _) in clamped {
+                    pinned.insert(name.clone(), *idx);
+                }
+                Schedule::Hybrid { pinned, slots }
+            }
+            Schedule::Infeasible => {
+                // The honest remainder could not be hosted, but the
+                // clamped settings themselves are known-feasible floors.
+                let settings = clamped
+                    .iter()
+                    .map(|(name, idx, _)| (name.clone(), *idx))
+                    .collect();
+                Schedule::Space { settings }
+            }
+        }
+    }
+
+    /// Post-poll integrity pass (defense mode only): cross-check every
+    /// app's self-reports against physics, update trust scores, and
+    /// act on ladder transitions — E7 + fair-share clamp on quarantine,
+    /// fresh probes on probation, full restoration on re-admission.
+    fn observe_integrity(&mut self, sim: &mut ServerSim) {
+        let Some(cfg) = self.defense else { return };
+        let Some(eb) = self.last_estimate.as_ref() else {
+            return;
+        };
+        let fresh = eb.held_polls == 0;
+        let residual = eb.residual_w;
+        let band = eb.band_w;
+        let attributed: BTreeMap<String, f64> =
+            eb.apps.iter().map(|(k, v)| (k.clone(), v.watts)).collect();
+        let now = sim.now();
+        let drift_strikes = std::mem::take(&mut self.drift_strikes);
+        let names: Vec<String> = sim.app_names();
+        let mut quarantines: Vec<(String, String)> = Vec::new();
+        let mut probations: Vec<String> = Vec::new();
+        let mut readmitted = false;
+        let mut charged = false;
+        let mut containments: Vec<String> = Vec::new();
+        for name in &names {
+            let claim = self.last_claims.get(name).copied();
+            // Evidence for this poll, strongest stream wins.
+            let mut mild = false;
+            let mut strong: Option<&'static str> = None;
+            if let Some(c) = claim {
+                if c.clamped {
+                    mild = true;
+                }
+                if c.clamped && fresh && residual.abs() > band {
+                    // The meter disagrees with the model; an app whose
+                    // *implausible* claim moved the model away from the
+                    // meter is charged. Claiming quiet across a
+                    // positive residual (hidden draw) or hot across a
+                    // negative one (sandbagged surface) is the
+                    // signature. Plausible (unclamped) claims are never
+                    // charged here: an honest app slowed by a noisy
+                    // neighbour truthfully reports a sub-unity ratio
+                    // while the neighbour's hidden draw inflates the
+                    // residual.
+                    let claimed_delta = (c.ratio - 1.0) * c.unscaled_w;
+                    let wrong_way = (residual > 0.0 && claimed_delta < -0.25 * residual)
+                        || (residual < 0.0 && claimed_delta > 0.25 * residual.abs());
+                    if wrong_way {
+                        strong = Some("claim against meter residual");
+                    }
+                }
+            }
+            if drift_strikes.iter().any(|d| d == name) {
+                strong = Some("profile churn");
+            }
+            let trust = self.trust.entry(name.clone()).or_default();
+            if self.contained.contains(name) {
+                // Containment repays watt debt in idle time: the app
+                // is suspended (drawing nothing), so each poll returns
+                // a slice of its outstanding overdraw to the honest
+                // pool. The floor keeps the geometric decay from
+                // stalling. Containment holds through the quarantine
+                // tier — a suspended app cannot re-offend, so its
+                // clean streak below is what earns probation (and with
+                // it fresh probes, a resume, and the clamp).
+                let due = (self.debts.outstanding(name) * cfg.clawback_rate)
+                    .max(cfg.overdraw_margin_w * cfg.clawback_rate);
+                let repaid = self.debts.repay(name, due);
+                if repaid > 0.0 {
+                    self.trust_stats.clawback_polls += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.emit(
+                            now,
+                            ObsEvent::Clawback {
+                                app: name.clone(),
+                                w: repaid,
+                            },
+                        );
+                    }
+                }
+            }
+            // Persistent overdraw: the estimated share stays above the
+            // allocation. Only charged against apps already below the
+            // trusted tier — their σ is inflated, so the solver routes
+            // unexplained watts to them *because* the primary detectors
+            // already flagged them; for a trusted app the same excess
+            // attribution is just residual spread and must not
+            // self-fulfil.
+            let allocation = self.accountant.allocation(name);
+            if trust.distrusted() {
+                if let (Some(att), Some(alloc)) = (attributed.get(name), allocation) {
+                    let overdraw = att - alloc.value();
+                    if overdraw > cfg.overdraw_margin_w {
+                        // An overdrawing poll is not a clean poll even
+                        // when no other stream fires — note_clean would
+                        // reset the patience streak and the app could
+                        // overdraw forever in 1-poll bursts.
+                        mild = true;
+                        if trust.note_overdraw(&cfg) {
+                            // The strike charges the ledger even when a
+                            // stronger stream already fired this poll:
+                            // the watts were overdrawn either way, and
+                            // the clawback must account for them.
+                            self.debts.charge(name, overdraw);
+                            charged = true;
+                            if strong.is_none() {
+                                strong = Some("sustained overdraw");
+                            }
+                            // Overdraw *with the clamp already in
+                            // force* is knob non-compliance: no
+                            // commanded setting can curb it, so the
+                            // ladder escalates to containment —
+                            // suspension until the debt is idle-time
+                            // repaid.
+                            if trust.quarantined() && !self.contained.contains(name) {
+                                containments.push(name.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            let transition = if let Some(cause) = strong {
+                self.trust_stats.implausible_polls += 1;
+                trust
+                    .note_evidence(Evidence::Strong, &cfg)
+                    .map(|t| (t, cause))
+            } else if mild {
+                self.trust_stats.implausible_polls += 1;
+                trust
+                    .note_evidence(Evidence::Mild, &cfg)
+                    .map(|t| (t, "implausible heartbeat"))
+            } else {
+                trust.note_clean(&cfg).map(|t| (t, ""))
+            };
+            let score = trust.score();
+            match transition {
+                Some((TrustTransition::Downgraded, _)) => {
+                    self.trust_stats.downgrades += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.emit(
+                            now,
+                            ObsEvent::TrustDowngrade {
+                                app: name.clone(),
+                                score,
+                            },
+                        );
+                    }
+                }
+                Some((TrustTransition::Quarantined, cause)) => {
+                    self.trust_stats.downgrades += 1;
+                    self.trust_stats.quarantines += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.emit(
+                            now,
+                            ObsEvent::TrustDowngrade {
+                                app: name.clone(),
+                                score,
+                            },
+                        );
+                        obs.emit(
+                            now,
+                            ObsEvent::Quarantine {
+                                app: name.clone(),
+                                cause: cause.to_string(),
+                            },
+                        );
+                    }
+                    quarantines.push((name.clone(), cause.to_string()));
+                }
+                Some((TrustTransition::Probation, _)) => {
+                    self.trust_stats.probations += 1;
+                    probations.push(name.clone());
+                }
+                Some((TrustTransition::Readmitted, _)) => {
+                    self.trust_stats.readmissions += 1;
+                    self.accountant.clear_integrity(name);
+                    readmitted = true;
+                }
+                None => {}
+            }
+        }
+        if !quarantines.is_empty() && self.audit_until.is_some() {
+            // The audit did its job: blame is assigned, the clamp plan
+            // takes over.
+            self.audit_until = None;
+        }
+        for (name, _) in quarantines {
+            // E7 fires once per episode; a probation relapse is the
+            // same episode, so only the clamp (via replan) returns.
+            match self.accountant.integrity_fault(&name) {
+                Some(event) => self.handle_events(sim, vec![event]),
+                None => self.replan(sim),
+            }
+        }
+        for name in containments {
+            if self.contained.insert(name.clone()) {
+                self.trust_stats.containments += 1;
+                if let Some(obs) = &self.obs {
+                    obs.emit(
+                        now,
+                        ObsEvent::Quarantine {
+                            app: name.clone(),
+                            cause: "containment: overdraw under clamp".to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        for name in probations {
+            // Probation grants fresh probes: the old surface is the one
+            // the offender poisoned (or drifted off); re-measure before
+            // trusting anything again. `recalibrate` replans, lifting
+            // the fair-share clamp. A contained app is released first —
+            // probes need it running.
+            self.contained.remove(&name);
+            let _ = sim.server_mut().resume_app(&name);
+            self.recalibrate(sim, &name);
+        }
+        if readmitted {
+            self.replan(sim);
+        } else if charged {
+            // Fresh debt tightens the quarantine clamp (and newly
+            // contained apps drop out of the schedule, which is what
+            // suspends them). Settling at this cadence keeps the
+            // clawback repaying instead of accruing forever between
+            // (rare) accountant events.
+            self.replan(sim);
         }
     }
 
@@ -1184,6 +1735,18 @@ impl PowerMediator {
         let Some(knob) = self.grid.get(idx) else {
             return;
         };
+        if self.defense.is_some() {
+            // Stamp only real changes: a replan that re-installs the
+            // same setting (or resumes an already-running app) leaves
+            // the app's heartbeat window intact.
+            let unchanged = sim
+                .server()
+                .assignment(name)
+                .is_some_and(|a| a.knob() == knob && a.run_state() == AppRunState::Running);
+            if !unchanged {
+                self.knob_stable_since.insert(name.to_string(), sim.now());
+            }
+        }
         let mut ok = sim.set_knobs(name, knob).is_ok();
         if !ok {
             for other in sim.app_names() {
@@ -1333,6 +1896,7 @@ impl PowerMediator {
     ) -> Option<EstimatedBreakdown> {
         let cfg = *self.estimator.as_ref()?.config();
         let mut priors = Vec::with_capacity(meta.len());
+        let mut claims: BTreeMap<String, ClaimRecord> = BTreeMap::new();
         for (name, completed, suspended, heartbeat) in meta {
             let prior = if *completed || *suspended {
                 // A suspended or finished app draws no dynamic power,
@@ -1351,6 +1915,8 @@ impl PowerMediator {
                 match (self.measurements.get(name), idx) {
                     (Some(m), Some(idx)) => {
                         let mut predicted = m.power(idx).value();
+                        let distrusted = self.defense.is_some()
+                            && self.trust.get(name).is_some_and(|t| t.distrusted());
                         if let Some(hb) = *heartbeat {
                             // A heartbeat off the calibrated rate means
                             // the app is not where the surface says it
@@ -1359,14 +1925,50 @@ impl PowerMediator {
                             // the model.
                             let expected = m.perf(idx);
                             if expected > 0.0 {
-                                predicted *= (hb / expected).clamp(0.5, 1.5);
+                                let ratio = hb / expected;
+                                let bounded = ratio.clamp(cfg.hb_ratio_min, cfg.hb_ratio_max);
+                                let clamped = bounded != ratio;
+                                if clamped {
+                                    // A claim pinned at the bound is a
+                                    // claim physics would not honor —
+                                    // the integrity layer seeds its
+                                    // trust scores from these.
+                                    self.estimation_stats.clamp_bound_polls += 1;
+                                    if let Some(obs) = &self.obs {
+                                        obs.emit(
+                                            sim.now(),
+                                            ObsEvent::HeartbeatClampBound {
+                                                app: name.clone(),
+                                                ratio,
+                                            },
+                                        );
+                                    }
+                                }
+                                // A distrusted app's self-report is
+                                // ignored outright: the prior rides on
+                                // the profile alone.
+                                if !distrusted {
+                                    predicted *= bounded;
+                                }
+                                if self.defense.is_some() {
+                                    claims.insert(
+                                        name.clone(),
+                                        ClaimRecord {
+                                            ratio,
+                                            unscaled_w: m.power(idx).value(),
+                                            clamped,
+                                        },
+                                    );
+                                }
                             }
                         }
-                        let confidence = self
-                            .prior_confidence
-                            .get(name)
-                            .copied()
-                            .unwrap_or(1.0)
+                        let trust_weight = if self.defense.is_some() {
+                            self.trust.get(name).map(TrustScore::score).unwrap_or(1.0)
+                        } else {
+                            1.0
+                        };
+                        let confidence = (self.prior_confidence.get(name).copied().unwrap_or(1.0)
+                            * trust_weight)
                             .clamp(0.05, 1.0);
                         let mut sigma = predicted.abs() * cfg.prior_rel_sigma / confidence;
                         if self.retries.contains_key(name) {
@@ -1390,6 +1992,9 @@ impl PowerMediator {
                 }
             };
             priors.push(prior);
+        }
+        if self.defense.is_some() {
+            self.last_claims = claims;
         }
         // Idle + chip-maintenance power is deterministic in the knob
         // assignments (spec constants per awake socket), not sensed per
@@ -1451,6 +2056,17 @@ impl PowerMediator {
                 self.estimation_stats.fallback_engagements += 1;
                 self.hardening_stats.sensor_faults += 1;
                 self.fallback_shave = Watts::new(eb.band_w.max(cfg.residual_floor_w));
+                // An unexplained residual with every app still trusted
+                // is also what undetected collusion looks like: open an
+                // integrity audit so the plausibility cross-checks get
+                // claims to work with before the shave duty-cycles the
+                // schedule and silences them.
+                if let Some(dcfg) = self.defense {
+                    let nobody_implicated = self.trust.values().all(|t| !t.distrusted());
+                    if self.audit_until.is_none() && nobody_implicated {
+                        self.audit_until = Some(sim.now() + Seconds::new(dcfg.audit_secs));
+                    }
+                }
                 let what = format!(
                     "estimated-vs-meter residual {:.1} W exceeded the {:.1} W confidence band",
                     eb.residual_w.abs(),
@@ -1660,6 +2276,24 @@ impl PowerMediator {
                     transition: SafeModeTransition::Released,
                 },
             );
+        }
+        if let Some(dcfg) = self.defense {
+            let nobody_implicated = self.trust.values().all(|t| !t.distrusted());
+            if self.hardening_stats.safe_mode_entries >= 2
+                && nobody_implicated
+                && self.audit_until.is_none()
+            {
+                // A breach that keeps coming back through replans with
+                // nobody implicated is the watchdog-blinded defector
+                // signature: each engage/release cycle changes every
+                // knob, so no claim window ever matures and the
+                // claim-based detectors see nothing. Pin the audit
+                // schedule on release — a stable floor fits the cap
+                // (safe mode just proved it), lets claims mature, and
+                // makes the one app running hot at a floor setting
+                // stand out.
+                self.audit_until = Some(sim.now() + Seconds::new(dcfg.audit_secs));
+            }
         }
         self.replan(sim);
     }
@@ -2269,5 +2903,246 @@ mod tests {
         let r = med.step(&mut sim, DT);
         assert_eq!(r.gross_power, Watts::new(50.0), "server idles");
         assert_eq!(sim.ops_done("kmeans"), 0.0);
+    }
+
+    #[test]
+    fn defense_off_keeps_the_estimating_loop_untouched() {
+        let mut sim = sim_no_esd();
+        let mut med =
+            mediator(PolicyKind::AppResAware, 100.0).with_estimation(EstimatorConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(5.0), DT);
+        assert_eq!(med.trust_stats(), TrustStats::default());
+        assert!(med.trust_score("stream").is_none());
+        assert_eq!(med.watt_debts().total_charged(), 0.0);
+    }
+
+    #[test]
+    fn honest_apps_stay_trusted_under_the_defense() {
+        let mut sim = sim_no_esd();
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_estimation(EstimatorConfig::default())
+            .with_integrity_defense(TrustConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(30.0), DT);
+        let stats = med.trust_stats();
+        assert_eq!(stats.quarantines, 0, "no false quarantines: {stats:?}");
+        for name in ["stream", "kmeans"] {
+            let t = med.trust_score(name).expect("scored every poll");
+            assert!(!t.distrusted(), "{name} must stay trusted: {t:?}");
+        }
+    }
+
+    #[test]
+    fn knob_defiance_is_quarantined_with_e7() {
+        use powermed_sim::AdversaryConfig;
+        let mut sim = sim_no_esd().with_adversary(AdversaryConfig::noncompliance(7, &["kmeans"]));
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_estimation(EstimatorConfig::default())
+            .with_integrity_defense(TrustConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        med.run_for(&mut sim, Seconds::new(30.0), DT);
+        assert!(
+            sim.adversary_stats().knobs_defied > 0,
+            "the injector was live"
+        );
+        let stats = med.trust_stats();
+        assert!(
+            stats.quarantines >= 1,
+            "defiance must reach quarantine: {stats:?}"
+        );
+        let t = med.trust_score("kmeans").expect("scored");
+        assert!(t.quarantined(), "the unrepentant defector stays locked up");
+        for honest in ["stream", "pagerank"] {
+            assert!(
+                med.trust_score(honest).is_none_or(|t| !t.distrusted()),
+                "the honest app {honest} is untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn heartbeat_deflation_loses_trust() {
+        use powermed_sim::AdversaryConfig;
+        let mut sim =
+            sim_no_esd().with_adversary(AdversaryConfig::heartbeat_misreport(7, &["stream"], 0.3));
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_estimation(EstimatorConfig::default())
+            .with_integrity_defense(TrustConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.run_for(&mut sim, Seconds::new(20.0), DT);
+        assert!(
+            med.estimation_stats().clamp_bound_polls > 0,
+            "a 0.3× claim pins the ratio clamp"
+        );
+        let stats = med.trust_stats();
+        assert!(stats.implausible_polls > 0, "evidence accrued: {stats:?}");
+        let t = med.trust_score("stream").expect("scored");
+        assert!(t.score() < 1.0, "trust fell: {t:?}");
+    }
+
+    /// Probation pinned out of reach so the quarantine tier is stable
+    /// across the whole run — the watchdog-interplay tests below need
+    /// the integrity state to change only for integrity reasons.
+    fn sticky_trust() -> TrustConfig {
+        TrustConfig {
+            probation_clean_polls: 100_000,
+            ..TrustConfig::default()
+        }
+    }
+
+    #[test]
+    fn safe_mode_engages_over_a_quarantine_and_neither_launders_the_other() {
+        use powermed_sim::AdversaryConfig;
+        let mut sim = sim_no_esd().with_adversary(AdversaryConfig::noncompliance(7, &["kmeans"]));
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_estimation(EstimatorConfig::default())
+            .with_integrity_defense(sticky_trust())
+            .with_hardening(HardeningConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        med.run_for(&mut sim, Seconds::new(30.0), DT);
+        // The defiant app breaches the cap, so the watchdog engages
+        // before any claim window can mature — engage/release churn
+        // would blind the claim-based detectors forever. The release
+        // path notices the recurring breach and pins the audit
+        // schedule, which is where blame finally lands.
+        assert!(
+            med.hardening_stats().safe_mode_entries >= 2,
+            "precondition: the breach kept coming back through replans"
+        );
+        assert!(
+            med.trust_score("kmeans").expect("scored").quarantined(),
+            "the post-release audit implicated the defector"
+        );
+        let entries_before = med.hardening_stats().safe_mode_entries;
+        let exits_before = med.hardening_stats().safe_mode_exits;
+        let quarantines_before = med.trust_stats().quarantines;
+
+        // An external cap cut no plan can satisfy: the watchdog must
+        // still engage even though the integrity ladder already holds
+        // an app — the two mechanisms protect different invariants.
+        med.set_cap(&mut sim, Watts::new(20.0));
+        med.run_for(&mut sim, Seconds::new(5.0), DT);
+        assert!(
+            med.hardening_stats().safe_mode_entries > entries_before,
+            "the watchdog engaged over the standing quarantine"
+        );
+        assert!(
+            med.trust_score("kmeans").expect("scored").quarantined(),
+            "safe mode does not launder trust"
+        );
+
+        // Restore the cap: the breach clears, safe mode releases, and
+        // the release replan re-asserts the integrity clamp.
+        med.set_cap(&mut sim, Watts::new(100.0));
+        med.run_for(&mut sim, Seconds::new(8.0), DT);
+        let stats = med.hardening_stats();
+        assert!(
+            stats.safe_mode_exits > exits_before,
+            "released once the cap came back"
+        );
+        assert!(
+            stats.safe_mode_entries >= stats.safe_mode_exits,
+            "release ordering: every exit pairs with an earlier entry"
+        );
+        assert!(
+            med.trust_score("kmeans").expect("scored").quarantined(),
+            "the quarantine outlives the safe-mode round trip"
+        );
+        assert_eq!(
+            med.trust_stats().quarantines,
+            quarantines_before,
+            "E7 fired once; the safe-mode round trip is not a relapse"
+        );
+        for honest in ["stream", "pagerank"] {
+            assert!(
+                med.trust_score(honest).is_none_or(|t| !t.distrusted()),
+                "the honest app {honest} is untouched by the churn"
+            );
+        }
+    }
+
+    #[test]
+    fn release_resumes_honest_apps_but_a_contained_app_stays_parked() {
+        use powermed_sim::AdversaryConfig;
+        let mut sim = sim_no_esd().with_adversary(AdversaryConfig::noncompliance(7, &["kmeans"]));
+        let mut med = mediator(PolicyKind::AppResAware, 100.0)
+            .with_estimation(EstimatorConfig::default())
+            .with_integrity_defense(sticky_trust())
+            .with_hardening(HardeningConfig::default());
+        med.admit(&mut sim, catalog::stream()).unwrap();
+        med.admit(&mut sim, catalog::kmeans()).unwrap();
+        med.admit(&mut sim, catalog::pagerank()).unwrap();
+        med.run_for(&mut sim, Seconds::new(30.0), DT);
+        assert!(
+            med.is_contained("kmeans"),
+            "precondition: post-clamp overdraw escalated to containment: {:?}",
+            med.trust_stats()
+        );
+        assert_eq!(
+            sim.server()
+                .assignment("kmeans")
+                .expect("hosted")
+                .run_state(),
+            AppRunState::Suspended,
+            "containment means suspension, the one lever defiance cannot fake"
+        );
+
+        let entries_before = med.hardening_stats().safe_mode_entries;
+        let exits_before = med.hardening_stats().safe_mode_exits;
+
+        // A cap below even the idle floor forces escalation: everyone
+        // is parked, honest and contained alike.
+        med.set_cap(&mut sim, Watts::new(5.0));
+        med.run_for(&mut sim, Seconds::new(4.0), DT);
+        assert!(
+            med.hardening_stats().safe_mode_entries > entries_before,
+            "the watchdog engaged on the impossible cap"
+        );
+        assert!(
+            med.is_contained("kmeans"),
+            "escalation does not clear containment"
+        );
+
+        // Release ordering: the exit replan hands settings back to the
+        // honest apps (the actuator resumes them) while the contained
+        // defector is planned *without* a setting and stays parked.
+        med.set_cap(&mut sim, Watts::new(100.0));
+        med.run_for(&mut sim, Seconds::new(6.0), DT);
+        assert!(
+            med.hardening_stats().safe_mode_exits > exits_before,
+            "released once the cap came back"
+        );
+        for honest in ["stream", "pagerank"] {
+            assert_eq!(
+                sim.server().assignment(honest).expect("hosted").run_state(),
+                AppRunState::Running,
+                "the honest app {honest} is resumed on release"
+            );
+        }
+        assert!(
+            med.is_contained("kmeans"),
+            "containment survives the release"
+        );
+        assert_eq!(
+            sim.server()
+                .assignment("kmeans")
+                .expect("hosted")
+                .run_state(),
+            AppRunState::Suspended,
+            "the contained app does not ride the release back in"
+        );
+        let debts = med.watt_debts();
+        assert!(
+            debts.total_repaid() <= debts.total_charged() + 1e-9,
+            "clawback never repays more than was overdrawn"
+        );
     }
 }

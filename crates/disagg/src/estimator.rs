@@ -63,6 +63,13 @@ pub struct EstimatorConfig {
     pub escalate_patience: u32,
     /// Consecutive clean polls before an engaged fallback releases.
     pub release_patience: u32,
+    /// Lower bound on the claimed-over-expected heartbeat ratio an
+    /// app's self-report may scale its prior by. Claims below this are
+    /// clamped (and counted — the integrity layer reads clamp-bound
+    /// polls as evidence).
+    pub hb_ratio_min: f64,
+    /// Upper bound on the claimed-over-expected heartbeat ratio.
+    pub hb_ratio_max: f64,
 }
 
 impl Default for EstimatorConfig {
@@ -79,6 +86,8 @@ impl Default for EstimatorConfig {
             residual_patience: 8,
             escalate_patience: 100,
             release_patience: 20,
+            hb_ratio_min: 0.5,
+            hb_ratio_max: 1.5,
         }
     }
 }

@@ -173,7 +173,23 @@ impl DramDomain {
     /// Serves a bandwidth demand: returns `(granted bandwidth, power
     /// drawn)` after clamping to the limit.
     pub fn serve(&mut self, demand: BytesPerSec, dt: Seconds) -> (BytesPerSec, Watts) {
-        let granted = demand.min(self.available_bandwidth());
+        let limit = self.limit;
+        self.serve_at_limit(demand, limit, dt)
+    }
+
+    /// Serves a bandwidth demand against an *effective* limit instead
+    /// of the programmed one — the escape hatch a non-compliant
+    /// application uses to run its DIMM hotter than the acked `m`
+    /// knob. The effective limit is still clamped to the model's
+    /// physical window.
+    pub fn serve_at_limit(
+        &mut self,
+        demand: BytesPerSec,
+        limit: Watts,
+        dt: Seconds,
+    ) -> (BytesPerSec, Watts) {
+        let limit = limit.clamp(self.model.background_power(), self.model.peak_power());
+        let granted = demand.min(self.model.bandwidth_at_limit(limit));
         let power = self.model.power_at_bandwidth(granted);
         self.meter.accumulate(power, dt);
         (granted, power)

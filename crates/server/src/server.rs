@@ -332,6 +332,21 @@ impl Server {
         demands: &BTreeMap<String, AppDemand>,
         dt: Seconds,
     ) -> PowerBreakdown {
+        self.power_draw_with(demands, &BTreeMap::new(), dt)
+    }
+
+    /// [`Server::power_draw`] with per-app *effective-knob* overrides:
+    /// an overridden app's core power is computed at the override's
+    /// frequency and its memory traffic is served against the
+    /// override's DRAM limit instead of the programmed one. This is
+    /// the physics of knob non-compliance — the assignment (what a
+    /// readback shows) stays untouched; only the drawn power moves.
+    pub fn power_draw_with(
+        &mut self,
+        demands: &BTreeMap<String, AppDemand>,
+        overrides: &BTreeMap<String, KnobSetting>,
+        dt: Seconds,
+    ) -> PowerBreakdown {
         let uncore = if self.any_socket_active() {
             self.spec.chip_maintenance_power()
         } else {
@@ -359,6 +374,8 @@ impl Server {
                 continue;
             }
             let demand = demands.get(&name).copied().unwrap_or_default();
+            let effective = overrides.get(&name).copied();
+            let knob = effective.unwrap_or(knob);
             let freq = self.spec.ladder().frequency(knob.dvfs());
             let core_power = self
                 .spec
@@ -366,7 +383,12 @@ impl Server {
                 .power_at_utilization(freq, demand.core_busy)
                 * cores as f64;
             let (granted, dram_power) = match dimm {
-                Some(DimmId(d)) => self.dram[d].serve(demand.mem_bandwidth, dt),
+                Some(DimmId(d)) => match effective {
+                    Some(k) => {
+                        self.dram[d].serve_at_limit(demand.mem_bandwidth, k.dram_limit(), dt)
+                    }
+                    None => self.dram[d].serve(demand.mem_bandwidth, dt),
+                },
                 None => (BytesPerSec::ZERO, Watts::ZERO),
             };
             apps.insert(name.clone(), core_power + dram_power);

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use powermed_esd::{DegradedEsd, EnergyStorage};
 use powermed_server::server::{AppDemand, AppRunState, PowerBreakdown};
 use powermed_server::{KnobSetting, Server, ServerError, ServerSpec};
-use powermed_telemetry::faults::FaultStats;
+use powermed_telemetry::faults::{AdversaryStats, FaultStats};
 use powermed_telemetry::journal::Obs;
 use powermed_telemetry::meter::PowerMeter;
 use powermed_telemetry::metrics::prom_label;
@@ -13,6 +13,7 @@ use powermed_telemetry::recorder::TraceRecorder;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
 
+use crate::adversary::{AdversaryConfig, AdversaryInjector};
 use crate::app::RunningApp;
 use crate::clock::SimClock;
 use crate::faults::{FaultConfig, FaultInjector, FaultRecord, KnobWriteOutcome};
@@ -78,6 +79,9 @@ pub struct ServerSim {
     meter: PowerMeter,
     recorder: TraceRecorder,
     faults: Option<FaultInjector>,
+    /// Adversarial-application behaviour; `None` (the default) keeps
+    /// every hook a skipped branch, exactly like `faults`.
+    adversary: Option<AdversaryInjector>,
     /// Flight-recorder handle; `None` (the default) keeps every
     /// emission site a skipped branch.
     obs: Option<Obs>,
@@ -98,6 +102,7 @@ impl ServerSim {
             meter: PowerMeter::new(),
             recorder: TraceRecorder::new(),
             faults: None,
+            adversary: None,
             obs: None,
         }
     }
@@ -131,6 +136,27 @@ impl ServerSim {
         }
         self.faults = Some(FaultInjector::new(config));
         self
+    }
+
+    /// Enables deterministic adversarial-application behaviour for
+    /// this simulation. An inert configuration (no channels active)
+    /// leaves every output bit-identical to an un-adversarial run.
+    pub fn with_adversary(mut self, config: AdversaryConfig) -> Self {
+        self.adversary = Some(AdversaryInjector::new(config));
+        self
+    }
+
+    /// The active adversary injector, if any.
+    pub fn adversary(&self) -> Option<&AdversaryInjector> {
+        self.adversary.as_ref()
+    }
+
+    /// Misbehaviour counters (zeroed default when no adversary).
+    pub fn adversary_stats(&self) -> AdversaryStats {
+        self.adversary
+            .as_ref()
+            .map(AdversaryInjector::stats)
+            .unwrap_or_default()
     }
 
     /// The active fault injector, if any.
@@ -290,6 +316,21 @@ impl ServerSim {
         self.apps.get_mut(name)
     }
 
+    /// The heartbeat rate `name` *reports* for the trailing window
+    /// ending at `now` — the truth from
+    /// [`RunningApp::heartbeat_rate`], unless the app is a configured
+    /// adversary, in which case the claim is inflated, deflated,
+    /// jittered or phase-spoofed per the adversary channels. This is
+    /// the only heartbeat the mediator gets to see; ground truth stays
+    /// available through [`ServerSim::app_mut`] for scoring.
+    pub fn reported_heartbeat(&mut self, name: &str, now: Seconds) -> Option<f64> {
+        let truth = self.apps.get_mut(name)?.heartbeat_rate(now);
+        match self.adversary.as_mut() {
+            Some(a) => a.report_heartbeat(name, truth),
+            None => truth,
+        }
+    }
+
     /// Instantaneously measures `(dynamic power, throughput)` of `name`
     /// at `knob` — the simulation analogue of the paper's short online
     /// calibration run at one sample setting. The app is not disturbed.
@@ -297,8 +338,15 @@ impl ServerSim {
     /// Returns `None` for unknown apps.
     pub fn probe(&self, name: &str, knob: KnobSetting) -> Option<(Watts, f64)> {
         let app = self.apps.get(name)?;
-        let op = app.operating_point(self.server.spec(), knob);
-        Some((op.dynamic_power, op.throughput))
+        let spec = self.server.spec();
+        let op = app.operating_point(spec, knob);
+        let throughput = match self.adversary.as_ref() {
+            // A sandbagging app demonstrates deliberately poor
+            // throughput at sub-maximal probe settings.
+            Some(a) => a.probe_throughput(name, knob == KnobSetting::max_for(spec), op.throughput),
+            None => op.throughput,
+        };
+        Some((op.dynamic_power, throughput))
     }
 
     /// The cumulative power meter.
@@ -326,6 +374,9 @@ impl ServerSim {
         //    roll new crashes for running apps (BTreeMap name order, so
         //    the draw sequence is deterministic), and keep crashed apps
         //    down even if the policy tried to resume them.
+        if let Some(a) = self.adversary.as_mut() {
+            a.begin_step(now);
+        }
         if let Some(f) = self.faults.as_mut() {
             f.begin_step(self.clock.steps(), now);
             for name in f.restarts_due() {
@@ -351,12 +402,26 @@ impl ServerSim {
         //    suspend_app calls below.
         let mut demands: BTreeMap<String, AppDemand> = BTreeMap::new();
         let mut completed = Vec::new();
+        // Effective-knob overrides for defiant apps (empty — and
+        // allocation-free — without an adversary).
+        let mut overrides: BTreeMap<String, KnobSetting> = BTreeMap::new();
         let spec = self.server.spec();
         for (name, app) in &mut self.apps {
             let Some(assignment) = self.server.assignment(name) else {
                 continue;
             };
-            let knob = assignment.knob();
+            // A defiant app runs at a hotter operating point than the
+            // acked assignment (the readback still shows the
+            // commanded knob — from the mediator's side the write
+            // landed).
+            let commanded = assignment.knob();
+            let knob = match self.adversary.as_ref() {
+                Some(a) => a.effective_knob(name, spec, commanded),
+                None => commanded,
+            };
+            if knob != commanded {
+                overrides.insert(name.clone(), knob);
+            }
             match assignment.run_state() {
                 AppRunState::Running => {
                     let was_done = app.completed();
@@ -379,8 +444,10 @@ impl ServerSim {
             let _ = self.server.suspend_app(name);
         }
 
-        // 2. Server power accounting.
-        let breakdown = self.server.power_draw(&demands, dt);
+        // 2. Server power accounting (at the knobs the apps *actually*
+        //    ran, which for defiant apps is hotter than the acked
+        //    assignment).
+        let breakdown = self.server.power_draw_with(&demands, &overrides, dt);
         let gross = breakdown.total();
 
         // 3. ESD command execution. Charging is clamped to headroom under
@@ -834,6 +901,72 @@ mod tests {
         let stats = s.fault_stats();
         assert!(stats.knob_rejections > 0);
         assert!(stats.knob_stale + stats.knob_partial > 0);
+    }
+
+    #[test]
+    fn adversary_free_config_changes_nothing_but_bookkeeping() {
+        let run = |adversarial: bool| {
+            let mut s = sim();
+            if adversarial {
+                s = s.with_adversary(crate::adversary::AdversaryConfig::none(3));
+            }
+            let knob = KnobSetting::max_for(s.server().spec());
+            s.host(catalog::kmeans(), knob).unwrap();
+            s.set_cap(Some(Watts::new(100.0)));
+            let mut nets = Vec::new();
+            let mut claims = Vec::new();
+            for i in 0..50 {
+                nets.push(s.step(DT).net_power);
+                claims.push(s.reported_heartbeat("kmeans", Seconds::new((i + 1) as f64 * 0.1)));
+            }
+            (nets, claims, s.ops_done("kmeans"))
+        };
+        assert_eq!(run(false), run(true), "inert adversary is bit-identical");
+    }
+
+    #[test]
+    fn defiant_app_draws_more_than_its_acked_knob() {
+        let run = |defiant: bool| {
+            let mut s = sim();
+            if defiant {
+                s = s.with_adversary(crate::adversary::AdversaryConfig::noncompliance(
+                    1,
+                    &["kmeans"],
+                ));
+            }
+            let low = KnobSetting::min_for(s.server().spec()).with_cores(4);
+            s.host(catalog::kmeans(), low).unwrap();
+            let r = s.run_for(Seconds::new(1.0), DT);
+            (r.gross_power, s.ops_done("kmeans"))
+        };
+        let (honest_p, honest_ops) = run(false);
+        let (defiant_p, defiant_ops) = run(true);
+        assert!(
+            defiant_p > honest_p + Watts::new(1.0),
+            "running hot must show in true power: {honest_p:?} vs {defiant_p:?}"
+        );
+        assert!(defiant_ops > honest_ops, "and in true progress");
+    }
+
+    #[test]
+    fn misreported_heartbeat_diverges_from_ground_truth() {
+        let mut s = sim().with_adversary(crate::adversary::AdversaryConfig {
+            heartbeat_factor: 2.0,
+            heartbeat_jitter: 0.0,
+            apps: vec!["kmeans".to_string()],
+            ..crate::adversary::AdversaryConfig::default()
+        });
+        let knob = KnobSetting::max_for(s.server().spec());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.run_for(Seconds::new(2.0), DT);
+        let now = s.now();
+        let claimed = s.reported_heartbeat("kmeans", now).unwrap();
+        let truth = s.app_mut("kmeans").unwrap().heartbeat_rate(now).unwrap();
+        assert!(
+            (claimed - 2.0 * truth).abs() < 1e-9,
+            "claim {claimed} must be twice the truth {truth}"
+        );
+        assert!(s.adversary_stats().heartbeats_misreported > 0);
     }
 
     #[test]

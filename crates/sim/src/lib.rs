@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod app;
 pub mod clock;
 pub mod engine;
 pub mod faults;
 
+pub use adversary::{AdversaryConfig, AdversaryInjector};
 pub use app::RunningApp;
 pub use clock::SimClock;
 pub use engine::{EsdCommand, ServerSim, StepReport};

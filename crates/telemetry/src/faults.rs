@@ -96,6 +96,75 @@ pub struct EstimationStats {
     /// Ladder escalations to safe mode (shaving did not stop the
     /// spikes).
     pub escalations: u64,
+    /// Per-app polls whose claimed heartbeat ratio hit the configured
+    /// clamp bound. A truthful app sits well inside the band, so every
+    /// bound hit is a sample the estimator could not take at face
+    /// value — the integrity layer seeds its trust scores from these.
+    pub clamp_bound_polls: u64,
+}
+
+/// Counters for injected adversarial-application behaviour (the
+/// strategic misreporting channels in `powermed-sim`'s adversary
+/// module). All zero when no adversary is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdversaryStats {
+    /// Heartbeat reports scaled away from the true rate (inflation or
+    /// deflation, including jittered reports).
+    pub heartbeats_misreported: u64,
+    /// Calibration probes answered with sandbagged (deliberately
+    /// pessimistic) throughput.
+    pub probes_sandbagged: u64,
+    /// Steps on which an acked knob setting was silently overridden
+    /// with a hotter operating point.
+    pub knobs_defied: u64,
+    /// Heartbeat reports modulated by the phase-spoofing square wave.
+    pub phases_spoofed: u64,
+}
+
+impl AdversaryStats {
+    /// Total number of misbehaviour events across every channel.
+    pub fn total_events(&self) -> u64 {
+        self.heartbeats_misreported
+            + self.probes_sandbagged
+            + self.knobs_defied
+            + self.phases_spoofed
+    }
+}
+
+/// Counters for the mediator's integrity defense (trust scoring,
+/// quarantine ladder and watt-debt clawback). All zero when the
+/// defense is off or every app behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrustStats {
+    /// Polls on which some app's claim failed a physics-plausibility
+    /// cross-check (claimed rate vs. the calibrated surface, residual
+    /// sign attribution, or a clamp-bound heartbeat).
+    pub implausible_polls: u64,
+    /// Trust-score downgrades (each journals a `TrustDowngrade`).
+    pub downgrades: u64,
+    /// Quarantine entries (each fires an E7 `IntegrityFault` and
+    /// clamps the app to its fair share).
+    pub quarantines: u64,
+    /// Probationary re-admissions (clean window elapsed, fresh probes
+    /// scheduled).
+    pub probations: u64,
+    /// Full re-admissions (probation completed cleanly).
+    pub readmissions: u64,
+    /// Polls on which watt debt was clawed back from a quarantined
+    /// app's clamp.
+    pub clawback_polls: u64,
+    /// Containment entries: a quarantined app kept overdrawing with
+    /// the clamp in force (knob non-compliance confirmed), so it was
+    /// suspended until its watt debt was repaid in idle time.
+    pub containments: u64,
+}
+
+impl TrustStats {
+    /// Total defense responses (downgrades and ladder transitions;
+    /// plausibility flags are evidence, not responses).
+    pub fn response_events(&self) -> u64 {
+        self.downgrades + self.quarantines + self.probations + self.readmissions
+    }
 }
 
 /// Counters for the cluster control plane: faults injected into the
@@ -204,6 +273,9 @@ mod tests {
         let e = EstimationStats::default();
         assert_eq!(e.estimates, 0);
         assert_eq!(e.fallback_engagements, 0);
+        assert_eq!(e.clamp_bound_polls, 0);
+        assert_eq!(AdversaryStats::default().total_events(), 0);
+        assert_eq!(TrustStats::default().response_events(), 0);
         let c = ClusterControlStats::default();
         assert_eq!(c.injected_events(), 0);
         assert_eq!(c.response_events(), 0);

@@ -237,6 +237,42 @@ pub enum ObsEvent {
     ManagerCrash,
     /// A standby manager took over from a checkpoint.
     ManagerTakeover,
+    /// An app's claimed heartbeat ratio hit the estimator's clamp
+    /// bound — mild evidence its self-reports disagree with physics.
+    HeartbeatClampBound {
+        /// The app whose claim was clamped.
+        app: String,
+        /// The raw (pre-clamp) claimed-over-expected heartbeat ratio.
+        ratio: f64,
+    },
+    /// The integrity layer lowered an app's trust score.
+    TrustDowngrade {
+        /// The downgraded app.
+        app: String,
+        /// The trust score after the downgrade, in `[0, 1]`.
+        score: f64,
+    },
+    /// E7: an app crossed the quarantine threshold and was clamped to
+    /// its fair share with profile-only estimation.
+    Quarantine {
+        /// The quarantined app.
+        app: String,
+        /// The dominant evidence stream (e.g. `"implausible heartbeat"`).
+        cause: String,
+    },
+    /// The watt-debt ledger clawed back overdrawn watts from an app's
+    /// allocation so honest apps are made whole.
+    Clawback {
+        /// The app repaying its debt.
+        app: String,
+        /// Watts withheld from the allocation this plan.
+        w: f64,
+    },
+    /// E7 surfaced through the accountant (one per quarantine episode).
+    IntegrityFault {
+        /// The offending app.
+        app: String,
+    },
 }
 
 impl ObsEvent {
@@ -271,6 +307,11 @@ impl ObsEvent {
             ObsEvent::NodeRestart { .. } => "node_restart",
             ObsEvent::ManagerCrash => "manager_crash",
             ObsEvent::ManagerTakeover => "manager_takeover",
+            ObsEvent::HeartbeatClampBound { .. } => "heartbeat_clamp_bound",
+            ObsEvent::TrustDowngrade { .. } => "trust_downgrade",
+            ObsEvent::Quarantine { .. } => "quarantine",
+            ObsEvent::Clawback { .. } => "clawback",
+            ObsEvent::IntegrityFault { .. } => "integrity_fault",
         }
     }
 
@@ -286,7 +327,12 @@ impl ObsEvent {
             | ObsEvent::KnobWrite { app, .. }
             | ObsEvent::ForceThrottle { app }
             | ObsEvent::StorePublish { app, .. }
-            | ObsEvent::StoreTombstone { app, .. } => Some(app),
+            | ObsEvent::StoreTombstone { app, .. }
+            | ObsEvent::HeartbeatClampBound { app, .. }
+            | ObsEvent::TrustDowngrade { app, .. }
+            | ObsEvent::Quarantine { app, .. }
+            | ObsEvent::Clawback { app, .. }
+            | ObsEvent::IntegrityFault { app } => Some(app),
             _ => None,
         }
     }
