@@ -6,6 +6,7 @@
 //! doctor --explain throttle [--app <name-or-1-based-index>] [--seed N]
 //! doctor --explain sensor-fault [--seed N]
 //! doctor --explain quarantine [--seed N]
+//! doctor --explain slo-miss [--seed N]
 //! ```
 //!
 //! `--explain throttle` walks the journal backward from the last
@@ -25,7 +26,13 @@
 //! backward from the last E7 quarantine to the trust downgrades that
 //! descended there and the clamp-bound heartbeat claims that armed
 //! them.
-use powermed_bench::experiments::{ext_adversary, ext_disagg, ext_faults, ext_obs};
+//!
+//! `--explain slo-miss` replays the tight heterogeneous traffic cell
+//! with the flight recorder on the starved throughput box and walks
+//! the journal backward from the last failed SLO window to the cap
+//! change and plan in force when it failed and the demand spikes that
+//! landed inside the window.
+use powermed_bench::experiments::{ext_adversary, ext_disagg, ext_faults, ext_obs, ext_traffic};
 use powermed_telemetry::journal::{EventRecord, ObsConfig, ObsEvent};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -54,9 +61,10 @@ fn main() {
         "throttle" => explain_throttle(&args, seed.unwrap_or(ext_faults::SEED)),
         "sensor-fault" => explain_sensor_fault(seed.unwrap_or(ext_disagg::SEED)),
         "quarantine" => explain_quarantine(seed.unwrap_or(ext_adversary::SEED)),
+        "slo-miss" => explain_slo_miss(seed.unwrap_or(ext_traffic::SEED)),
         other => {
             eprintln!(
-                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault, quarantine)"
+                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault, quarantine, slo-miss)"
             );
             std::process::exit(2);
         }
@@ -180,6 +188,69 @@ fn explain_sensor_fault(seed: u64) {
         }
         None => {
             eprintln!("doctor: no residual-spike -> fallback -> E6 chain found in the journal");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn explain_slo_miss(seed: u64) {
+    let scenario = ext_traffic::doctor_scenario(seed);
+    println!(
+        "doctor: replaying {:?} for {} s (seed {seed:#x}, mediated fleet, flight recorder on)",
+        scenario.label,
+        ext_traffic::DAY.value()
+    );
+    let run = ext_traffic::run_observed(&scenario, ext_traffic::DAY, ObsConfig::default());
+    let journal = run.obs.journal_snapshot();
+    let (retained, evicted, total) = run.obs.journal_counts();
+    println!(
+        "journal: {retained} records retained ({evicted} evicted of {total}); \
+         observed server {} of {}: fleet attainment {:.1}%, {} window(s) missed\n",
+        run.observed_server + 1,
+        ext_traffic::sku_mixes()[scenario.sku].specs.len(),
+        run.outcome.attainment * 100.0,
+        run.outcome.windows_missed,
+    );
+
+    match ext_traffic::explain_slo_miss(&journal) {
+        Some(ex) => {
+            println!(
+                "why did {} miss its SLO window? ({} spike(s), {} decision record(s))",
+                ex.verdict.event.app().unwrap_or("?"),
+                ex.spikes.len(),
+                ex.decisions.len()
+            );
+            for r in &ex.spikes {
+                print_record("  cause   ", r);
+            }
+            for r in &ex.decisions {
+                print_record("  decide  ", r);
+            }
+            print_record("  effect  ", &ex.verdict);
+            println!(
+                "\nverdict: the plan in force allotted the app {} W under a {} W cap; \
+                 {} demand spike(s) landed inside the window, and the window closed \
+                 below target at poll {}.",
+                ex.decisions
+                    .iter()
+                    .find_map(|r| match &r.event {
+                        ObsEvent::Allocation { watts, .. } => Some(format!("{watts:.1}")),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| "?".to_string()),
+                ex.decisions
+                    .iter()
+                    .find_map(|r| match &r.event {
+                        ObsEvent::CapChanged { cap_w } => Some(format!("{cap_w:.0}")),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| "?".to_string()),
+                ex.spikes.len(),
+                ex.verdict.poll
+            );
+        }
+        None => {
+            eprintln!("doctor: no spike -> plan -> missed-window chain found in the journal");
             std::process::exit(1);
         }
     }

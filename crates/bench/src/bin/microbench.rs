@@ -16,15 +16,22 @@
 //!   allocator work on every re-allocation event);
 //! * `disagg_solve_{8,32,128}apps` — one constrained least-squares
 //!   disaggregation solve (the estimated-power stack's per-poll
-//!   kernel) at three app counts.
+//!   kernel) at three app counts;
+//! * `traffic_gen_1day` — one full compressed day of open-loop arrival
+//!   generation for a two-app server (the per-step cost `ext_traffic`
+//!   pays on every simulated server);
+//! * `demand_agg_128apps` — one generate-and-serve step across 128
+//!   apps (the aggregation scaling bound for consolidated fleets).
 use criterion::Criterion;
-use powermed_bench::support::{json_object, HarnessDoc};
+use powermed_bench::support::{json_object, HarnessDoc, DT};
 use powermed_cf::als::{Completion, FitConfig};
 use powermed_cf::sampler::SparseSampler;
 use powermed_core::allocator::PowerAllocator;
 use powermed_core::measurement::AppMeasurement;
 use powermed_disagg::{solve_shares, AppPrior};
 use powermed_server::ServerSpec;
+use powermed_traffic::source::{TrafficConfig, TrafficSource};
+use powermed_units::Seconds;
 use powermed_units::Watts;
 use powermed_workloads::catalog;
 
@@ -83,6 +90,40 @@ fn main() {
             b.iter(|| solve_shares(total, &priors))
         });
     }
+
+    // One compressed traffic day of arrival generation for a two-app
+    // server: the fixed per-server cost every `ext_traffic` cell pays.
+    let two_apps = vec![("front".to_string(), 4000.0), ("batch".to_string(), 9000.0)];
+    let day_steps = (TrafficConfig::default().day.value() / DT.value()).round() as u64;
+    crit.bench_function("traffic_gen_1day", |b| {
+        b.iter(|| {
+            let mut source = TrafficSource::new(TrafficConfig::default(), &two_apps);
+            for step in 0..day_steps {
+                source.begin_step(Seconds::new(step as f64 * DT.value()), DT);
+            }
+            source.stats().requests
+        })
+    });
+
+    // One generate-and-serve step across 128 apps: how demand
+    // aggregation scales with consolidation.
+    let many_apps: Vec<(String, f64)> = (0..128)
+        .map(|i| (format!("svc{i:03}"), 2000.0 + 50.0 * i as f64))
+        .collect();
+    let mut wide = TrafficSource::new(TrafficConfig::default(), &many_apps);
+    let mut step = 0u64;
+    crit.bench_function("demand_agg_128apps", |b| {
+        b.iter(|| {
+            step += 1;
+            let now = Seconds::new(step as f64 * DT.value());
+            wide.begin_step(now, DT);
+            let mut served = 0.0;
+            for (name, capacity) in &many_apps {
+                served += wide.serve(name, capacity * DT.value(), now);
+            }
+            served
+        })
+    });
 
     let fields: Vec<(String, String)> = crit
         .results()

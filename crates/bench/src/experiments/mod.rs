@@ -9,6 +9,7 @@ pub mod ext_faults;
 pub mod ext_latency;
 pub mod ext_napp;
 pub mod ext_obs;
+pub mod ext_traffic;
 pub mod ext_warmstart;
 pub mod fig10;
 pub mod fig11;

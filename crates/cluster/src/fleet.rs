@@ -114,10 +114,35 @@ pub fn build_fleet(
     with_battery: bool,
     initial_cap: Watts,
 ) -> Fleet {
+    let specs = vec![spec.clone(); mixes.len()];
+    build_fleet_skus(&specs, mixes, kind, with_battery, initial_cap)
+}
+
+/// SKU-aware fleet construction: server `i` is a `specs[i]` hosting
+/// `mixes[i]`. Uncapped solo rates are per-SKU — the same app has a
+/// different roofline on an edge box than on a throughput box, and
+/// every normalized report divides by the rate of the server actually
+/// hosting it.
+///
+/// # Panics
+///
+/// Panics unless `specs` and `mixes` have equal length.
+pub fn build_fleet_skus(
+    specs: &[ServerSpec],
+    mixes: &[Mix],
+    kind: PolicyKind,
+    with_battery: bool,
+    initial_cap: Watts,
+) -> Fleet {
+    assert_eq!(
+        specs.len(),
+        mixes.len(),
+        "one spec per server, one mix per server"
+    );
     let mut sims = Vec::with_capacity(mixes.len());
     let mut mediators = Vec::with_capacity(mixes.len());
     let mut rates = Vec::with_capacity(mixes.len());
-    for mix in mixes {
+    for (spec, mix) in specs.iter().zip(mixes) {
         let (sim, mediator) = build_server(spec, mix, kind, with_battery, initial_cap);
         sims.push(sim);
         mediators.push(mediator);

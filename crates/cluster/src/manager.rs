@@ -176,9 +176,30 @@ impl ClusterManager {
     }
 
     /// Candidate per-server caps: 50 W (parked at idle) through 115 W in
-    /// 5 W steps.
+    /// 5 W steps — the ladder for the paper's homogeneous Xeon fleet.
     pub fn candidate_caps() -> impl Iterator<Item = Watts> {
         (0..=13).map(|i| Watts::new(50.0 + 5.0 * i as f64))
+    }
+
+    /// Candidate caps for an arbitrary SKU: from its idle power
+    /// (rounded up to the 5 W grid — parked) through its rated power
+    /// (rounded down) in 5 W steps. For the Xeon this reproduces
+    /// [`Self::candidate_caps`] exactly; an edge SKU gets a short cheap
+    /// ladder, a throughput SKU a long expensive one.
+    pub fn candidate_caps_for(spec: &ServerSpec) -> Vec<Watts> {
+        const STEP: f64 = 5.0;
+        let floor = (spec.idle_power().value() / STEP).ceil() * STEP;
+        let ceiling = (spec.rated_power().value() / STEP).floor() * STEP;
+        let levels = ((ceiling - floor) / STEP).max(0.0) as usize;
+        (0..=levels)
+            .map(|i| Watts::new(floor + STEP * i as f64))
+            .collect()
+    }
+
+    /// The parked floor of a SKU: its idle power on the 5 W grid (the
+    /// first rung of [`Self::candidate_caps_for`]).
+    pub fn cap_floor_for(spec: &ServerSpec) -> Watts {
+        Watts::new((spec.idle_power().value() / 5.0).ceil() * 5.0)
     }
 
     /// Exact DP split of `total` across servers, maximizing the sum of
@@ -188,6 +209,25 @@ impl ClusterManager {
     /// sum above `total` (such a cap is physically unenforceable by
     /// power management, mirroring the per-server floor semantics).
     pub fn apportion_cluster(curves: &[Vec<(Watts, f64)>], total: Watts) -> Vec<Watts> {
+        let floors = vec![Watts::new(50.0); curves.len()];
+        Self::apportion_cluster_with_floors(curves, total, &floors)
+    }
+
+    /// SKU-aware apportionment: like [`Self::apportion_cluster`], but
+    /// server `i` falls back to its own `floors[i]` (its parked idle
+    /// power) instead of the homogeneous 50 W when the budget cannot
+    /// cover the fleet. Pair it with per-SKU value curves from
+    /// [`Self::candidate_caps_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floors` and `curves` have equal length.
+    pub fn apportion_cluster_with_floors(
+        curves: &[Vec<(Watts, f64)>],
+        total: Watts,
+        floors: &[Watts],
+    ) -> Vec<Watts> {
+        assert_eq!(curves.len(), floors.len(), "one floor per server");
         const STEP: f64 = 5.0;
         let levels = (total.value() / STEP).floor().max(0.0) as usize;
         let mut best = vec![0.0f64; levels + 1];
@@ -217,21 +257,21 @@ impl ClusterManager {
         // When even the per-server floors cannot fit (best is -inf at
         // the root), fall back to the floor for everyone.
         if !best[levels].is_finite() {
-            return vec![Watts::new(50.0); curves.len()];
+            return floors.to_vec();
         }
-        let mut caps = vec![Watts::new(50.0); curves.len()];
+        let mut caps = floors.to_vec();
         let mut b = levels;
         for i in (0..curves.len()).rev() {
             let Some(ci) = keep[i][b] else {
                 // A finite root guarantees a recorded choice at every
                 // backtrack cell; guard anyway (NaN curve values can
                 // break the invariant) and keep the floor fallback.
-                return vec![Watts::new(50.0); curves.len()];
+                return floors.to_vec();
             };
             caps[i] = curves[i][ci].0;
             let need = (caps[i].value() / STEP).ceil() as usize;
             let Some(rest) = b.checked_sub(need) else {
-                return vec![Watts::new(50.0); curves.len()];
+                return floors.to_vec();
             };
             b = rest;
         }
@@ -463,6 +503,55 @@ mod tests {
         let curves = vec![bad.clone(), bad];
         let caps = ClusterManager::apportion_cluster(&curves, Watts::new(200.0));
         assert_eq!(caps, vec![Watts::new(50.0); 2]);
+    }
+
+    #[test]
+    fn candidate_caps_for_matches_the_xeon_ladder() {
+        let xeon: Vec<Watts> = ClusterManager::candidate_caps().collect();
+        let derived = ClusterManager::candidate_caps_for(&ServerSpec::xeon_e5_2620());
+        assert_eq!(derived.first(), xeon.first());
+        // The derived ladder extends to rated power (120 W for the
+        // Xeon); the classic ladder stops at 115 W within it.
+        assert!(derived.len() >= xeon.len());
+        assert!(xeon.iter().all(|c| derived.contains(c)));
+
+        let edge = ClusterManager::candidate_caps_for(&ServerSpec::edge_low_idle());
+        let big = ClusterManager::candidate_caps_for(&ServerSpec::throughput_highdyn());
+        assert_eq!(edge.first(), Some(&Watts::new(25.0)));
+        assert_eq!(big.first(), Some(&Watts::new(55.0)));
+        assert!(edge.last().unwrap() < big.last().unwrap());
+        assert!(edge.len() < big.len(), "edge ladder should be shorter");
+    }
+
+    #[test]
+    fn heterogeneous_floors_back_the_dp_fallback() {
+        let specs = [
+            ServerSpec::edge_low_idle(),
+            ServerSpec::throughput_highdyn(),
+        ];
+        let floors: Vec<Watts> = specs.iter().map(ClusterManager::cap_floor_for).collect();
+        let curves: Vec<Vec<(Watts, f64)>> = specs
+            .iter()
+            .map(|s| {
+                ClusterManager::candidate_caps_for(s)
+                    .into_iter()
+                    .map(|c| (c, c.value()))
+                    .collect()
+            })
+            .collect();
+        // Budget below the aggregate floor (25 + 55): per-SKU floors
+        // come back, not the homogeneous 50 W.
+        let caps =
+            ClusterManager::apportion_cluster_with_floors(&curves, Watts::new(70.0), &floors);
+        assert_eq!(caps, floors);
+        // A workable budget splits on the 5 W grid, respects the total,
+        // and gives the throughput SKU (better value at equal watts
+        // here, and a taller ladder) at least its floor.
+        let caps =
+            ClusterManager::apportion_cluster_with_floors(&curves, Watts::new(180.0), &floors);
+        let total: f64 = caps.iter().map(|c| c.value()).sum();
+        assert!(total <= 180.0 + 1e-9, "{caps:?}");
+        assert!(caps[0] >= floors[0] && caps[1] >= floors[1], "{caps:?}");
     }
 
     #[test]

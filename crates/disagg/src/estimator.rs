@@ -70,6 +70,13 @@ pub struct EstimatorConfig {
     pub hb_ratio_min: f64,
     /// Upper bound on the claimed-over-expected heartbeat ratio.
     pub hb_ratio_max: f64,
+    /// Learn the static floor online from idle-period meter readings
+    /// (EWMA) instead of trusting the spec-declared value. Off by
+    /// default: estimates are bit-identical to the spec-floor path.
+    pub learn_static_floor: bool,
+    /// EWMA smoothing factor for the learned floor (weight of a fresh
+    /// idle sample; the first idle sample seeds the estimate directly).
+    pub floor_ewma_alpha: f64,
 }
 
 impl Default for EstimatorConfig {
@@ -88,6 +95,8 @@ impl Default for EstimatorConfig {
             release_patience: 20,
             hb_ratio_min: 0.5,
             hb_ratio_max: 1.5,
+            learn_static_floor: false,
+            floor_ewma_alpha: 0.05,
         }
     }
 }
@@ -148,6 +157,8 @@ pub struct PowerEstimator {
     clean_polls: u32,
     fallback_engaged: bool,
     escalated: bool,
+    /// EWMA of idle-period meter readings when floor learning is on.
+    learned_floor_w: Option<f64>,
 }
 
 impl PowerEstimator {
@@ -161,7 +172,14 @@ impl PowerEstimator {
             clean_polls: 0,
             fallback_engaged: false,
             escalated: false,
+            learned_floor_w: None,
         }
+    }
+
+    /// The online floor estimate, once at least one idle-period sample
+    /// has been folded in (`None` before that, or with learning off).
+    pub fn learned_floor_w(&self) -> Option<f64> {
+        self.learned_floor_w
     }
 
     /// The active configuration.
@@ -195,6 +213,27 @@ impl PowerEstimator {
         esd_discharge_w: f64,
         priors: &[AppPrior],
     ) -> EstimatedBreakdown {
+        // Online floor learning: an idle poll — every hosted app
+        // predicted at 0 W (suspended, completed, or nothing hosted) —
+        // gives the meter a direct reading of the static floor. Fold
+        // fresh idle samples into an EWMA and substitute the learned
+        // value for the spec-declared floor once one exists, so a
+        // mis-specified spec stops biasing every share estimate.
+        let static_floor_w = if self.config.learn_static_floor {
+            if let Some(v) = observed_net_w {
+                if priors.iter().all(|p| p.predicted_w == 0.0) {
+                    let idle_sample = v - esd_charge_w + esd_discharge_w;
+                    let alpha = self.config.floor_ewma_alpha.clamp(0.0, 1.0);
+                    self.learned_floor_w = Some(match self.learned_floor_w {
+                        Some(f) => f + alpha * (idle_sample - f),
+                        None => idle_sample,
+                    });
+                }
+            }
+            self.learned_floor_w.unwrap_or(static_floor_w)
+        } else {
+            static_floor_w
+        };
         let prior_sum: f64 = priors.iter().map(|p| p.predicted_w).sum();
         let predicted_net = static_floor_w + prior_sum + esd_charge_w - esd_discharge_w;
         let (sample, held) = match observed_net_w {
@@ -320,6 +359,61 @@ mod tests {
 
     fn reference_priors() -> Vec<AppPrior> {
         vec![prior("stream", 20.0, 1.0), prior("kmeans", 15.0, 1.0)]
+    }
+
+    #[test]
+    fn mis_specified_floor_converges_when_learning_is_on() {
+        let mut e = PowerEstimator::new(EstimatorConfig {
+            learn_static_floor: true,
+            ..EstimatorConfig::default()
+        });
+        // The spec claims a 70 W floor; the server actually idles at
+        // 78 W. Idle polls (zero-predicted priors) teach the estimator.
+        let idle = vec![prior("stream", 0.0, 0.5), prior("kmeans", 0.0, 0.5)];
+        for _ in 0..120 {
+            e.estimate(Some(78.0), 70.0, 0.0, 0.0, &idle);
+        }
+        let learned = e.learned_floor_w().expect("floor learned after idle polls");
+        assert!((learned - 78.0).abs() < 0.5, "learned {learned}, true 78");
+        // An active poll now nets dynamic draw off the *learned* floor:
+        // meter 113 − learned 78 = 35 W of dynamic, unbiased residual.
+        let eb = e.estimate(Some(113.0), 70.0, 0.0, 0.0, &reference_priors());
+        assert!(
+            (eb.dynamic_total_w - 35.0).abs() < 0.5,
+            "dynamic {} should net off the learned floor",
+            eb.dynamic_total_w
+        );
+        assert!(eb.residual_w.abs() < 0.5, "residual {}", eb.residual_w);
+    }
+
+    #[test]
+    fn floor_learning_ignores_dropouts_and_busy_polls() {
+        let mut e = PowerEstimator::new(EstimatorConfig {
+            learn_static_floor: true,
+            ..EstimatorConfig::default()
+        });
+        // Busy polls and dropouts must not teach the floor.
+        e.estimate(Some(105.0), 70.0, 0.0, 0.0, &reference_priors());
+        e.estimate(None, 70.0, 0.0, 0.0, &[]);
+        assert_eq!(e.learned_floor_w(), None);
+        // ESD flows are netted out of the idle sample.
+        e.estimate(Some(80.0), 70.0, 5.0, 0.0, &[]);
+        assert_eq!(e.learned_floor_w(), Some(75.0));
+    }
+
+    #[test]
+    fn floor_learning_off_is_bit_identical() {
+        let mut learn_off = PowerEstimator::new(EstimatorConfig::default());
+        let mut explicit = PowerEstimator::new(EstimatorConfig {
+            learn_static_floor: false,
+            ..EstimatorConfig::default()
+        });
+        for sample in [Some(105.0), None, Some(78.0), Some(112.0)] {
+            let a = learn_off.estimate(sample, 70.0, 0.0, 0.0, &reference_priors());
+            let b = explicit.estimate(sample, 70.0, 0.0, 0.0, &reference_priors());
+            assert_eq!(a, b);
+        }
+        assert_eq!(learn_off.learned_floor_w(), None);
     }
 
     #[test]

@@ -71,6 +71,52 @@ impl ServerSpec {
         }
     }
 
+    /// An edge/micro-server SKU: one low-power socket pair, a narrow
+    /// 1.0–1.6 GHz ladder and a very low static floor. Its rated power
+    /// (~67 W) is barely half the Xeon's, but so is its dynamic range —
+    /// the cap ladder a manager can usefully assign it is short, which
+    /// is exactly what makes SKU-aware apportionment matter.
+    pub fn edge_low_idle() -> Self {
+        Self {
+            topology: Topology::new(2, 4, 2),
+            ladder: FrequencyLadder::new(Gigahertz::new(1.0), Gigahertz::new(1.6), 5)
+                .expect("edge ladder is valid"),
+            idle_power: Watts::new(25.0),
+            chip_maintenance_power: Watts::new(10.0),
+            // Same process/core family as the Xeon, binned lower.
+            core_power: CorePowerModel::xeon_e5_2620(),
+            dram_power: DramPowerModel::ddr3_dimm(),
+            max_app_cores: 4,
+            dram_limit_min: Watts::new(3.0),
+            dram_limit_max: Watts::new(8.0),
+        }
+    }
+
+    /// A throughput SKU: many cores, a tall 1.2–2.6 GHz ladder, and a
+    /// steeper cubic frequency-power term. Most of its rated power
+    /// (~191 W) is *dynamic*, so budget placed here converts to
+    /// throughput far better than on the Xeon — but only while the cap
+    /// leaves headroom above its 80 W static floor.
+    pub fn throughput_highdyn() -> Self {
+        Self {
+            topology: Topology::new(2, 8, 2),
+            ladder: FrequencyLadder::new(Gigahertz::new(1.2), Gigahertz::new(2.6), 8)
+                .expect("throughput ladder is valid"),
+            idle_power: Watts::new(55.0),
+            chip_maintenance_power: Watts::new(25.0),
+            core_power: CorePowerModel::new(
+                Watts::new(0.05),
+                1.1,
+                0.16,
+                powermed_units::Ratio::new(0.4),
+            ),
+            dram_power: DramPowerModel::ddr3_dimm(),
+            max_app_cores: 8,
+            dram_limit_min: Watts::new(3.0),
+            dram_limit_max: Watts::new(10.0),
+        }
+    }
+
     /// Builder-style override of the idle power.
     pub fn with_idle_power(mut self, idle: Watts) -> Self {
         self.idle_power = idle;
@@ -196,6 +242,28 @@ mod tests {
         assert_eq!(spec.ladder().steps(), 9);
         assert_eq!(spec.dram_levels(), 8);
         assert_eq!(spec.max_app_cores(), 6);
+    }
+
+    #[test]
+    fn sku_catalog_spans_the_fleet_design_space() {
+        let edge = ServerSpec::edge_low_idle();
+        let xeon = ServerSpec::xeon_e5_2620();
+        let big = ServerSpec::throughput_highdyn();
+        // Static floors and rated powers are strictly ordered.
+        assert!(edge.idle_power() < xeon.idle_power());
+        assert!(xeon.idle_power() < big.idle_power());
+        assert!(edge.rated_power() < xeon.rated_power());
+        assert!(xeon.rated_power() < big.rated_power());
+        // The throughput SKU is dynamic-dominated; the edge SKU's
+        // dynamic range is the narrowest in absolute terms.
+        assert!(big.max_dynamic_power().value() / big.rated_power().value() > 0.5);
+        assert!(edge.max_dynamic_power() < xeon.max_dynamic_power());
+        // Ladder shapes differ, and every SKU yields a usable grid.
+        assert!(edge.ladder().max_frequency() < xeon.ladder().max_frequency());
+        assert!(big.ladder().max_frequency() > xeon.ladder().max_frequency());
+        for spec in [&edge, &xeon, &big] {
+            assert!(!spec.knob_grid().is_empty(), "empty knob grid");
+        }
     }
 
     #[test]

@@ -107,6 +107,44 @@ impl RunningApp {
         op.demand
     }
 
+    /// Advances the app by `dt` of running time at an already-evaluated
+    /// operating point, crediting only `utilization` of its full-rate
+    /// output — the request-driven path, where the traffic source
+    /// decides how much of the roofline capacity was actually consumed.
+    /// Heartbeats track *served* throughput and the hardware demand
+    /// scales the same way: an app waiting for requests stalls its
+    /// cores and leaves its DIMM idle.
+    pub fn step_served(
+        &mut self,
+        op: &OperatingPoint,
+        utilization: f64,
+        now: Seconds,
+        dt: Seconds,
+    ) -> AppDemand {
+        if self.completed {
+            return AppDemand {
+                core_busy: powermed_units::Ratio::ZERO,
+                mem_bandwidth: powermed_units::BytesPerSec::ZERO,
+            };
+        }
+        let utilization = utilization.clamp(0.0, 1.0);
+        let mut ops = op.throughput * dt.value() * utilization;
+        if let Some(total) = self.profile.total_ops() {
+            let remaining = (total - self.ops_done).max(0.0);
+            if ops >= remaining {
+                ops = remaining;
+                self.completed = true;
+            }
+        }
+        self.ops_done += ops;
+        self.active_time += dt;
+        self.heartbeats.record(now, ops);
+        AppDemand {
+            core_busy: op.demand.core_busy * utilization,
+            mem_bandwidth: op.demand.mem_bandwidth * utilization,
+        }
+    }
+
     /// Registers a suspended step: time passes, no progress, no demand.
     pub fn step_suspended(&mut self, now: Seconds) {
         // Record an explicit zero-beat so rate windows decay naturally.

@@ -6,10 +6,11 @@ use powermed_esd::{DegradedEsd, EnergyStorage};
 use powermed_server::server::{AppDemand, AppRunState, PowerBreakdown};
 use powermed_server::{KnobSetting, Server, ServerError, ServerSpec};
 use powermed_telemetry::faults::{AdversaryStats, FaultStats};
-use powermed_telemetry::journal::Obs;
+use powermed_telemetry::journal::{Obs, ObsEvent};
 use powermed_telemetry::meter::PowerMeter;
 use powermed_telemetry::metrics::prom_label;
 use powermed_telemetry::recorder::TraceRecorder;
+use powermed_traffic::source::{TrafficConfig, TrafficEvent, TrafficSource};
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::profile::AppProfile;
 
@@ -85,6 +86,10 @@ pub struct ServerSim {
     /// Flight-recorder handle; `None` (the default) keeps every
     /// emission site a skipped branch.
     obs: Option<Obs>,
+    /// Request-driven offered load; `None` (the default) keeps apps on
+    /// the scripted always-saturated path, byte-identical to before the
+    /// subsystem existed.
+    traffic: Option<TrafficSource>,
 }
 
 impl ServerSim {
@@ -104,7 +109,36 @@ impl ServerSim {
             faults: None,
             adversary: None,
             obs: None,
+            traffic: None,
         }
+    }
+
+    /// Attaches an open-loop request source driving the hosted apps.
+    ///
+    /// Apps are registered in name order (the popularity ranking: first
+    /// name = Zipf rank 1) with their phase-0 uncapped throughput as
+    /// service capacity. From the next step on, each running app serves
+    /// its request queue at its operating point's roofline rate instead
+    /// of executing unconditionally; utilization, power demand and
+    /// heartbeats all track *served* work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no apps are hosted yet (the source needs the app list
+    /// to place popularity and calibrate request cost).
+    pub fn attach_traffic(&mut self, config: TrafficConfig) {
+        let spec = self.server.spec();
+        let apps: Vec<(String, f64)> = self
+            .apps
+            .iter()
+            .map(|(name, app)| (name.clone(), app.profile().uncapped(spec).throughput))
+            .collect();
+        self.traffic = Some(TrafficSource::new(config, &apps));
+    }
+
+    /// The attached traffic source, if any.
+    pub fn traffic(&self) -> Option<&TrafficSource> {
+        self.traffic.as_ref()
     }
 
     /// Attaches a flight-recorder observability handle. The handle is
@@ -396,6 +430,12 @@ impl ServerSim {
             }
         }
 
+        // Draw this step's request arrivals (and close any SLO windows
+        // that ended) before apps get to serve them.
+        if let Some(t) = self.traffic.as_mut() {
+            t.begin_step(now, dt);
+        }
+
         // 1. Applications run (or idle) at their assigned knobs. The
         //    spec is borrowed, not cloned: `apps` and `server` are
         //    disjoint fields, and the borrow ends before the
@@ -425,7 +465,25 @@ impl ServerSim {
             match assignment.run_state() {
                 AppRunState::Running => {
                     let was_done = app.completed();
-                    let demand = app.step(spec, knob, now, dt);
+                    let demand = match self.traffic.as_mut() {
+                        // Request-driven: the app serves its queue at
+                        // the operating point's roofline rate;
+                        // utilization (and therefore power demand and
+                        // heartbeats) tracks served work.
+                        Some(traffic) => {
+                            let op = app.operating_point(spec, knob);
+                            let capacity_ops = op.throughput * dt.value();
+                            let served = traffic.serve(name, capacity_ops, now);
+                            let utilization = if capacity_ops > 0.0 {
+                                served / capacity_ops
+                            } else {
+                                0.0
+                            };
+                            app.step_served(&op, utilization, now, dt)
+                        }
+                        // Scripted: the app executes unconditionally.
+                        None => app.step(spec, knob, now, dt),
+                    };
                     demands.insert(name.clone(), demand);
                     if !was_done && app.completed() {
                         completed.push(name.clone());
@@ -526,6 +584,41 @@ impl ServerSim {
             }
             self.recorder
                 .push("faults_total", now, f.stats().total_events() as f64);
+        }
+        // Traffic-only series and events: nothing is recorded or
+        // emitted when no source is attached, keeping scripted traces
+        // bit-identical to before.
+        if let Some(t) = self.traffic.as_mut() {
+            let stats = t.stats();
+            self.recorder.push(
+                "traffic_backlog_ops",
+                now,
+                stats.offered_ops - stats.served_ops,
+            );
+            self.recorder
+                .push("traffic_attainment", now, stats.attainment());
+            let events = t.take_events();
+            if let Some(obs) = self.obs.as_ref() {
+                for event in events {
+                    obs.emit(
+                        now,
+                        match event {
+                            TrafficEvent::DemandSpike { app, ratio } => {
+                                ObsEvent::DemandSpike { app, ratio }
+                            }
+                            TrafficEvent::SloWindow {
+                                app,
+                                attainment,
+                                ok,
+                            } => ObsEvent::SloWindow {
+                                app,
+                                attainment,
+                                ok,
+                            },
+                        },
+                    );
+                }
+            }
         }
         if let Some(obs) = self.obs.as_ref() {
             obs.inc("sim_steps_total");
@@ -980,6 +1073,75 @@ mod tests {
         assert!(s.remove("kmeans").is_err());
         // A third app can now fit.
         s.host(catalog::bfs(), knob).unwrap();
+    }
+
+    #[test]
+    fn traffic_driven_apps_track_served_load() {
+        let knob = KnobSetting::max_for(&ServerSpec::xeon_e5_2620());
+        // Scripted twin: always saturated.
+        let mut scripted = sim();
+        scripted.host(catalog::kmeans(), knob).unwrap();
+        scripted.host(catalog::stream(), knob).unwrap();
+        // Request-driven twin at modest offered load, no bursts.
+        let mut driven = sim();
+        driven.host(catalog::kmeans(), knob).unwrap();
+        driven.host(catalog::stream(), knob).unwrap();
+        driven.attach_traffic(TrafficConfig {
+            target_utilization: 0.4,
+            flash_crowds: 0,
+            ..TrafficConfig::default()
+        });
+
+        let mut scripted_gross = 0.0;
+        let mut driven_gross = 0.0;
+        for _ in 0..100 {
+            scripted_gross += scripted.step(DT).gross_power.value();
+            driven_gross += driven.step(DT).gross_power.value();
+        }
+        // Partially utilized apps make less progress and draw less
+        // power than saturated ones.
+        assert!(driven.ops_done("kmeans") > 0.0);
+        assert!(driven.ops_done("kmeans") < scripted.ops_done("kmeans"));
+        assert!(
+            driven_gross < scripted_gross,
+            "{driven_gross} vs {scripted_gross}"
+        );
+        let stats = driven.traffic().unwrap().stats();
+        assert!(stats.completions > 0, "no requests completed");
+        // Traffic-only series exist on the driven sim and not the
+        // scripted one (zero-cost-off).
+        assert!(driven.recorder().series("traffic_attainment").is_some());
+        assert!(scripted.recorder().series("traffic_attainment").is_none());
+    }
+
+    #[test]
+    fn traffic_events_reach_the_journal() {
+        let knob = KnobSetting::max_for(&ServerSpec::xeon_e5_2620());
+        let mut s = sim();
+        let obs = Obs::new(powermed_telemetry::journal::ObsConfig::default());
+        s.set_observability(obs.clone());
+        s.host(catalog::kmeans(), knob).unwrap();
+        s.attach_traffic(TrafficConfig {
+            flash_magnitude: 8.0,
+            flash_crowds: 3,
+            ..TrafficConfig::default()
+        });
+        for _ in 0..864 {
+            s.step(DT);
+        }
+        let journal = obs.journal_snapshot();
+        assert!(
+            journal
+                .iter()
+                .any(|r| matches!(r.event, ObsEvent::SloWindow { .. })),
+            "no SLO window verdicts in the journal"
+        );
+        assert!(
+            journal
+                .iter()
+                .any(|r| matches!(r.event, ObsEvent::DemandSpike { .. })),
+            "no demand spikes in the journal"
+        );
     }
 }
 

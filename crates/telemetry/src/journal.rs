@@ -273,6 +273,24 @@ pub enum ObsEvent {
         /// The offending app.
         app: String,
     },
+    /// The traffic source's offered load jumped to a multiple of its
+    /// diurnal baseline (a flash crowd; edge-triggered per burst).
+    DemandSpike {
+        /// The app whose offered load spiked.
+        app: String,
+        /// Offered-over-baseline rate multiplier at burst onset.
+        ratio: f64,
+    },
+    /// An SLO accounting window closed with this verdict.
+    SloWindow {
+        /// The app the window scored.
+        app: String,
+        /// Fraction of the window's completed requests that met the
+        /// latency budget.
+        attainment: f64,
+        /// Whether attainment met the configured target.
+        ok: bool,
+    },
 }
 
 impl ObsEvent {
@@ -312,6 +330,8 @@ impl ObsEvent {
             ObsEvent::Quarantine { .. } => "quarantine",
             ObsEvent::Clawback { .. } => "clawback",
             ObsEvent::IntegrityFault { .. } => "integrity_fault",
+            ObsEvent::DemandSpike { .. } => "demand_spike",
+            ObsEvent::SloWindow { .. } => "slo_window",
         }
     }
 
@@ -332,7 +352,9 @@ impl ObsEvent {
             | ObsEvent::TrustDowngrade { app, .. }
             | ObsEvent::Quarantine { app, .. }
             | ObsEvent::Clawback { app, .. }
-            | ObsEvent::IntegrityFault { app } => Some(app),
+            | ObsEvent::IntegrityFault { app }
+            | ObsEvent::DemandSpike { app, .. }
+            | ObsEvent::SloWindow { app, .. } => Some(app),
             _ => None,
         }
     }
