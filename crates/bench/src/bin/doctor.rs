@@ -32,7 +32,19 @@
 //! the journal backward from the last failed SLO window to the cap
 //! change and plan in force when it failed and the demand spikes that
 //! landed inside the window.
-use powermed_bench::experiments::{ext_adversary, ext_disagg, ext_faults, ext_obs, ext_traffic};
+//!
+//! Two targets are **cross-server**: they replay a whole fleet with
+//! every server shipping its journal over the control plane, and walk
+//! the manager's *merged* timeline instead of a single journal.
+//! `--explain breaker-trip` runs the naive fleet on the churn+lossy
+//! reference and chains per-server overdraws → uplinked telemetry →
+//! breaker arm → fleet clamp; `--explain fallback-cap` runs the
+//! resilient fleet with server 2 partitioned and chains missed
+//! downlinks → fallback engage → decay steps → rejoin release.
+use powermed_bench::experiments::{
+    ext_adversary, ext_cluster_faults, ext_disagg, ext_faults, ext_obs, ext_traffic,
+};
+use powermed_cluster::control::FleetObsOptions;
 use powermed_telemetry::journal::{EventRecord, ObsConfig, ObsEvent};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -62,13 +74,19 @@ fn main() {
         "sensor-fault" => explain_sensor_fault(seed.unwrap_or(ext_disagg::SEED)),
         "quarantine" => explain_quarantine(seed.unwrap_or(ext_adversary::SEED)),
         "slo-miss" => explain_slo_miss(seed.unwrap_or(ext_traffic::SEED)),
+        "breaker-trip" => explain_breaker_trip(seed.unwrap_or(ext_cluster_faults::SEED)),
+        "fallback-cap" => explain_fallback_cap(seed.unwrap_or(ext_cluster_faults::SEED)),
         other => {
             eprintln!(
-                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault, quarantine, slo-miss)"
+                "doctor: unknown --explain target {other:?} (supported: throttle, sensor-fault, quarantine, slo-miss, breaker-trip, fallback-cap)"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn print_fleet_record(prefix: &str, r: &powermed_telemetry::journal::FleetRecord) {
+    println!("{prefix}{}", ext_obs::fmt_fleet_record(r));
 }
 
 fn explain_throttle(args: &[String], seed: u64) {
@@ -311,6 +329,167 @@ fn explain_quarantine(seed: u64) {
         None => {
             eprintln!(
                 "doctor: no clamp-bound -> downgrade -> quarantine chain found in the journal"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn explain_breaker_trip(seed: u64) {
+    println!(
+        "doctor: replaying the naive fleet on \"reference: churn + lossy\" for {} s \
+         (seed {seed:#x}, {} servers, journals shipped over the control plane)",
+        ext_cluster_faults::DURATION.value(),
+        ext_cluster_faults::SERVERS
+    );
+    let report = ext_obs::run_fleet_observed(
+        &ext_obs::fleet_scenario(seed),
+        false,
+        ext_cluster_faults::SERVERS,
+        ext_cluster_faults::DURATION,
+        &FleetObsOptions::default(),
+    );
+    let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+    println!(
+        "fleet timeline: {} records merged from {} journals ({} digest bytes shipped, \
+         {} dedup, {} gaps); {} breaker trip(s)\n",
+        fleet.timeline.len(),
+        1 + fleet.server_obs.len(),
+        fleet.digest_bytes_total,
+        fleet.timeline.dedup_total(),
+        fleet.digest_gaps,
+        report.stats.breaker_trips,
+    );
+
+    match ext_obs::explain_breaker_trip(&fleet.timeline) {
+        Some(ex) => {
+            println!(
+                "why did the facility breaker trip? (servers {:?} overdrew their intended \
+                 shares; {} arming steps, {} overdraw attributions, {} uplinks, {} shipped \
+                 polls)",
+                ex.servers,
+                ex.armed.len(),
+                ex.overdraws.len(),
+                ex.uplinks.len(),
+                ex.polls.len()
+            );
+            for r in ex.polls.iter().take(4) {
+                print_fleet_record("  cause   ", r);
+            }
+            if ex.polls.len() > 4 {
+                println!("  …       {} more shipped poll(s)", ex.polls.len() - 4);
+            }
+            for r in ex.uplinks.iter().take(2) {
+                print_fleet_record("  cause   ", r);
+            }
+            for r in &ex.overdraws {
+                print_fleet_record("  cause   ", r);
+            }
+            for r in &ex.armed {
+                print_fleet_record("  decide  ", r);
+            }
+            print_fleet_record("  effect  ", &ex.trip);
+            for r in ex.clamps.iter().take(3) {
+                print_fleet_record("  effect  ", r);
+            }
+            if ex.clamps.len() > 3 {
+                println!("  …       {} more clamp(s)", ex.clamps.len() - 3);
+            }
+            if let Some(r) = &ex.release {
+                print_fleet_record("  release ", r);
+            }
+            println!(
+                "\nverdict: server(s) {:?} reported draws above the shares the manager \
+                 intended (stale caps on a lossy plane); their uplinked telemetry armed \
+                 the breaker over {} consecutive over-budget step(s), and the trip \
+                 clamped {} server(s) to the floor.",
+                ex.servers,
+                ex.armed.len(),
+                ex.clamps.len()
+            );
+        }
+        None => {
+            eprintln!(
+                "doctor: no overdraw -> uplink -> breaker-arm -> clamp chain found in \
+                 the fleet timeline"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn explain_fallback_cap(seed: u64) {
+    println!(
+        "doctor: replaying the resilient fleet on the lossy plane with server 2 \
+         partitioned 60-180 s, for {} s (seed {seed:#x}, {} servers, journals shipped \
+         over the control plane)",
+        ext_cluster_faults::DURATION.value(),
+        ext_cluster_faults::SERVERS
+    );
+    let report = ext_obs::run_fleet_observed(
+        &ext_obs::fleet_doctor_scenario(seed),
+        true,
+        ext_cluster_faults::SERVERS,
+        ext_cluster_faults::DURATION,
+        &FleetObsOptions::default(),
+    );
+    let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+    println!(
+        "fleet timeline: {} records merged from {} journals ({} digest bytes shipped, \
+         {} dedup, {} gaps); {} fallback engagement(s), {} rejoin(s)\n",
+        fleet.timeline.len(),
+        1 + fleet.server_obs.len(),
+        fleet.digest_bytes_total,
+        fleet.timeline.dedup_total(),
+        fleet.digest_gaps,
+        report.stats.fallback_engagements,
+        report.stats.rejoins,
+    );
+
+    match ext_obs::explain_fallback_cap(&fleet.timeline) {
+        Some(ex) => {
+            println!(
+                "why did server {} cap itself? ({} missed heartbeats, {} manager-side \
+                 endpoint losses, {} decay steps)",
+                ex.server,
+                ex.missed.len(),
+                ex.losses.len(),
+                ex.decays.len()
+            );
+            for r in ex.losses.iter().take(3) {
+                print_fleet_record("  cause   ", r);
+            }
+            if ex.losses.len() > 3 {
+                println!("  …       {} more endpoint loss(es)", ex.losses.len() - 3);
+            }
+            for r in ex.missed.iter().take(4) {
+                print_fleet_record("  cause   ", r);
+            }
+            if ex.missed.len() > 4 {
+                println!("  …       {} more missed heartbeat(s)", ex.missed.len() - 4);
+            }
+            print_fleet_record("  decide  ", &ex.engage);
+            for r in ex.decays.iter().take(4) {
+                print_fleet_record("  effect  ", r);
+            }
+            if ex.decays.len() > 4 {
+                println!("  …       {} more decay step(s)", ex.decays.len() - 4);
+            }
+            print_fleet_record("  release ", &ex.release);
+            println!(
+                "\nverdict: {} consecutive downlink silences engaged server {}'s \
+                 conservative local fallback; it decayed its cap {} step(s) toward the \
+                 idle floor until a fresh downlink released it on rejoin — the \
+                 partitioned node throttled itself rather than free-run on a stale cap.",
+                ex.missed.len(),
+                ex.server,
+                ex.decays.len()
+            );
+        }
+        None => {
+            eprintln!(
+                "doctor: no missed-downlink -> fallback-engage -> decay -> release chain \
+                 found in the fleet timeline"
             );
             std::process::exit(1);
         }

@@ -15,8 +15,9 @@
 //! evidence in `BENCH_harness.json`.
 use std::time::Instant;
 
-use powermed_bench::experiments::{ext_faults, ext_obs};
+use powermed_bench::experiments::{ext_cluster_faults, ext_faults, ext_obs};
 use powermed_bench::support::{json_object, HarnessDoc};
+use powermed_cluster::control::FleetObsOptions;
 use powermed_telemetry::journal::ObsConfig;
 
 /// Overhead gate: the recorder's marginal wall-clock across the
@@ -107,11 +108,106 @@ fn main() {
         ]),
     );
     doc.set("ext_obs_metrics", run.obs.metrics().to_json());
+
+    // Fleet mode: both doctor reference flavors, flight-recorded over
+    // the control plane — the naive churn+lossy run (breaker-trip's
+    // scenario) and the resilient partition run (fallback-cap's).
+    let fleet_opts = FleetObsOptions::default();
+    let fleet_naive = ext_obs::run_fleet_observed(
+        &ext_obs::fleet_scenario(ext_cluster_faults::SEED),
+        false,
+        ext_cluster_faults::SERVERS,
+        ext_cluster_faults::DURATION,
+        &fleet_opts,
+    );
+    let fleet_resilient = ext_obs::run_fleet_observed(
+        &ext_obs::fleet_doctor_scenario(ext_cluster_faults::SEED),
+        true,
+        ext_cluster_faults::SERVERS,
+        ext_cluster_faults::DURATION,
+        &fleet_opts,
+    );
+    ext_obs::print_fleet(&fleet_naive, &fleet_resilient);
+
+    // The per-wave shipping bound the digests promise by construction:
+    // no step may put more than `servers * max_digest_bytes` on the
+    // wire. Checked on both flavors, enforced after recording.
+    let wave_bound = (ext_cluster_faults::SERVERS * fleet_opts.max_digest_bytes) as u64;
+    let worst_wave = [&fleet_naive, &fleet_resilient]
+        .iter()
+        .filter_map(|r| r.fleet.as_ref())
+        .map(|f| f.max_wave_bytes)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "\nfleet shipping bound: worst wave {worst_wave} B of {wave_bound} B allowed \
+         ({} servers x {} B digest cap)",
+        ext_cluster_faults::SERVERS,
+        fleet_opts.max_digest_bytes
+    );
+
+    let nf = fleet_naive.fleet.as_ref().expect("fleet recording enabled");
+    let rf = fleet_resilient
+        .fleet
+        .as_ref()
+        .expect("fleet recording enabled");
+    doc.set(
+        "ext_obs_fleet",
+        json_object(&[
+            (
+                "naive_timeline_len".to_string(),
+                nf.timeline.len().to_string(),
+            ),
+            (
+                "naive_timeline_digest".to_string(),
+                format!("\"{:#018x}\"", nf.timeline.digest()),
+            ),
+            (
+                "naive_digest_bytes_total".to_string(),
+                nf.digest_bytes_total.to_string(),
+            ),
+            (
+                "naive_breaker_trips".to_string(),
+                fleet_naive.stats.breaker_trips.to_string(),
+            ),
+            (
+                "resilient_timeline_len".to_string(),
+                rf.timeline.len().to_string(),
+            ),
+            (
+                "resilient_timeline_digest".to_string(),
+                format!("\"{:#018x}\"", rf.timeline.digest()),
+            ),
+            (
+                "resilient_digest_bytes_total".to_string(),
+                rf.digest_bytes_total.to_string(),
+            ),
+            (
+                "resilient_fallback_engagements".to_string(),
+                fleet_resilient.stats.fallback_engagements.to_string(),
+            ),
+            ("max_wave_bytes".to_string(), worst_wave.to_string()),
+            ("wave_bound_bytes".to_string(), wave_bound.to_string()),
+            (
+                "digest_gaps".to_string(),
+                (nf.digest_gaps + rf.digest_gaps).to_string(),
+            ),
+        ]),
+    );
+    doc.set("ext_obs_fleet_metrics", rf.metrics.to_json());
+
     match doc.save("BENCH_harness.json") {
         Ok(()) => println!("merged ext_obs into BENCH_harness.json"),
         Err(e) => eprintln!("could not write BENCH_harness.json: {e}"),
     }
 
+    if worst_wave > wave_bound {
+        eprintln!(
+            "ext_obs FAILED: fleet wave {worst_wave} B exceeds the shipping bound \
+             {wave_bound} B"
+        );
+        std::process::exit(1);
+    }
     if ratio > gate {
         eprintln!(
             "ext_obs FAILED: enabled-mode overhead {:.4}% of `all` wall-clock exceeds \
@@ -140,4 +236,29 @@ fn smoke() {
         std::process::exit(1);
     }
     println!("ext_obs smoke: deterministic ({first:#018x}), reseeded diverges ({reseeded:#018x})");
+
+    // The fleet timeline's determinism witness: the merged timeline of
+    // a short flight-recorded cluster run must be byte-identical across
+    // same-seed processes (CI diffs two invocations' stdout), and a
+    // reseeded run must not be.
+    let fleet_first = ext_obs::fleet_smoke_digest(ext_cluster_faults::SEED);
+    let fleet_second = ext_obs::fleet_smoke_digest(ext_cluster_faults::SEED);
+    let fleet_reseeded = ext_obs::fleet_smoke_digest(ext_cluster_faults::SEED + 1);
+    if fleet_first != fleet_second {
+        eprintln!(
+            "ext_obs fleet smoke FAILED: same-seed timelines diverged \
+             ({fleet_first:#018x} vs {fleet_second:#018x})"
+        );
+        std::process::exit(1);
+    }
+    if fleet_first == fleet_reseeded {
+        eprintln!(
+            "ext_obs fleet smoke FAILED: reseeded timeline did not diverge ({fleet_first:#018x})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ext_obs fleet smoke: deterministic ({fleet_first:#018x}), \
+         reseeded diverges ({fleet_reseeded:#018x})"
+    );
 }

@@ -21,7 +21,12 @@
 //!   generation for a two-app server (the per-step cost `ext_traffic`
 //!   pays on every simulated server);
 //! * `demand_agg_128apps` — one generate-and-serve step across 128
-//!   apps (the aggregation scaling bound for consolidated fleets).
+//!   apps (the aggregation scaling bound for consolidated fleets);
+//! * `journal_digest_encode_1k` — one bounded digest extraction over a
+//!   1k-record journal (the per-wave encode cost every server pays to
+//!   ship its journal on an uplink);
+//! * `fleet_merge_10x64` — one manager fold wave: ten servers' digests
+//!   of 64 records each merged into a fresh fleet timeline.
 use criterion::Criterion;
 use powermed_bench::support::{json_object, HarnessDoc, DT};
 use powermed_cf::als::{Completion, FitConfig};
@@ -30,6 +35,7 @@ use powermed_core::allocator::PowerAllocator;
 use powermed_core::measurement::AppMeasurement;
 use powermed_disagg::{solve_shares, AppPrior};
 use powermed_server::ServerSpec;
+use powermed_telemetry::journal::{EventJournal, FleetTimeline, JournalDigest, ObsEvent};
 use powermed_traffic::source::{TrafficConfig, TrafficSource};
 use powermed_units::Seconds;
 use powermed_units::Watts;
@@ -122,6 +128,58 @@ fn main() {
                 served += wide.serve(name, capacity * DT.value(), now);
             }
             served
+        })
+    });
+
+    // One bounded digest extraction over a 1k-record journal: what a
+    // server pays per uplink wave to encode its unshipped delta under
+    // the default 8 KiB budget.
+    let mut journal = EventJournal::new(2048);
+    for i in 0..1000u64 {
+        journal.record(
+            Seconds::new(i as f64 * 0.5),
+            i,
+            1,
+            ObsEvent::Poll {
+                alloc_w: 80.0,
+                net_w: 85.0 + (i % 7) as f64,
+                observed_w: Some(85.0),
+                cap_w: 90.0,
+                over_cap: i % 7 == 0,
+            },
+        );
+    }
+    crit.bench_function("journal_digest_encode_1k", |b| {
+        b.iter(|| journal.digest_since(3, 0, 8192))
+    });
+
+    // One manager fold wave: ten servers' digests of 64 records each
+    // merged into a fresh fleet timeline (the per-step cost of the
+    // manager's uplink fold at full fleet width).
+    let digests: Vec<JournalDigest> = (0..10u64)
+        .map(|s| {
+            let mut j = EventJournal::new(128);
+            for i in 0..64u64 {
+                j.record(
+                    Seconds::new(i as f64 * 0.5),
+                    i,
+                    1,
+                    ObsEvent::UplinkSent {
+                        server: s as usize,
+                        step: i,
+                    },
+                );
+            }
+            j.digest_since(s, 0, usize::MAX)
+        })
+        .collect();
+    crit.bench_function("fleet_merge_10x64", |b| {
+        b.iter(|| {
+            let mut timeline = FleetTimeline::new();
+            for d in &digests {
+                timeline.merge_digest(d);
+            }
+            timeline.len()
         })
     });
 

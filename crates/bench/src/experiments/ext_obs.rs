@@ -20,16 +20,37 @@
 //! Every run is seed-deterministic; [`smoke_digest`] condenses a short
 //! observed run (journal + counters, wall-clock spans excluded) into a
 //! single hash so CI can diff two invocations (`ext_obs --smoke`).
+//!
+//! **Fleet mode** extends the same contract to the cluster tier: every
+//! server agent ships its journal as bounded digests riding the
+//! existing telemetry uplinks, the manager folds them (plus its own
+//! journal and the control plane's mirrored fault events) into one
+//! merged [`FleetTimeline`], and [`explain_breaker_trip`] /
+//! [`explain_fallback_cap`] walk that timeline *across servers* — from
+//! a facility breaker trip back to the per-server overdraws that armed
+//! it, and from a partitioned node's fallback cap back to the missed
+//! downlinks that engaged it. [`fleet_smoke_digest`] is the CI
+//! double-run witness that the merged timeline is byte-identical
+//! across same-seed processes.
 
 use std::time::Instant;
 
+use powermed_cluster::control::{
+    BreakerConfig, ClusterFaultConfig, ControlOptions, FleetObsOptions, ManagedPolicy,
+    PartitionWindow, ResilienceReport,
+};
+use powermed_cluster::manager::ClusterManager;
 use powermed_core::runtime::PowerMediator;
 use powermed_core::watchdog::HardeningConfig;
 use powermed_server::ServerSpec;
-use powermed_telemetry::journal::{EventRecord, Obs, ObsConfig, ObsEvent, SafeModeTransition};
+use powermed_telemetry::journal::{
+    EventRecord, FleetRecord, FleetTimeline, Obs, ObsConfig, ObsEvent, SafeModeTransition,
+    MANAGER_SERVER_ID,
+};
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::Mix;
 
+use crate::experiments::ext_cluster_faults;
 use crate::experiments::ext_faults::{self, trace_digest, Scenario, SCENARIO_DURATION, SEED};
 use crate::support::{heading, make_sim, DT};
 
@@ -371,6 +392,463 @@ pub fn print() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet mode: journals shipped over the control plane, merged timeline,
+// cross-server causal chains.
+// ---------------------------------------------------------------------------
+
+/// The fleet reference fault scenario: PR 3's "reference: churn +
+/// lossy" row (10% drop both directions, ≤1 s delay, 0.1%/step node
+/// crashes with 20 s outages). The breaker-trip doctor chain runs the
+/// *naive* flavor on this scenario — staleness against the moving
+/// budget is what trips the facility breaker.
+pub fn fleet_scenario(seed: u64) -> ClusterFaultConfig {
+    ClusterFaultConfig::default_scenario(seed)
+}
+
+/// The fallback-cap doctor scenario: PR 3's partition + lossy grid row
+/// (server 2 cut from the manager 60–180 s, 10% drop and ≤1 s delay
+/// both directions). The *resilient* flavor on this scenario engages
+/// the partitioned node's local fallback cap, decays it toward the
+/// idle floor, and releases it on rejoin — the chain
+/// `doctor --explain fallback-cap` reconstructs. Churn is off here on
+/// purpose: a crash landing mid-partition splits the outage into two
+/// half-episodes (the first loses its release to the reboot, the
+/// second engages already at the floor with nothing left to decay),
+/// and the doctor's reference chain should show every phase.
+pub fn fleet_doctor_scenario(seed: u64) -> ClusterFaultConfig {
+    ClusterFaultConfig {
+        downlink_drop_prob: 0.10,
+        downlink_delay_max_steps: 2,
+        uplink_drop_prob: 0.10,
+        uplink_delay_max_steps: 2,
+        partitions: vec![PartitionWindow {
+            server: 2,
+            from_step: 120,
+            until_step: 360,
+        }],
+        ..ClusterFaultConfig::none(seed)
+    }
+}
+
+/// Runs one flight-recorded cluster scenario: [`ext_cluster_faults`]'s
+/// cap schedule and breaker, with per-server journals shipping digests
+/// on every uplink and the manager folding them into a fleet timeline.
+/// The returned report's `fleet` section is always populated.
+pub fn run_fleet_observed(
+    faults: &ClusterFaultConfig,
+    resilient: bool,
+    servers: usize,
+    duration: Seconds,
+    fleet: &FleetObsOptions,
+) -> ResilienceReport {
+    let caps = ext_cluster_faults::cap_schedule(servers, duration);
+    let options = ControlOptions {
+        resilient,
+        faults: faults.clone(),
+        breaker: BreakerConfig::default(),
+        ..ControlOptions::perfect(faults.seed)
+    };
+    ClusterManager::new(servers, 7).run_flight_recorded(
+        ManagedPolicy::equal_ours(),
+        &caps,
+        ext_cluster_faults::DT,
+        &options,
+        fleet,
+    )
+}
+
+/// One short flight-recorded reference run condensed to a determinism
+/// witness: the merged timeline's byte-identity digest folded with the
+/// fault-trace digest, the shipping counters, and the outcome bits.
+/// Two same-seed calls must agree bit-for-bit (the CI double-run
+/// compares stdout across processes); different seeds must not.
+pub fn fleet_smoke_digest(seed: u64) -> u64 {
+    let report = run_fleet_observed(
+        &fleet_scenario(seed),
+        true,
+        4,
+        Seconds::new(60.0),
+        &FleetObsOptions::default(),
+    );
+    let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+    let mut digest = fleet.timeline.digest();
+    for bits in [
+        report.trace_digest,
+        report.violation_seconds.to_bits(),
+        fleet.digest_bytes_total,
+        fleet.max_wave_bytes,
+        fleet.timeline.len() as u64,
+        fleet.timeline.dedup_total(),
+    ] {
+        digest ^= bits;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    digest
+}
+
+/// The cross-server causal chain behind the facility breaker's last
+/// trip, reconstructed from a merged fleet timeline.
+#[derive(Debug)]
+pub struct BreakerTripExplanation {
+    /// The trip being explained (manager journal).
+    pub trip: FleetRecord,
+    /// The arming streak: consecutive over-budget steps counting up to
+    /// the trip, chronological.
+    pub armed: Vec<FleetRecord>,
+    /// Per-server overdraw attributions inside the arming window: each
+    /// names a server whose reported draw exceeded the share the
+    /// manager *intended* for it (a naive server obeying a stale cap).
+    pub overdraws: Vec<FleetRecord>,
+    /// Uplink sends from the implicated servers inside the arming
+    /// window — the telemetry that carried the overdraw to the manager.
+    pub uplinks: Vec<FleetRecord>,
+    /// The implicated servers' own shipped poll records inside the
+    /// arming window: what each server believed its cap and draw were.
+    pub polls: Vec<FleetRecord>,
+    /// The fleet clamp landing on each up server right after the trip.
+    pub clamps: Vec<FleetRecord>,
+    /// The breaker release after the hold, when the run reached it.
+    pub release: Option<FleetRecord>,
+    /// Implicated servers, ascending.
+    pub servers: Vec<usize>,
+}
+
+/// Walks `timeline` backward from the last [`ObsEvent::BreakerTrip`] to
+/// the over-budget streak that armed it, the per-server overdraw
+/// attributions and uplinked telemetry inside that window, and forward
+/// to the emergency clamps the trip landed. Returns `None` unless the
+/// full chain — arm streak, overdraw attribution, uplinked evidence,
+/// and at least one clamp — is present.
+pub fn explain_breaker_trip(timeline: &FleetTimeline) -> Option<BreakerTripExplanation> {
+    // Manager-journal records in seq order: one journal's seq order is
+    // chronological, while timeline key order is epoch-first.
+    let mut mgr: Vec<&FleetRecord> = timeline
+        .iter()
+        .filter(|e| e.server_id == MANAGER_SERVER_ID)
+        .collect();
+    mgr.sort_by_key(|e| e.record.seq);
+    let trip_idx = mgr
+        .iter()
+        .rposition(|e| matches!(e.record.event, ObsEvent::BreakerTrip { .. }))?;
+    let trip = mgr[trip_idx].clone();
+
+    // The arming streak, walked backward: over-budget steps counting
+    // down k, k-1, …, 1, skipping the interleaved attributions. An
+    // older streak that never tripped (reset to a fresh count) breaks
+    // the countdown and is excluded.
+    let mut armed: Vec<FleetRecord> = Vec::new();
+    let mut expect: Option<u64> = None;
+    for e in mgr[..trip_idx].iter().rev() {
+        if let ObsEvent::FleetOverBudget { streak, .. } = e.record.event {
+            if expect.is_some_and(|want| streak != want) {
+                break;
+            }
+            armed.push((*e).clone());
+            if streak == 1 {
+                break;
+            }
+            expect = Some(streak - 1);
+        }
+    }
+    armed.reverse();
+    let window_start = armed.first()?.record.seq;
+
+    let overdraws: Vec<FleetRecord> = mgr[..trip_idx]
+        .iter()
+        .filter(|e| e.record.seq >= window_start)
+        .filter(|e| matches!(e.record.event, ObsEvent::ServerOverdraw { .. }))
+        .map(|e| (*e).clone())
+        .collect();
+    if overdraws.is_empty() {
+        return None;
+    }
+    let mut servers: Vec<usize> = overdraws
+        .iter()
+        .filter_map(|e| match e.record.event {
+            ObsEvent::ServerOverdraw { server, .. } => Some(server),
+            _ => None,
+        })
+        .collect();
+    servers.sort_unstable();
+    servers.dedup();
+
+    // The arming window in fleet time. Uplinks are matched by time,
+    // not seq: a step's uplinks are journalled before that step's
+    // over-budget verdict, so the first arming step's telemetry has a
+    // smaller seq than the streak's first record.
+    let (from_at, to_at) = (armed.first()?.record.at.value(), trip.record.at.value());
+    let uplinks: Vec<FleetRecord> = mgr[..trip_idx]
+        .iter()
+        .filter(|e| (from_at..=to_at).contains(&e.record.at.value()))
+        .filter(|e| {
+            matches!(e.record.event, ObsEvent::UplinkSent { server, .. }
+                if servers.contains(&server))
+        })
+        .map(|e| (*e).clone())
+        .collect();
+    if uplinks.is_empty() {
+        return None;
+    }
+
+    // The implicated servers' own polls inside the arming window, by
+    // shipped fleet time. Chronological sort by (poll, server, seq):
+    // every journal stamps the shared control-plane poll counter.
+    let mut polls: Vec<FleetRecord> = timeline
+        .iter()
+        .filter(|e| servers.iter().any(|&s| s as u64 == e.server_id))
+        .filter(|e| (from_at..=to_at).contains(&e.record.at.value()))
+        .filter(|e| matches!(e.record.event, ObsEvent::Poll { .. }))
+        .cloned()
+        .collect();
+    polls.sort_by_key(|e| (e.record.poll, e.server_id, e.record.seq));
+
+    let mut clamps = Vec::new();
+    let mut release = None;
+    for e in &mgr[trip_idx + 1..] {
+        match e.record.event {
+            ObsEvent::EmergencyClamp { .. } => clamps.push((*e).clone()),
+            ObsEvent::BreakerRelease => {
+                release = Some((*e).clone());
+                break;
+            }
+            _ => {}
+        }
+    }
+    if clamps.is_empty() {
+        return None;
+    }
+    Some(BreakerTripExplanation {
+        trip,
+        armed,
+        overdraws,
+        uplinks,
+        polls,
+        clamps,
+        release,
+        servers,
+    })
+}
+
+/// The cross-server causal chain behind a partitioned node's local
+/// fallback cap, reconstructed from a merged fleet timeline.
+#[derive(Debug)]
+pub struct FallbackCapExplanation {
+    /// The server that engaged its fallback.
+    pub server: usize,
+    /// The heartbeat-miss countdown that armed it, chronological.
+    pub missed: Vec<FleetRecord>,
+    /// Manager-side endpoint losses on the same server during the
+    /// episode — the downlinks that never arrived.
+    pub losses: Vec<FleetRecord>,
+    /// The fallback engaging on the last acked share.
+    pub engage: FleetRecord,
+    /// The decay steps walking the local cap toward the idle floor.
+    pub decays: Vec<FleetRecord>,
+    /// The rejoin: a fresh downlink releasing the fallback.
+    pub release: FleetRecord,
+}
+
+/// Walks `timeline` backward from the fleet's most recent *complete*
+/// fallback episode: from the [`ObsEvent::FallbackEngage`] to the
+/// heartbeat-miss countdown that armed it, and forward through the
+/// decay steps to the rejoin release. An engage whose episode never
+/// completed (e.g. the node crashed mid-fallback, so no release was
+/// journalled) is skipped in favor of the next-newest one; episodes
+/// with decay steps win over ones that engaged already at the floor
+/// (where nothing was left to decay). Returns `None` when no engage
+/// has the chain — missed heartbeats, engage, and the release.
+pub fn explain_fallback_cap(timeline: &FleetTimeline) -> Option<FallbackCapExplanation> {
+    // Candidate engages, newest first by shipped time (ties broken by
+    // server then seq — deterministic).
+    let mut engages: Vec<FleetRecord> = timeline
+        .iter()
+        .filter(|e| e.server_id != MANAGER_SERVER_ID)
+        .filter(|e| matches!(e.record.event, ObsEvent::FallbackEngage { .. }))
+        .cloned()
+        .collect();
+    engages.sort_by(|a, b| {
+        (b.record.at.value(), b.server_id, b.record.seq)
+            .partial_cmp(&(a.record.at.value(), a.server_id, a.record.seq))
+            .expect("journal timestamps are finite")
+    });
+    engages
+        .iter()
+        .find_map(|engage| explain_fallback_episode(timeline, engage.clone(), true))
+        .or_else(|| {
+            engages
+                .into_iter()
+                .find_map(|engage| explain_fallback_episode(timeline, engage, false))
+        })
+}
+
+/// Reconstructs one fallback episode's chain around `engage`, or
+/// `None` when a link is missing. `require_decays` gates whether a
+/// decay-free episode (engaged already at the floor) counts.
+fn explain_fallback_episode(
+    timeline: &FleetTimeline,
+    engage: FleetRecord,
+    require_decays: bool,
+) -> Option<FallbackCapExplanation> {
+    let server = engage.server_id;
+    let mut own: Vec<&FleetRecord> = timeline.iter().filter(|e| e.server_id == server).collect();
+    own.sort_by_key(|e| e.record.seq);
+    let engage_idx = own.iter().position(|e| e.record.seq == engage.record.seq)?;
+
+    // The miss countdown, walked backward: misses counting down k,
+    // k-1, …, 1, skipping the interleaved polls. A break in the
+    // countdown means an older, released episode — excluded.
+    let mut missed: Vec<FleetRecord> = Vec::new();
+    let mut expect: Option<u64> = None;
+    for e in own[..engage_idx].iter().rev() {
+        if let ObsEvent::HeartbeatMissed { misses } = e.record.event {
+            if expect.is_some_and(|want| misses != want) {
+                break;
+            }
+            missed.push((*e).clone());
+            if misses == 1 {
+                break;
+            }
+            expect = Some(misses - 1);
+        }
+    }
+    missed.reverse();
+    if missed.is_empty() {
+        return None;
+    }
+
+    let mut decays = Vec::new();
+    let mut release = None;
+    for e in &own[engage_idx + 1..] {
+        match e.record.event {
+            ObsEvent::FallbackDecay { .. } => decays.push((*e).clone()),
+            ObsEvent::FallbackRelease { .. } => {
+                release = Some((*e).clone());
+                break;
+            }
+            ObsEvent::FallbackEngage { .. } => break,
+            _ => {}
+        }
+    }
+    let release = release?;
+    if require_decays && decays.is_empty() {
+        return None;
+    }
+
+    // Manager-side evidence the silence was the network, not the node:
+    // endpoint losses on this server inside the episode window.
+    let (from_at, to_at) = (missed.first()?.record.at.value(), release.record.at.value());
+    let losses: Vec<FleetRecord> = timeline
+        .iter()
+        .filter(|e| e.server_id == MANAGER_SERVER_ID)
+        .filter(|e| {
+            matches!(e.record.event, ObsEvent::EndpointLoss { server: s }
+                if s as u64 == server)
+        })
+        .filter(|e| (from_at..=to_at).contains(&e.record.at.value()))
+        .cloned()
+        .collect();
+
+    Some(FallbackCapExplanation {
+        server: server as usize,
+        missed,
+        losses,
+        engage,
+        decays,
+        release,
+    })
+}
+
+/// Formats one fleet-timeline record with its source column
+/// (`mgr` for the manager's own journal, `s<i>` for server `i`).
+pub fn fmt_fleet_record(e: &FleetRecord) -> String {
+    let src = if e.server_id == MANAGER_SERVER_ID {
+        "mgr".to_string()
+    } else {
+        format!("s{}", e.server_id)
+    };
+    format!(
+        "{:>4}  seq {:>5}  poll {:>4}  t {:>6.1}s  epoch {:>2}  {:?}",
+        src,
+        e.record.seq,
+        e.record.poll,
+        e.record.at.value(),
+        e.record.epoch,
+        e.record.event
+    )
+}
+
+/// Prints the fleet flight-recorder experiment: merged-timeline and
+/// shipping census for both reference flavors, plus one cross-server
+/// chain of each kind.
+pub fn print_fleet(naive: &ResilienceReport, resilient: &ResilienceReport) {
+    heading("Extension: fleet flight recorder (journals shipped over the control plane)");
+    for (label, report) in [
+        ("naive, churn+lossy", naive),
+        ("resilient, partition+lossy", resilient),
+    ] {
+        let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+        let sources = 1 + fleet.server_obs.len();
+        println!(
+            "{label}: timeline {} records from {} journals; shipped {} digest bytes \
+             (max wave {} B), dedup {}, gaps {}",
+            fleet.timeline.len(),
+            sources,
+            fleet.digest_bytes_total,
+            fleet.max_wave_bytes,
+            fleet.timeline.dedup_total(),
+            fleet.digest_gaps,
+        );
+    }
+
+    let naive_fleet = naive.fleet.as_ref().expect("fleet recording enabled");
+    match explain_breaker_trip(&naive_fleet.timeline) {
+        Some(ex) => {
+            println!(
+                "\nbreaker-trip chain (servers {:?}, {} overdraws, {} uplinks, {} polls):",
+                ex.servers,
+                ex.overdraws.len(),
+                ex.uplinks.len(),
+                ex.polls.len()
+            );
+            for r in ex.armed.iter().take(3) {
+                println!("  {}", fmt_fleet_record(r));
+            }
+            for r in ex.overdraws.iter().take(3) {
+                println!("  {}", fmt_fleet_record(r));
+            }
+            println!("  {}", fmt_fleet_record(&ex.trip));
+            for r in ex.clamps.iter().take(2) {
+                println!("  {}", fmt_fleet_record(r));
+            }
+        }
+        None => println!("\nno breaker-trip chain in the naive reference run"),
+    }
+
+    let resilient_fleet = resilient.fleet.as_ref().expect("fleet recording enabled");
+    match explain_fallback_cap(&resilient_fleet.timeline) {
+        Some(ex) => {
+            println!(
+                "\nfallback-cap chain (server {}, {} missed heartbeats, {} endpoint \
+                 losses, {} decay steps):",
+                ex.server,
+                ex.missed.len(),
+                ex.losses.len(),
+                ex.decays.len()
+            );
+            for r in ex.missed.iter().take(3) {
+                println!("  {}", fmt_fleet_record(r));
+            }
+            println!("  {}", fmt_fleet_record(&ex.engage));
+            for r in ex.decays.iter().take(2) {
+                println!("  {}", fmt_fleet_record(r));
+            }
+            println!("  {}", fmt_fleet_record(&ex.release));
+        }
+        None => println!("\nno fallback-cap chain in the resilient partition run"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,5 +976,310 @@ mod tests {
                 .iter()
                 .any(|c| matches!(c.event, ObsEvent::Poll { over_cap: true, .. })));
         }
+    }
+
+    #[test]
+    fn fleet_smoke_is_deterministic_and_seed_sensitive() {
+        assert_eq!(fleet_smoke_digest(3), fleet_smoke_digest(3));
+        assert_ne!(fleet_smoke_digest(3), fleet_smoke_digest(4));
+    }
+
+    #[test]
+    fn fleet_recording_leaves_cluster_physics_bit_identical() {
+        // Zero-cost-on for the physics: the flight-recorded run and the
+        // plain PR 3 run must agree bit-for-bit on everything measured.
+        let scenario = ext_cluster_faults::Scenario {
+            label: "fleet off",
+            faults: fleet_scenario(11),
+        };
+        let off = ext_cluster_faults::run_one(&scenario, true, 4, Seconds::new(60.0));
+        let on = run_fleet_observed(
+            &fleet_scenario(11),
+            true,
+            4,
+            Seconds::new(60.0),
+            &FleetObsOptions::default(),
+        );
+        assert_eq!(off.trace_digest, on.trace_digest);
+        assert_eq!(off.violation_seconds, on.violation_seconds);
+        assert_eq!(
+            off.aggregate_normalized_perf,
+            on.report.aggregate_normalized_perf
+        );
+        assert_eq!(off.stats, on.stats);
+    }
+
+    fn mgr_breaker_journal() -> Vec<EventRecord> {
+        let at = Seconds::new;
+        let mut j = powermed_telemetry::journal::EventJournal::new(64);
+        // An older, reset streak that must NOT join the chain.
+        j.record(
+            at(1.0),
+            2,
+            1,
+            ObsEvent::FleetOverBudget {
+                net_w: 910.0,
+                budget_w: 900.0,
+                streak: 1,
+            },
+        );
+        // The arming streak, interleaved with attribution + uplinks.
+        j.record(
+            at(5.0),
+            10,
+            1,
+            ObsEvent::UplinkSent {
+                server: 3,
+                step: 10,
+            },
+        );
+        j.record(
+            at(5.0),
+            10,
+            1,
+            ObsEvent::FleetOverBudget {
+                net_w: 930.0,
+                budget_w: 900.0,
+                streak: 1,
+            },
+        );
+        j.record(
+            at(5.0),
+            10,
+            1,
+            ObsEvent::ServerOverdraw {
+                server: 3,
+                net_w: 95.0,
+                share_w: 80.0,
+            },
+        );
+        j.record(
+            at(5.5),
+            11,
+            1,
+            ObsEvent::FleetOverBudget {
+                net_w: 935.0,
+                budget_w: 900.0,
+                streak: 2,
+            },
+        );
+        j.record(
+            at(5.5),
+            11,
+            1,
+            ObsEvent::ServerOverdraw {
+                server: 3,
+                net_w: 96.0,
+                share_w: 80.0,
+            },
+        );
+        j.record(
+            at(6.0),
+            12,
+            1,
+            ObsEvent::FleetOverBudget {
+                net_w: 940.0,
+                budget_w: 900.0,
+                streak: 3,
+            },
+        );
+        j.record(
+            at(6.0),
+            12,
+            1,
+            ObsEvent::BreakerTrip {
+                hold_steps: 20,
+                floor_w: 60.0,
+            },
+        );
+        j.record(at(6.0), 12, 1, ObsEvent::EmergencyClamp { server: 0 });
+        j.record(at(6.0), 12, 1, ObsEvent::EmergencyClamp { server: 3 });
+        j.record(at(16.0), 32, 1, ObsEvent::BreakerRelease);
+        j.iter().cloned().collect()
+    }
+
+    #[test]
+    fn explain_breaker_trip_reconstructs_the_cross_server_chain() {
+        let at = Seconds::new;
+        let poll = |over| ObsEvent::Poll {
+            alloc_w: 80.0,
+            net_w: 95.0,
+            observed_w: Some(95.0),
+            cap_w: 95.0,
+            over_cap: over,
+        };
+        let mut timeline = FleetTimeline::new();
+        timeline.merge_records(MANAGER_SERVER_ID, &mgr_breaker_journal());
+        // Server 3's shipped journal: one poll before the window, two
+        // inside it (the stale-cap server believes it is under cap).
+        let mut s3 = powermed_telemetry::journal::EventJournal::new(64);
+        s3.record(at(1.0), 2, 1, poll(false));
+        s3.record(at(5.0), 10, 1, poll(false));
+        s3.record(at(5.5), 11, 1, poll(false));
+        let s3_records: Vec<EventRecord> = s3.iter().cloned().collect();
+        timeline.merge_records(3, &s3_records);
+
+        let ex = explain_breaker_trip(&timeline).expect("chain exists");
+        assert!(matches!(ex.trip.record.event, ObsEvent::BreakerTrip { .. }));
+        assert_eq!(ex.servers, vec![3]);
+        // The streak is the three counting steps — the reset streak at
+        // t=1.0 s is excluded.
+        assert_eq!(ex.armed.len(), 3);
+        assert!(ex
+            .armed
+            .windows(2)
+            .all(|w| w[0].record.seq < w[1].record.seq));
+        assert_eq!(ex.overdraws.len(), 2);
+        assert_eq!(ex.uplinks.len(), 1);
+        assert_eq!(ex.clamps.len(), 2);
+        assert!(ex.release.is_some());
+        // Only the in-window polls are evidence.
+        assert_eq!(ex.polls.len(), 2);
+        assert!(ex.polls.iter().all(|p| p.record.at.value() >= 5.0));
+
+        // No overdraw attribution -> no chain.
+        let mut bare = FleetTimeline::new();
+        let keep: Vec<EventRecord> = mgr_breaker_journal()
+            .into_iter()
+            .filter(|r| !matches!(r.event, ObsEvent::ServerOverdraw { .. }))
+            .collect();
+        bare.merge_records(MANAGER_SERVER_ID, &keep);
+        assert!(explain_breaker_trip(&bare).is_none());
+        // Empty timeline -> no chain.
+        assert!(explain_breaker_trip(&FleetTimeline::new()).is_none());
+    }
+
+    #[test]
+    fn explain_fallback_cap_reconstructs_the_cross_server_chain() {
+        let at = Seconds::new;
+        let mut s2 = powermed_telemetry::journal::EventJournal::new(64);
+        s2.record(at(60.0), 120, 2, ObsEvent::HeartbeatMissed { misses: 1 });
+        s2.record(at(62.0), 124, 2, ObsEvent::HeartbeatMissed { misses: 2 });
+        s2.record(at(64.0), 128, 2, ObsEvent::HeartbeatMissed { misses: 3 });
+        s2.record(at(64.0), 128, 2, ObsEvent::FallbackEngage { cap_w: 90.0 });
+        s2.record(at(66.0), 132, 2, ObsEvent::FallbackDecay { cap_w: 85.0 });
+        s2.record(at(68.0), 136, 2, ObsEvent::FallbackDecay { cap_w: 80.0 });
+        s2.record(at(180.5), 361, 3, ObsEvent::FallbackRelease { cap_w: 95.0 });
+        let s2_records: Vec<EventRecord> = s2.iter().cloned().collect();
+
+        let mut mgr = powermed_telemetry::journal::EventJournal::new(64);
+        mgr.record(at(61.0), 122, 2, ObsEvent::EndpointLoss { server: 2 });
+        mgr.record(at(61.0), 122, 2, ObsEvent::EndpointLoss { server: 0 });
+        let mgr_records: Vec<EventRecord> = mgr.iter().cloned().collect();
+
+        let mut timeline = FleetTimeline::new();
+        timeline.merge_records(2, &s2_records);
+        timeline.merge_records(MANAGER_SERVER_ID, &mgr_records);
+
+        let ex = explain_fallback_cap(&timeline).expect("chain exists");
+        assert_eq!(ex.server, 2);
+        assert_eq!(ex.missed.len(), 3);
+        assert!(ex
+            .missed
+            .windows(2)
+            .all(|w| w[0].record.seq < w[1].record.seq));
+        assert_eq!(ex.decays.len(), 2);
+        assert!(matches!(
+            ex.release.record.event,
+            ObsEvent::FallbackRelease { cap_w } if cap_w == 95.0
+        ));
+        // Only server 2's endpoint loss is evidence.
+        assert_eq!(ex.losses.len(), 1);
+
+        // A newer decay-free episode (engaged already at the floor)
+        // loses to the richer one with decay steps…
+        let mut floor = powermed_telemetry::journal::EventJournal::new(64);
+        floor.record(at(200.0), 400, 3, ObsEvent::HeartbeatMissed { misses: 1 });
+        floor.record(at(202.0), 404, 3, ObsEvent::HeartbeatMissed { misses: 2 });
+        floor.record(at(202.0), 404, 3, ObsEvent::FallbackEngage { cap_w: 50.0 });
+        floor.record(at(210.0), 420, 4, ObsEvent::FallbackRelease { cap_w: 95.0 });
+        let floor_records: Vec<EventRecord> = floor.iter().cloned().collect();
+        timeline.merge_records(4, &floor_records);
+        let ex = explain_fallback_cap(&timeline).expect("chain exists");
+        assert_eq!(ex.server, 2, "decay-rich episode preferred");
+
+        // …but still chains when it is the only complete episode.
+        let mut t2 = FleetTimeline::new();
+        t2.merge_records(4, &floor_records);
+        let ex2 = explain_fallback_cap(&t2).expect("floor episode chains");
+        assert_eq!(ex2.server, 4);
+        assert!(ex2.decays.is_empty());
+
+        // A still-partitioned run (no release retained) has no chain.
+        let mut open = FleetTimeline::new();
+        open.merge_records(2, &s2_records[..s2_records.len() - 1]);
+        assert!(explain_fallback_cap(&open).is_none());
+    }
+
+    #[test]
+    fn fleet_metrics_round_trip_through_the_harness_doc() {
+        // Satellite contract: the manager's fleet metrics exposition
+        // survives the BENCH_harness.json save/load cycle bit-for-bit.
+        let report = run_fleet_observed(
+            &fleet_scenario(5),
+            true,
+            2,
+            Seconds::new(20.0),
+            &FleetObsOptions::default(),
+        );
+        let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+        let mut doc = crate::support::HarnessDoc::load("/nonexistent/BENCH_harness.json");
+        doc.set("ext_obs_fleet_metrics", fleet.metrics.to_json());
+        let path = std::env::temp_dir().join(format!(
+            "powermed_fleet_metrics_{}.json",
+            std::process::id()
+        ));
+        let path = path.to_string_lossy().into_owned();
+        doc.save(&path).expect("temp file is writable");
+        let loaded = crate::support::HarnessDoc::load(&path);
+        std::fs::remove_file(&path).ok();
+        let text = loaded
+            .get("ext_obs_fleet_metrics")
+            .expect("section survives the save/load cycle");
+        let back = powermed_telemetry::metrics::MetricsRegistry::from_json(text)
+            .expect("exposition parses back");
+        assert_eq!(back, fleet.metrics);
+        assert!(back.counter("digest_bytes_total") > 0);
+        assert!(back.gauge("timeline_len").is_some());
+        assert!(back.gauge("last_acked_seq{server=\"0\"}").is_some());
+    }
+
+    #[test]
+    #[ignore = "slow in debug builds; run with --release or --ignored"]
+    fn breaker_trip_chain_exists_on_the_naive_reference() {
+        // The acceptance contract behind `doctor --explain breaker-trip`.
+        let report = run_fleet_observed(
+            &fleet_scenario(ext_cluster_faults::SEED),
+            false,
+            ext_cluster_faults::SERVERS,
+            ext_cluster_faults::DURATION,
+            &FleetObsOptions::default(),
+        );
+        assert!(report.stats.breaker_trips > 0);
+        let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+        let ex = explain_breaker_trip(&fleet.timeline).expect("breaker-trip chain");
+        assert!(!ex.servers.is_empty());
+        assert!(
+            !ex.polls.is_empty(),
+            "implicated servers shipped their polls"
+        );
+    }
+
+    #[test]
+    #[ignore = "slow in debug builds; run with --release or --ignored"]
+    fn fallback_cap_chain_exists_on_the_partitioned_reference() {
+        // The acceptance contract behind `doctor --explain fallback-cap`.
+        let report = run_fleet_observed(
+            &fleet_doctor_scenario(ext_cluster_faults::SEED),
+            true,
+            ext_cluster_faults::SERVERS,
+            ext_cluster_faults::DURATION,
+            &FleetObsOptions::default(),
+        );
+        assert!(report.stats.fallback_engagements > 0);
+        let fleet = report.fleet.as_ref().expect("fleet recording enabled");
+        let ex = explain_fallback_cap(&fleet.timeline).expect("fallback-cap chain");
+        assert_eq!(ex.server, 2, "the partitioned server engaged the fallback");
+        assert!(!ex.losses.is_empty(), "manager saw the endpoint outage");
     }
 }

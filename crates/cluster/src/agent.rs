@@ -25,7 +25,7 @@ use powermed_disagg::EstimatorConfig;
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore};
 use powermed_server::ServerSpec;
 use powermed_sim::engine::{ServerSim, StepReport};
-use powermed_telemetry::journal::Obs;
+use powermed_telemetry::journal::{JournalDigest, Obs, ObsEvent};
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Seconds, Watts};
 use powermed_workloads::mixes::Mix;
@@ -112,6 +112,19 @@ pub struct ServerAgent {
     /// Flight-recorder handle, re-wired onto every incarnation's
     /// mediator and simulation. `None` (the default) is zero-cost.
     obs: Option<Obs>,
+    /// Fleet flight recorder: first journal seq the manager has *not*
+    /// acked yet — where the next shipped digest starts. Persisted
+    /// across crash/restart like the ring itself (local disk).
+    journal_acked: u64,
+    /// Epoch of the downlink the ack watermark was adopted from. After
+    /// a manager failover a fresh-epoch downlink may legitimately carry
+    /// a *lower* watermark (the standby lost unacked merges); adopting
+    /// it re-ships records the idempotent fleet merge dedups, while a
+    /// stale reordered downlink at an old epoch cannot regress the ack.
+    ack_epoch: u64,
+    /// Local journal clock: advances with every step, resynced to fleet
+    /// time by the run loop when the node reboots.
+    now: Seconds,
     /// Non-intrusive estimation configuration, re-attached to every
     /// incarnation's mediator. `None` (the default) is the oracle fleet.
     estimation: Option<EstimatorConfig>,
@@ -186,6 +199,9 @@ impl ServerAgent {
             probes_before: ProbeSplit::default(),
             store_stats_before: ProfileStoreStats::default(),
             obs: None,
+            journal_acked: 0,
+            ack_epoch: 0,
+            now: Seconds::ZERO,
             estimation: None,
         }
     }
@@ -280,6 +296,16 @@ impl ServerAgent {
                 obs.set_epoch(freshest);
             }
         }
+        // Adopt the freshest ack watermark (lexicographic on
+        // (epoch, ack)): a newer epoch always wins even with a lower
+        // watermark — that is a failed-over manager asking for a
+        // harmless re-ship — while within an epoch the watermark only
+        // advances.
+        if let Some(ack) = msgs.iter().map(|m| (m.epoch, m.journal_acked)).max() {
+            if ack > (self.ack_epoch, self.journal_acked) {
+                (self.ack_epoch, self.journal_acked) = ack;
+            }
+        }
         if !self.resilient {
             for m in msgs {
                 if let Some(target) = &mut self.clamped {
@@ -296,6 +322,19 @@ impl ServerAgent {
         let fresh =
             best.epoch > self.last_epoch || (self.needs_cap && best.epoch >= self.last_epoch);
         if fresh {
+            if self.fallback_engaged {
+                // The chain-closing record for `doctor --explain
+                // fallback-cap`: the manager is heard again and hands
+                // the assigned share back.
+                if let Some(obs) = self.obs.as_ref() {
+                    obs.emit(
+                        self.now,
+                        ObsEvent::FallbackRelease {
+                            cap_w: best.cap.value(),
+                        },
+                    );
+                }
+            }
             self.last_epoch = best.epoch;
             self.needs_cap = false;
             self.fallback_engaged = false;
@@ -364,6 +403,9 @@ impl ServerAgent {
             {
                 self.heartbeat_misses += 1;
                 let misses = self.steps_since_downlink / interval - 1;
+                if let Some(obs) = self.obs.as_ref() {
+                    obs.emit(self.now, ObsEvent::HeartbeatMissed { misses });
+                }
                 if misses >= self.config.fallback_after_misses {
                     if !self.fallback_engaged {
                         // Engage on the last acked share; decay starts at
@@ -371,6 +413,14 @@ impl ServerAgent {
                         self.fallback_engaged = true;
                         self.needs_cap = true;
                         self.fallback_engagements += 1;
+                        if let Some(obs) = self.obs.as_ref() {
+                            obs.emit(
+                                self.now,
+                                ObsEvent::FallbackEngage {
+                                    cap_w: self.current_cap.value(),
+                                },
+                            );
+                        }
                     } else {
                         let next = Watts::new(
                             (self.current_cap - self.config.fallback_decay)
@@ -379,12 +429,22 @@ impl ServerAgent {
                         );
                         if (self.current_cap - next).abs() > Watts::new(1e-6) {
                             self.apply(next);
+                            if let Some(obs) = self.obs.as_ref() {
+                                obs.emit(
+                                    self.now,
+                                    ObsEvent::FallbackDecay {
+                                        cap_w: next.value(),
+                                    },
+                                );
+                            }
                         }
                     }
                 }
             }
         }
-        self.mediator.step(&mut self.sim, dt)
+        let report = self.mediator.step(&mut self.sim, dt);
+        self.now += dt;
+        report
     }
 
     /// The node crashed: bank the work and probe accounting completed so
@@ -477,6 +537,31 @@ impl ServerAgent {
             .profile_store()
             .map(ProfileStore::digests)
             .unwrap_or_default()
+    }
+
+    /// Resyncs the journal clock to fleet time (called by the run loop
+    /// when a rebooted node rejoins: its clock did not advance while it
+    /// was down). A pure timestamp source — never read by physics or
+    /// policy, so it is behavior-free in every mode.
+    pub fn sync_clock(&mut self, now: Seconds) {
+        self.now = now;
+    }
+
+    /// The journal delta since the manager's last ack, size-capped to
+    /// `max_bytes` — the uplink's flight-recorder payload. `None`
+    /// without a journal. Non-draining: the watermark only advances
+    /// when an ack rides back on a downlink, so unacked records are
+    /// re-shipped every wave (the fleet merge dedups them).
+    pub fn ship_journal(&self, max_bytes: usize) -> Option<JournalDigest> {
+        self.obs
+            .as_ref()
+            .map(|obs| obs.digest_since(self.server_id, self.journal_acked, max_bytes))
+            .filter(|d| !d.is_empty())
+    }
+
+    /// First journal seq the manager has not acked yet.
+    pub fn journal_acked(&self) -> u64 {
+        self.journal_acked
     }
 
     /// Forces E4 drift on the server's first app: its profile is
@@ -646,6 +731,93 @@ mod tests {
             a.step(DT);
         }
         assert!(a.estimated_shares().is_empty());
+    }
+
+    #[test]
+    fn fallback_lifecycle_is_journalled() {
+        use powermed_telemetry::journal::ObsConfig;
+        let mut a = agent(true);
+        let obs = Obs::new(ObsConfig::default());
+        a.set_observability(obs.clone());
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        for _ in 0..60 {
+            a.step(DT);
+        }
+        assert!(a.fallback_engaged());
+        let kinds: Vec<&str> = obs
+            .journal_snapshot()
+            .iter()
+            .map(|r| r.event.kind())
+            .collect();
+        assert!(kinds.contains(&"heartbeat_missed"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"fallback_engage"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"fallback_decay"), "kinds: {kinds:?}");
+        // The silence chain closes when the manager is heard again.
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        let release = obs
+            .journal_snapshot()
+            .into_iter()
+            .find(|r| r.event.kind() == "fallback_release")
+            .expect("release journalled");
+        assert!(
+            matches!(release.event, ObsEvent::FallbackRelease { cap_w } if cap_w == 100.0),
+            "release restores the assigned share: {:?}",
+            release.event
+        );
+        // Decay steps are timestamped with the agent's local clock.
+        assert!(release.at > Seconds::ZERO);
+    }
+
+    #[test]
+    fn ack_watermark_adopts_newer_epochs_even_when_they_rewind() {
+        let mut a = agent(true);
+        let down = |epoch: u64, acked: u64| Downlink {
+            journal_acked: acked,
+            ..Downlink::assignment(epoch, Watts::new(100.0), false)
+        };
+        a.receive(&[down(1, 7)]);
+        assert_eq!(a.journal_acked(), 7);
+        // Within an epoch the watermark only advances.
+        a.receive(&[down(1, 3)]);
+        assert_eq!(a.journal_acked(), 7);
+        // A failed-over manager at a fresh epoch may ack lower — adopt
+        // it (the re-ship repopulates its restored timeline).
+        a.receive(&[down(2, 2)]);
+        assert_eq!(a.journal_acked(), 2);
+        // A stale reordered downlink cannot regress the ack.
+        a.receive(&[down(1, 9)]);
+        assert_eq!(a.journal_acked(), 2);
+    }
+
+    #[test]
+    fn ship_journal_is_a_non_draining_since_ack_delta() {
+        use powermed_telemetry::journal::ObsConfig;
+        let mut a = agent(true);
+        assert!(
+            a.ship_journal(8192).is_none(),
+            "no journal, nothing to ship"
+        );
+        let obs = Obs::new(ObsConfig::default());
+        a.set_observability(obs.clone());
+        a.receive(&[Downlink::assignment(1, Watts::new(100.0), false)]);
+        for _ in 0..4 {
+            a.step(DT);
+        }
+        let first = a.ship_journal(1 << 20).expect("records to ship");
+        assert!(!first.entries.is_empty());
+        assert_eq!(first.since, 0);
+        // Unacked: the next wave re-ships the identical digest.
+        assert_eq!(a.ship_journal(1 << 20), Some(first.clone()));
+        // Acked: the next digest is a delta past the watermark.
+        let acked = first.ack_to();
+        a.receive(&[Downlink {
+            journal_acked: acked,
+            ..Downlink::assignment(2, Watts::new(100.0), false)
+        }]);
+        let next = a.ship_journal(1 << 20);
+        assert!(next
+            .iter()
+            .all(|d| d.since == acked && d.entries.iter().all(|r| r.seq >= acked)));
     }
 
     #[test]

@@ -32,7 +32,10 @@ use powermed_disagg::EstimatorConfig;
 use powermed_profiles::{ProbeSplit, ProfileDigest, ProfileStore, StoreConfig};
 use powermed_server::ServerSpec;
 use powermed_telemetry::faults::ClusterControlStats;
-use powermed_telemetry::journal::{Obs, ObsEvent};
+use powermed_telemetry::journal::{
+    FleetTimeline, JournalDigest, Obs, ObsConfig, ObsEvent, MANAGER_SERVER_ID,
+};
+use powermed_telemetry::metrics::{prom_label, MetricsRegistry};
 use powermed_telemetry::recorder::TraceRecorder;
 use powermed_telemetry::ProfileStoreStats;
 use powermed_units::{Joules, Ratio, Seconds, Watts};
@@ -64,6 +67,12 @@ pub struct Downlink {
     /// Digests are a semilattice, so stale or reordered deliveries are
     /// harmless — merge is commutative and idempotent.
     pub profiles: Vec<ProfileDigest>,
+    /// Flight-recorder ack watermark: the manager has merged this
+    /// server's journal records below this sequence number into the
+    /// fleet timeline, so the agent's next digest starts here. Always 0
+    /// when fleet recording is off, keeping the classic control plane
+    /// bit-identical.
+    pub journal_acked: u64,
 }
 
 impl Downlink {
@@ -74,6 +83,7 @@ impl Downlink {
             cap,
             repair,
             profiles: Vec::new(),
+            journal_acked: 0,
         }
     }
 }
@@ -96,6 +106,12 @@ pub struct Uplink {
     /// Empty when estimation is off ([`ControlOptions::estimation`] is
     /// `None`), keeping the classic control plane bit-identical.
     pub app_shares: Vec<(String, f64)>,
+    /// Flight-recorder payload: the server's journal delta since the
+    /// last acked sequence number, size-capped so it survives lossy
+    /// links. Re-shipped every wave until acked — the fleet merge is
+    /// idempotent, so duplication under retry is free. `None` when
+    /// fleet recording is off.
+    pub journal: Option<JournalDigest>,
 }
 
 impl Uplink {
@@ -107,6 +123,7 @@ impl Uplink {
             net_power,
             profiles: Vec::new(),
             app_shares: Vec::new(),
+            journal: None,
         }
     }
 }
@@ -741,6 +758,93 @@ impl ManagerState {
     }
 }
 
+/// The manager-side half of the fleet flight recorder: the merged
+/// timeline, per-server ack watermarks, and the manager's own journal
+/// fold position, checkpointed alongside the apportionment state so a
+/// resilient standby resumes the timeline on takeover.
+struct ManagerFleet {
+    /// The manager's own flight recorder: mirrored control-plane fault
+    /// events plus fleet-level decisions (breaker arm/trip/clamp) land
+    /// here, then fold into the timeline under [`MANAGER_SERVER_ID`].
+    obs: Obs,
+    timeline: FleetTimeline,
+    /// Per-server ack watermark: first journal seq not yet merged.
+    /// Ridden back to each agent on every downlink wave.
+    acked: Vec<u64>,
+    /// First of the manager's own journal records not yet folded.
+    own_shipped: u64,
+    /// Digests whose ring wrapped past unshipped records (each carries
+    /// a `DigestGap` marker in the timeline).
+    digest_gaps: u64,
+    checkpoint: Option<FleetCheckpoint>,
+}
+
+/// What a fleet-timeline checkpoint carries across manager failover.
+#[derive(Clone)]
+struct FleetCheckpoint {
+    timeline: FleetTimeline,
+    acked: Vec<u64>,
+    own_shipped: u64,
+}
+
+impl ManagerFleet {
+    fn new(obs: Obs, servers: usize) -> Self {
+        Self {
+            obs,
+            timeline: FleetTimeline::new(),
+            acked: vec![0; servers],
+            own_shipped: 0,
+            digest_gaps: 0,
+            checkpoint: None,
+        }
+    }
+
+    /// Folds the manager's own journal delta into the timeline under
+    /// [`MANAGER_SERVER_ID`]. Goes through the same digest path as the
+    /// uplinked deltas so a wrapped manager ring leaves a `DigestGap`
+    /// instead of a silent hole (no byte cap: the fold is local).
+    fn fold_own_journal(&mut self) {
+        let digest = self
+            .obs
+            .digest_since(MANAGER_SERVER_ID, self.own_shipped, usize::MAX);
+        if digest.is_empty() {
+            return;
+        }
+        if digest.wrapped {
+            self.digest_gaps += 1;
+        }
+        self.timeline.merge_digest(&digest);
+        self.own_shipped = digest.ack_to();
+    }
+
+    /// Merges one uplinked digest, advances the sender's ack watermark,
+    /// and bumps the fleet-level metrics.
+    fn fold_uplink(&mut self, server: usize, digest: &JournalDigest) {
+        if digest.wrapped {
+            self.digest_gaps += 1;
+            self.obs.inc("digest_gaps_total");
+        }
+        let before = self.timeline.dedup_total();
+        self.timeline.merge_digest(digest);
+        let acked = &mut self.acked[server];
+        *acked = (*acked).max(digest.ack_to());
+        self.obs.inc_by("digest_bytes_total", digest.bytes);
+        self.obs
+            .inc_by("merge_dedup_total", self.timeline.dedup_total() - before);
+        self.obs
+            .set_gauge("timeline_len", self.timeline.len() as f64);
+    }
+
+    /// Publishes the per-server ack watermarks as labelled gauges.
+    fn publish_ack_gauges(&self) {
+        for (i, acked) in self.acked.iter().enumerate() {
+            let server = i.to_string();
+            let name = prom_label("last_acked_seq", &[("server", server.as_str())]);
+            self.obs.set_gauge(&name, *acked as f64);
+        }
+    }
+}
+
 /// The cluster manager as a control-plane node.
 struct Manager {
     resilient: bool,
@@ -757,6 +861,8 @@ struct Manager {
     /// JSON snapshot of the store taken with each state checkpoint, so
     /// the resilient standby restores fleet knowledge on takeover.
     store_checkpoint: Option<String>,
+    /// Fleet flight recorder (`None` when fleet recording is off).
+    fleet: Option<ManagerFleet>,
     membership_dirty: bool,
     failovers: u64,
     checkpoints: u64,
@@ -780,6 +886,7 @@ impl Manager {
             checkpoint: None,
             store,
             store_checkpoint: None,
+            fleet: None,
             membership_dirty: false,
             failovers: 0,
             checkpoints: 0,
@@ -820,6 +927,29 @@ impl Manager {
                 .and_then(ProfileStore::from_json)
                 .unwrap_or_else(|| ProfileStore::new(config));
         }
+        // The fleet timeline lives (or dies) with the apportionment
+        // state: the resilient standby resumes from the checkpointed
+        // timeline and ack watermarks — rewound acks just trigger
+        // harmless re-ships that the idempotent merge dedups — while
+        // the naive standby starts empty with zeroed watermarks, so
+        // every agent re-ships its whole retained ring. Either way the
+        // manager's own fold position rewinds with the timeline, and
+        // the idempotent re-fold repopulates whatever survived.
+        if let Some(fleet) = self.fleet.as_mut() {
+            match fleet.checkpoint.clone().filter(|_| self.resilient) {
+                Some(cp) => {
+                    fleet.timeline = cp.timeline;
+                    fleet.acked = cp.acked;
+                    fleet.own_shipped = cp.own_shipped;
+                }
+                None => {
+                    fleet.timeline = FleetTimeline::new();
+                    fleet.acked = vec![0; self.servers];
+                    fleet.own_shipped = 0;
+                }
+            }
+            fleet.obs.inc("timeline_failovers_total");
+        }
         // Telemetry gathered before the crash is gone either way; grant
         // a fresh grace period so takeover does not mass-declare death.
         for t in &mut self.state.last_uplink_step {
@@ -840,9 +970,15 @@ impl Manager {
         if let Some(store) = self.store.as_mut() {
             store.set_epoch(step);
         }
+        if let Some(fleet) = self.fleet.as_ref() {
+            fleet.obs.set_epoch(self.state.epoch);
+        }
         for up in plane.poll_up() {
             if let (Some(store), false) = (self.store.as_mut(), up.profiles.is_empty()) {
                 store.merge_digests(&up.profiles);
+            }
+            if let (Some(fleet), Some(digest)) = (self.fleet.as_mut(), up.journal.as_ref()) {
+                fleet.fold_uplink(up.server, digest);
             }
             if self.resilient && !self.state.alive[up.server] {
                 self.state.alive[up.server] = true;
@@ -895,6 +1031,11 @@ impl Manager {
                 }
                 self.state.last_key = key;
                 self.state.epoch = step + 1;
+                if let Some(fleet) = self.fleet.as_ref() {
+                    // Fresh-epoch records (the broadcast wave below)
+                    // carry the new epoch in the timeline key.
+                    fleet.obs.set_epoch(self.state.epoch);
+                }
                 self.state.caps = {
                     let _span = plane.observability().map(|o| o.span("coordination"));
                     self.apportion(total, floor)
@@ -908,12 +1049,28 @@ impl Manager {
             }
         }
 
+        // Fold the manager's own journal (plane fault mirrors, breaker
+        // decisions) into the timeline every tick, so the checkpoint
+        // below always carries a fold position consistent with the
+        // timeline it snapshots.
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.fold_own_journal();
+        }
+
         if self.resilient
             && self.config.checkpoint_interval_steps > 0
             && step.is_multiple_of(self.config.checkpoint_interval_steps)
         {
             self.checkpoint = Some(self.state.clone());
             self.store_checkpoint = self.store.as_ref().map(ProfileStore::snapshot_json);
+            if let Some(fleet) = self.fleet.as_mut() {
+                fleet.checkpoint = Some(FleetCheckpoint {
+                    timeline: fleet.timeline.clone(),
+                    acked: fleet.acked.clone(),
+                    own_shipped: fleet.own_shipped,
+                });
+                fleet.obs.inc("timeline_checkpoints_total");
+            }
             self.checkpoints += 1;
         }
     }
@@ -978,6 +1135,10 @@ impl Manager {
                     cap: self.state.caps[i],
                     repair,
                     profiles: profiles.clone(),
+                    // Ack watermarks ride the existing waves: a dropped
+                    // downlink just means the agent re-ships a digest
+                    // the idempotent merge dedups for free.
+                    journal_acked: self.fleet.as_ref().map_or(0, |f| f.acked[i]),
                 },
             );
         }
@@ -1031,6 +1192,60 @@ impl Default for BreakerConfig {
             floor: Watts::new(50.0),
         }
     }
+}
+
+/// Tuning of the fleet flight recorder
+/// ([`run_cluster_flight_recorded`]): every agent gets its own journal,
+/// ships size-capped deltas on its uplinks, and the manager folds them
+/// (plus its own journal) into a merged [`FleetTimeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetObsOptions {
+    /// Per-journal configuration (ring capacity, heartbeat thresholds),
+    /// shared by every server journal and the manager's.
+    pub config: ObsConfig,
+    /// Byte budget for one uplinked digest. A digest always carries at
+    /// least one record so a backlog drains even under a tiny budget;
+    /// the cap bounds bytes-on-the-wire per wave at
+    /// `servers * max_digest_bytes`.
+    pub max_digest_bytes: usize,
+}
+
+impl Default for FleetObsOptions {
+    fn default() -> Self {
+        Self {
+            config: ObsConfig::default(),
+            // Steady-state deltas are a handful of records (~120 bytes
+            // each); 8 KiB lets a healed partition catch up within a
+            // few waves without flooding the link.
+            max_digest_bytes: 8192,
+        }
+    }
+}
+
+/// What a flight-recorded run hands back on top of the resilience
+/// metrics: the merged timeline, the fleet-level metrics registry, and
+/// the raw journal handles for per-server drill-down.
+#[derive(Debug, Clone)]
+pub struct FleetObsReport {
+    /// The merged fleet timeline, keyed `(epoch, poll, server, seq)`.
+    pub timeline: FleetTimeline,
+    /// Manager-side fleet metrics (digest_bytes_total,
+    /// merge_dedup_total, timeline_len, per-server last_acked_seq).
+    pub metrics: MetricsRegistry,
+    /// Digest bytes shipped on uplinks over the whole run.
+    pub digest_bytes_total: u64,
+    /// Largest single-step digest payload across all servers — bounded
+    /// by `servers * max_digest_bytes` by construction.
+    pub max_wave_bytes: u64,
+    /// Digests that carried a `DigestGap` (ring wrapped past unshipped
+    /// records).
+    pub digest_gaps: u64,
+    /// Final per-server ack watermarks.
+    pub last_acked: Vec<u64>,
+    /// The manager's own journal handle.
+    pub manager_obs: Obs,
+    /// Each server's journal handle, by server index.
+    pub server_obs: Vec<Obs>,
 }
 
 /// Online-calibration and knowledge-plane configuration for a managed
@@ -1152,6 +1367,9 @@ pub struct ResilienceReport {
     /// disagree at run end (0 = the knowledge plane converged). `None`
     /// when the knowledge plane is off.
     pub store_divergence: Option<usize>,
+    /// Fleet flight-recorder outcome (`None` unless the run came
+    /// through [`run_cluster_flight_recorded`]).
+    pub fleet: Option<FleetObsReport>,
 }
 
 /// Fingerprints whose profiles differ between two digest sets (an entry
@@ -1227,6 +1445,36 @@ pub fn run_cluster_observed(
     options: &ControlOptions,
     obs: Option<&Obs>,
 ) -> ResilienceReport {
+    run_cluster_inner(mixes, policy, trace, dt, options, obs, None)
+}
+
+/// [`run_cluster`] with the *fleet* flight recorder on: every server
+/// journals locally and ships size-capped deltas on its uplinks, the
+/// manager journals its own decisions (and the control plane's mirrored
+/// fault events) and folds everything into a merged [`FleetTimeline`]
+/// returned in [`ResilienceReport::fleet`]. Like the single-journal
+/// mode, recording changes bookkeeping only — the physics, policy and
+/// fault history stay bit-identical to [`run_cluster`].
+pub fn run_cluster_flight_recorded(
+    mixes: &[Mix],
+    policy: ManagedPolicy,
+    trace: &ClusterPowerTrace,
+    dt: Seconds,
+    options: &ControlOptions,
+    fleet: &FleetObsOptions,
+) -> ResilienceReport {
+    run_cluster_inner(mixes, policy, trace, dt, options, None, Some(fleet))
+}
+
+fn run_cluster_inner(
+    mixes: &[Mix],
+    policy: ManagedPolicy,
+    trace: &ClusterPowerTrace,
+    dt: Seconds,
+    options: &ControlOptions,
+    obs: Option<&Obs>,
+    fleet: Option<&FleetObsOptions>,
+) -> ResilienceReport {
     let spec = ServerSpec::xeon_e5_2620();
     let servers = mixes.len();
     assert!(servers > 0, "cluster needs at least one server");
@@ -1271,6 +1519,20 @@ pub fn run_cluster_observed(
             agent.set_observability(obs.clone());
         }
     }
+    // Fleet recording: one journal per server, one for the manager. The
+    // plane mirrors its fault events into the manager's journal (that
+    // is where endpoint losses and takeovers are observed from), and
+    // each agent journals into its own ring, shipped upstream as
+    // digests.
+    let fleet_server_obs: Option<Vec<Obs>> =
+        fleet.map(|fo| (0..servers).map(|_| Obs::new(fo.config.clone())).collect());
+    let fleet_manager_obs: Option<Obs> = fleet.map(|fo| Obs::new(fo.config.clone()));
+    if let (Some(server_obs), Some(manager_obs)) = (&fleet_server_obs, &fleet_manager_obs) {
+        plane.set_observability(manager_obs.clone(), dt);
+        for (agent, o) in agents.iter_mut().zip(server_obs) {
+            agent.set_observability(o.clone());
+        }
+    }
     let manager_store = options
         .warm_start
         .as_ref()
@@ -1285,6 +1547,15 @@ pub fn run_cluster_observed(
         options.manager,
         manager_store,
     );
+    if let Some(manager_obs) = &fleet_manager_obs {
+        manager.fleet = Some(ManagerFleet::new(manager_obs.clone(), servers));
+    }
+    // Fleet-level decisions (breaker arm/trip/clamp) journal into the
+    // manager's fleet journal, or — in the shared single-journal mode —
+    // into that shared journal, so either recording flavor can explain
+    // a trip. `None` when recording is off keeps the run allocation-
+    // and bookkeeping-free.
+    let breaker_obs: Option<&Obs> = fleet_manager_obs.as_ref().or(obs);
     let mut recorder = TraceRecorder::new();
     let mut energy = Joules::ZERO;
     let mut violation_seconds = 0.0f64;
@@ -1292,16 +1563,28 @@ pub fn run_cluster_observed(
     let mut breaker_streak = 0u64;
     let mut breaker_hold_until: Option<u64> = None;
     let mut breaker_trips = 0u64;
+    let mut digest_bytes_total = 0u64;
+    let mut max_wave_bytes = 0u64;
+    let mut step_nets: Vec<(usize, Watts)> = Vec::new();
     let mut now = Seconds::ZERO;
 
     for step in 0..steps {
         plane.begin_step(step);
+        if let Some(manager_obs) = &fleet_manager_obs {
+            // Manager-side records get a poll counter aligned with the
+            // control step, comparable to the per-server mediator polls.
+            manager_obs.begin_poll();
+        }
 
         // Phase 1: node churn. Restarts first (a node that crashed
         // `node_down_steps` ago rejoins), then fresh crash rolls.
         for (i, agent) in agents.iter_mut().enumerate() {
             if !plane.node_up(i) {
                 if plane.restart_due(i) {
+                    // A rebooted node's journal clock resumes at fleet
+                    // time (its ring survived on local disk; the
+                    // downtime is simply a gap in its records).
+                    agent.sync_clock(now);
                     agent.restart();
                 }
             } else if plane.roll_crash(i) {
@@ -1314,6 +1597,9 @@ pub fn run_cluster_observed(
         // during the hold cleared its clamp when it rebooted).
         if breaker_hold_until == Some(step) {
             breaker_hold_until = None;
+            if let Some(o) = breaker_obs {
+                o.emit(now, ObsEvent::BreakerRelease);
+            }
             for (i, agent) in agents.iter_mut().enumerate() {
                 if plane.node_up(i) {
                     agent.emergency_release();
@@ -1355,6 +1641,8 @@ pub fn run_cluster_observed(
 
         // Phase 4: simulation step of every up node + telemetry uplink.
         let mut cluster_net = Watts::ZERO;
+        let mut wave_bytes = 0u64;
+        step_nets.clear();
         for (i, agent) in agents.iter_mut().enumerate() {
             if !plane.node_up(i) {
                 continue;
@@ -1362,6 +1650,17 @@ pub fn run_cluster_observed(
             let report = agent.step(dt);
             energy += report.net_power * dt;
             cluster_net += report.net_power;
+            if breaker_obs.is_some() {
+                step_nets.push((i, report.net_power));
+            }
+            // Since-last-ack journal delta. Shipped on *every* wave
+            // until acked — a dropped uplink or a dead manager just
+            // means the next wave re-ships a digest the idempotent
+            // fleet merge dedups for free.
+            let journal = fleet.and_then(|fo| agent.ship_journal(fo.max_digest_bytes));
+            if let Some(digest) = &journal {
+                wave_bytes += digest.bytes;
+            }
             plane.send_up(
                 i,
                 Uplink {
@@ -1374,9 +1673,12 @@ pub fn run_cluster_observed(
                     } else {
                         Vec::new()
                     },
+                    journal,
                 },
             );
         }
+        digest_bytes_total += wave_bytes;
+        max_wave_bytes = max_wave_bytes.max(wave_bytes);
 
         // Phase 5: budget scoring, facility protection, and cluster
         // telemetry.
@@ -1385,6 +1687,35 @@ pub fn run_cluster_observed(
             violation_seconds += dt.value();
             excess_watt_seconds += (cluster_net - budget).value() * dt.value();
             breaker_streak += 1;
+            if let Some(o) = breaker_obs {
+                // The arming evidence: the fleet-level violation, then
+                // each up server drawing above its *intended* share.
+                // Comparing against the manager's caps (not the cap the
+                // server currently obeys) attributes overdraw to a
+                // server running on a stale assignment — exactly the
+                // naive-flavor failure a merged timeline must surface.
+                o.emit(
+                    now,
+                    ObsEvent::FleetOverBudget {
+                        net_w: cluster_net.value(),
+                        budget_w: budget.value(),
+                        streak: breaker_streak,
+                    },
+                );
+                for &(i, net) in &step_nets {
+                    let share = manager.state.caps[i];
+                    if net.violates_cap(share) {
+                        o.emit(
+                            now,
+                            ObsEvent::ServerOverdraw {
+                                server: i,
+                                net_w: net.value(),
+                                share_w: share.value(),
+                            },
+                        );
+                    }
+                }
+            }
         } else {
             breaker_streak = 0;
         }
@@ -1395,9 +1726,21 @@ pub fn run_cluster_observed(
             breaker_trips += 1;
             breaker_streak = 0;
             breaker_hold_until = Some(step + options.breaker.hold_steps);
+            if let Some(o) = breaker_obs {
+                o.emit(
+                    now,
+                    ObsEvent::BreakerTrip {
+                        hold_steps: options.breaker.hold_steps,
+                        floor_w: options.breaker.floor.value(),
+                    },
+                );
+            }
             for (i, agent) in agents.iter_mut().enumerate() {
                 if plane.node_up(i) {
                     agent.emergency_clamp(options.breaker.floor);
+                    if let Some(o) = breaker_obs {
+                        o.emit(now, ObsEvent::EmergencyClamp { server: i });
+                    }
                 }
             }
         }
@@ -1465,6 +1808,40 @@ pub fn run_cluster_observed(
             .sum()
     });
 
+    // Fleet flight-recorder epilogue: fold the manager's last journal
+    // records (phase-5 breaker decisions land after its tick) and any
+    // server records still in flight when the run ended, so the
+    // returned timeline is complete — in a live deployment those would
+    // simply ship on the next wave.
+    let fleet_report = fleet_manager_obs.map(|manager_obs| {
+        let mf = manager.fleet.as_mut().expect("fleet recording enabled");
+        mf.fold_own_journal();
+        let server_obs = fleet_server_obs.unwrap_or_default();
+        for (i, o) in server_obs.iter().enumerate() {
+            // Local drain, not a wire ship: merge directly so the
+            // digest_bytes_total metric keeps counting uplink bytes
+            // only.
+            let digest = o.digest_since(i as u64, mf.acked[i], usize::MAX);
+            if digest.wrapped {
+                mf.digest_gaps += 1;
+            }
+            mf.timeline.merge_digest(&digest);
+            mf.acked[i] = mf.acked[i].max(digest.ack_to());
+        }
+        mf.obs.set_gauge("timeline_len", mf.timeline.len() as f64);
+        mf.publish_ack_gauges();
+        FleetObsReport {
+            timeline: mf.timeline.clone(),
+            metrics: manager_obs.metrics(),
+            digest_bytes_total,
+            max_wave_bytes,
+            digest_gaps: mf.digest_gaps,
+            last_acked: mf.acked.clone(),
+            manager_obs,
+            server_obs,
+        }
+    });
+
     ResilienceReport {
         report: ClusterReport::from_parts(policy.label, per_app_perf, energy),
         violation_seconds,
@@ -1475,6 +1852,7 @@ pub fn run_cluster_observed(
         probe_split,
         store_stats,
         store_divergence,
+        fleet: fleet_report,
     }
 }
 
@@ -1960,5 +2338,185 @@ mod tests {
             protected.stats.breaker_trips as f64,
             "the telemetry series tracks the counter"
         );
+    }
+
+    #[test]
+    fn flight_recorded_run_is_bit_identical_and_merges_every_journal() {
+        // Same shape as the single-journal bit-identity test, but with
+        // the fleet recorder: per-server journals ship digests over the
+        // lossy reference plane and the manager merges them.
+        let trace = ClusterPowerTrace::from_samples(vec![
+            (Seconds::ZERO, Watts::new(160.0)),
+            (Seconds::new(30.0), Watts::new(130.0)),
+            (Seconds::new(60.0), Watts::new(160.0)),
+        ]);
+        let mixes = mixes_for(2);
+        let options = ControlOptions {
+            faults: ClusterFaultConfig::default_scenario(13),
+            ..ControlOptions::perfect(13)
+        };
+        let base = run_cluster(&mixes, ManagedPolicy::equal_ours(), &trace, DT, &options);
+        let fo = FleetObsOptions::default();
+        let recorded = run_cluster_flight_recorded(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &options,
+            &fo,
+        );
+        // Zero-cost-off, fleet flavor: recording changes bookkeeping
+        // only — physics, policy and the fault history are untouched.
+        assert_eq!(base.report, recorded.report);
+        assert_eq!(base.trace_digest, recorded.trace_digest);
+        assert_eq!(base.violation_seconds, recorded.violation_seconds);
+        assert_eq!(base.recorder, recorded.recorder);
+        assert!(base.fleet.is_none(), "plain runs carry no fleet report");
+
+        let fleet = recorded.fleet.as_ref().expect("fleet report attached");
+        // Every journal reached the timeline: both servers and the
+        // manager's own (which holds the plane's mirrored fault events).
+        let sources: std::collections::BTreeSet<u64> =
+            fleet.timeline.iter().map(|e| e.server_id).collect();
+        assert!(sources.contains(&0), "sources: {sources:?}");
+        assert!(sources.contains(&1), "sources: {sources:?}");
+        assert!(sources.contains(&MANAGER_SERVER_ID), "sources: {sources:?}");
+        // Acks rode the downlink waves and advanced the watermarks.
+        assert!(
+            fleet.last_acked.iter().all(|a| *a > 0),
+            "acks advanced: {:?}",
+            fleet.last_acked
+        );
+        // Bytes-on-the-wire are bounded per wave by construction.
+        assert!(fleet.digest_bytes_total > 0);
+        assert!(
+            fleet.max_wave_bytes <= (mixes.len() * fo.max_digest_bytes) as u64,
+            "wave bound: {} <= {}",
+            fleet.max_wave_bytes,
+            mixes.len() * fo.max_digest_bytes
+        );
+        // The manager-side registry exposes the satellite metrics.
+        assert!(fleet.metrics.counter("digest_bytes_total") > 0);
+        assert_eq!(
+            fleet.metrics.gauge("timeline_len"),
+            Some(fleet.timeline.len() as f64)
+        );
+        assert!(fleet
+            .metrics
+            .gauge(&prom_label("last_acked_seq", &[("server", "0")]))
+            .is_some());
+
+        // Same seed, same merged timeline — byte-identical.
+        let again = run_cluster_flight_recorded(
+            &mixes,
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &options,
+            &fo,
+        );
+        let fleet_again = again.fleet.as_ref().expect("fleet report attached");
+        assert_eq!(fleet.timeline.digest(), fleet_again.timeline.digest());
+        assert_eq!(fleet.timeline, fleet_again.timeline);
+    }
+
+    #[test]
+    fn fleet_timeline_survives_manager_failover() {
+        // Kill the resilient manager mid-run: the standby restores the
+        // checkpointed timeline and the agents re-ship whatever the
+        // crash lost, so records from before the kill are still present
+        // at run end.
+        let trace = short_trace(2);
+        let options = ControlOptions {
+            faults: ClusterFaultConfig {
+                manager_crash_step: Some(60),
+                manager_takeover_steps: 10,
+                ..ClusterFaultConfig::default_scenario(21)
+            },
+            ..ControlOptions::perfect(21)
+        };
+        let recorded = run_cluster_flight_recorded(
+            &mixes_for(2),
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &options,
+            &FleetObsOptions::default(),
+        );
+        assert!(recorded.stats.manager_failovers >= 1);
+        let fleet = recorded.fleet.as_ref().expect("fleet report attached");
+        // Pre-kill records (t < 30 s) from both servers survived the
+        // takeover, through the checkpoint or an idempotent re-ship.
+        for server in [0u64, 1u64] {
+            assert!(
+                fleet
+                    .timeline
+                    .iter()
+                    .any(|e| e.server_id == server && e.record.at < Seconds::new(30.0)),
+                "server {server} pre-kill records survive the failover"
+            );
+        }
+        // The failover is itself on the record — both as mirrored fault
+        // events in the manager's journal and as a metrics counter.
+        assert!(fleet
+            .manager_obs
+            .journal_snapshot()
+            .iter()
+            .any(|r| matches!(r.event, ObsEvent::ManagerCrash | ObsEvent::ManagerTakeover)));
+        assert!(fleet.metrics.counter("timeline_failovers_total") > 0);
+    }
+
+    #[test]
+    fn breaker_trip_is_journalled_with_its_arming_evidence() {
+        // The sustained-overdraw scenario, flight-recorded: the naive
+        // fleet keeps drawing over a stepped-down budget, and the
+        // manager's journal must carry the whole causal chain — the
+        // over-budget streak, the per-server overdraw attribution, the
+        // trip, the clamps, and the eventual release.
+        let trace = ClusterPowerTrace::from_samples(vec![
+            (Seconds::ZERO, Watts::new(200.0)),
+            (Seconds::new(30.0), Watts::new(120.0)),
+            (Seconds::new(60.0), Watts::new(120.0)),
+        ]);
+        let opts = ControlOptions {
+            resilient: false,
+            faults: ClusterFaultConfig {
+                downlink_drop_prob: 1.0,
+                ..ClusterFaultConfig::none(9)
+            },
+            breaker: BreakerConfig::default(),
+            ..ControlOptions::perfect(9)
+        };
+        let recorded = run_cluster_flight_recorded(
+            &mixes_for(2),
+            ManagedPolicy::equal_ours(),
+            &trace,
+            DT,
+            &opts,
+            &FleetObsOptions::default(),
+        );
+        assert!(recorded.stats.breaker_trips >= 1);
+        let fleet = recorded.fleet.as_ref().expect("fleet report attached");
+        let kinds: std::collections::BTreeSet<&str> = fleet
+            .timeline
+            .iter()
+            .filter(|e| e.server_id == MANAGER_SERVER_ID)
+            .map(|e| e.record.event.kind())
+            .collect();
+        for kind in [
+            "fleet_over_budget",
+            "server_overdraw",
+            "breaker_trip",
+            "emergency_clamp",
+            "breaker_release",
+        ] {
+            assert!(kinds.contains(kind), "missing {kind}: {kinds:?}");
+        }
+        // Overdraw attribution names the stale-capped servers against
+        // the manager's *intended* share, not the cap they obey.
+        assert!(fleet.timeline.iter().any(|e| matches!(
+            e.record.event,
+            ObsEvent::ServerOverdraw { net_w, share_w, .. } if net_w > share_w
+        )));
     }
 }

@@ -49,8 +49,8 @@ pub mod trace;
 
 pub use agent::{AgentConfig, ServerAgent};
 pub use control::{
-    ClusterFaultConfig, ControlOptions, ControlPlane, ManagedPolicy, ManagerConfig,
-    PartitionWindow, ResilienceReport,
+    ClusterFaultConfig, ControlOptions, ControlPlane, FleetObsOptions, FleetObsReport,
+    ManagedPolicy, ManagerConfig, PartitionWindow, ResilienceReport,
 };
 pub use manager::{ClusterManager, ClusterPolicy, ClusterReport};
 pub use trace::ClusterPowerTrace;

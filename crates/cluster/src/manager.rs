@@ -175,6 +175,22 @@ impl ClusterManager {
         control::run_cluster(&self.workload(), policy, trace, dt, options)
     }
 
+    /// [`ClusterManager::run_with_control`] with the fleet flight
+    /// recorder on: every server journals locally and ships digests
+    /// upstream, and the returned report carries the manager's merged
+    /// [`powermed_telemetry::FleetTimeline`] in
+    /// [`crate::control::ResilienceReport::fleet`].
+    pub fn run_flight_recorded(
+        &self,
+        policy: ManagedPolicy,
+        trace: &ClusterPowerTrace,
+        dt: Seconds,
+        options: &ControlOptions,
+        fleet: &control::FleetObsOptions,
+    ) -> crate::control::ResilienceReport {
+        control::run_cluster_flight_recorded(&self.workload(), policy, trace, dt, options, fleet)
+    }
+
     /// Candidate per-server caps: 50 W (parked at idle) through 115 W in
     /// 5 W steps — the ladder for the paper's homogeneous Xeon fleet.
     pub fn candidate_caps() -> impl Iterator<Item = Watts> {

@@ -291,6 +291,78 @@ pub enum ObsEvent {
         /// Whether attainment met the configured target.
         ok: bool,
     },
+    /// The bounded journal ring overwrote records that were never
+    /// shipped in a digest: the fleet timeline has a hole of `dropped`
+    /// events starting at this record's own `seq`. Synthesized at
+    /// digest-extraction time (never stored in the ring, which would
+    /// recurse at capacity 1) and regenerated identically on every
+    /// re-ship, so the idempotent fleet merge dedups it for free.
+    DigestGap {
+        /// Unshipped records lost to the wraparound.
+        dropped: u64,
+    },
+    /// Manager-side: one control step of aggregate net draw over the
+    /// cluster budget while the facility breaker arms.
+    FleetOverBudget {
+        /// Aggregate net draw that step, in watts.
+        net_w: f64,
+        /// The cluster budget in force, in watts.
+        budget_w: f64,
+        /// Consecutive violating steps so far (including this one).
+        streak: u64,
+    },
+    /// Manager-side: during an over-budget step, one server's reported
+    /// draw exceeded the share the manager intended for it — the
+    /// per-server attribution of a breaker arm (a naive server obeying a
+    /// stale cap is over the manager's *intended* share, not its own).
+    ServerOverdraw {
+        /// The overdrawing server.
+        server: usize,
+        /// Its reported net draw, in watts.
+        net_w: f64,
+        /// The share the manager intended for it, in watts.
+        share_w: f64,
+    },
+    /// The facility breaker tripped: every up server is clamped to the
+    /// floor for the hold window.
+    BreakerTrip {
+        /// Steps the emergency clamp stays in force.
+        hold_steps: u64,
+        /// The clamp floor, in watts.
+        floor_w: f64,
+    },
+    /// The breaker's hold expired and pre-trip caps were restored.
+    BreakerRelease,
+    /// The fleet clamp landed on one server (breaker floor applied).
+    EmergencyClamp {
+        /// The clamped server.
+        server: usize,
+    },
+    /// Agent-side: one heartbeat interval elapsed with no downlink.
+    HeartbeatMissed {
+        /// Consecutive missed intervals so far (including this one).
+        misses: u64,
+    },
+    /// Agent-side: downlink silence engaged the conservative local
+    /// fallback cap (see [`crate::journal::ObsEvent::FallbackCap`] for
+    /// the unrelated estimation-ladder cap shave).
+    FallbackEngage {
+        /// The cap the fallback engaged on (the last acked share), in
+        /// watts.
+        cap_w: f64,
+    },
+    /// Agent-side: the engaged fallback decayed the local cap one step
+    /// toward the idle floor.
+    FallbackDecay {
+        /// The cap after the decay step, in watts.
+        cap_w: f64,
+    },
+    /// Agent-side: a fresh downlink released the fallback cap (the
+    /// partitioned node rejoined).
+    FallbackRelease {
+        /// The manager's cap that replaced the fallback, in watts.
+        cap_w: f64,
+    },
 }
 
 impl ObsEvent {
@@ -332,6 +404,16 @@ impl ObsEvent {
             ObsEvent::IntegrityFault { .. } => "integrity_fault",
             ObsEvent::DemandSpike { .. } => "demand_spike",
             ObsEvent::SloWindow { .. } => "slo_window",
+            ObsEvent::DigestGap { .. } => "digest_gap",
+            ObsEvent::FleetOverBudget { .. } => "fleet_over_budget",
+            ObsEvent::ServerOverdraw { .. } => "server_overdraw",
+            ObsEvent::BreakerTrip { .. } => "breaker_trip",
+            ObsEvent::BreakerRelease => "breaker_release",
+            ObsEvent::EmergencyClamp { .. } => "emergency_clamp",
+            ObsEvent::HeartbeatMissed { .. } => "heartbeat_missed",
+            ObsEvent::FallbackEngage { .. } => "fallback_engage",
+            ObsEvent::FallbackDecay { .. } => "fallback_decay",
+            ObsEvent::FallbackRelease { .. } => "fallback_release",
         }
     }
 
@@ -461,6 +543,261 @@ impl EventJournal {
     /// The most recent record, if any.
     pub fn latest(&self) -> Option<&EventRecord> {
         self.ring.back()
+    }
+
+    /// Extracts a bounded delta digest of everything recorded since the
+    /// receiver's watermark `since` (the first unacknowledged sequence
+    /// number).
+    ///
+    /// Entries are contiguous and oldest-first, so acknowledging
+    /// [`JournalDigest::ack_to`] never skips an unshipped record. The
+    /// digest is size-capped at roughly `max_bytes` of deterministic
+    /// encoding — a digest must survive a lossy link as one frame — with
+    /// two carve-outs: the first record always ships even when it alone
+    /// exceeds the budget (progress beats the cap), and everything past
+    /// the budget is counted in [`JournalDigest::truncated`] and left
+    /// for the next wave. When the ring wrapped past unshipped records,
+    /// the digest leads with a synthesized [`ObsEvent::DigestGap`]
+    /// carrying the dropped count, stamped with the oldest survivor's
+    /// coordinates so every re-ship regenerates the identical gap record
+    /// and the idempotent fleet merge dedups it.
+    pub fn digest_since(&self, server_id: u64, since: u64, max_bytes: usize) -> JournalDigest {
+        let oldest_retained = self.ring.front().map_or(self.next_seq, |r| r.seq);
+        let resume_at = oldest_retained.max(since);
+        let dropped = resume_at - since;
+        let wrapped = dropped > 0;
+        let mut entries = Vec::new();
+        let mut bytes = DIGEST_HEADER_BYTES;
+        let mut truncated = 0u64;
+        if wrapped {
+            let (at, poll, epoch) = self
+                .ring
+                .front()
+                .map_or((Seconds::ZERO, 0, 0), |r| (r.at, r.poll, r.epoch));
+            let gap = EventRecord {
+                seq: since,
+                at,
+                poll,
+                epoch,
+                event: ObsEvent::DigestGap { dropped },
+            };
+            bytes += encoded_cost(&gap);
+            entries.push(gap);
+        }
+        let mut shipping = true;
+        for rec in self.ring.iter() {
+            if rec.seq < resume_at {
+                continue;
+            }
+            let cost = encoded_cost(rec);
+            if shipping && (bytes + cost <= max_bytes || entries.is_empty()) {
+                bytes += cost;
+                entries.push(rec.clone());
+            } else {
+                // The delta must stay contiguous: once one record is
+                // over budget, everything after it waits too.
+                shipping = false;
+                truncated += 1;
+            }
+        }
+        JournalDigest {
+            server_id,
+            since,
+            entries,
+            wrapped,
+            dropped,
+            truncated,
+            bytes: bytes as u64,
+        }
+    }
+}
+
+/// Fixed per-digest overhead charged by [`JournalDigest::bytes`]
+/// (server id, watermark, flags) on top of the per-record encoding cost.
+const DIGEST_HEADER_BYTES: usize = 32;
+
+/// Deterministic wire-size estimate of one record: the length of its
+/// `Debug` encoding, which is also what [`Obs::digest`] folds — so the
+/// byte cap and the determinism fingerprint agree on what a record is.
+fn encoded_cost(rec: &EventRecord) -> usize {
+    format!("{rec:?}").len()
+}
+
+/// Reserved `server_id` under which a manager merges its own journal
+/// (including the control plane's mirrored fault events) into a
+/// [`FleetTimeline`].
+pub const MANAGER_SERVER_ID: u64 = u64::MAX;
+
+/// A bounded delta of one server's journal, shipped over the control
+/// plane (see [`EventJournal::digest_since`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalDigest {
+    /// The shipping server's fleet-wide id.
+    pub server_id: u64,
+    /// The watermark this digest is a delta against: the first sequence
+    /// number the receiver had not acknowledged.
+    pub since: u64,
+    /// Records with `seq >= since`, contiguous and oldest-first. When
+    /// the ring wrapped past unshipped records the first entry is a
+    /// synthesized [`ObsEvent::DigestGap`].
+    pub entries: Vec<EventRecord>,
+    /// True when the ring overwrote records in `since..` before they
+    /// could ship — the blind spot the gap entry marks.
+    pub wrapped: bool,
+    /// Unshipped records lost to the wraparound.
+    pub dropped: u64,
+    /// Records past the byte budget, left for the next wave.
+    pub truncated: u64,
+    /// Deterministic wire-size estimate of this digest.
+    pub bytes: u64,
+}
+
+impl JournalDigest {
+    /// The watermark the receiver should advance to after merging: one
+    /// past the newest record shipped, or past the wraparound hole when
+    /// nothing beyond it fit. Acknowledging this is safe because entries
+    /// are contiguous — nothing below it remains unshipped.
+    pub fn ack_to(&self) -> u64 {
+        let past_hole = if self.wrapped {
+            self.since + self.dropped
+        } else {
+            self.since
+        };
+        self.entries
+            .iter()
+            .map(|r| r.seq + 1)
+            .fold(past_hole, u64::max)
+    }
+
+    /// True when the digest carries nothing (no new records, no gap).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One entry in a merged fleet timeline: a journal record plus the
+/// server it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRecord {
+    /// The originating server ([`MANAGER_SERVER_ID`] for the manager's
+    /// own journal).
+    pub server_id: u64,
+    /// The journal record.
+    pub record: EventRecord,
+}
+
+/// The total order a [`FleetTimeline`] merges under:
+/// `(epoch, poll_seq, server_id, seq)`.
+pub type FleetKey = (u64, u64, u64, u64);
+
+/// The manager's merged, queryable view of every journal in the fleet.
+///
+/// Records land keyed by `(epoch, poll_seq, server_id, seq)`, so the
+/// merge is insert-if-absent over a total order: commutative and
+/// idempotent by construction. That is what makes the shipping protocol
+/// trivially robust — agents re-ship their entire unacknowledged
+/// backlog every wave, and duplication under retry, reorder, or delayed
+/// delivery costs nothing but a dedup counter bump. Same-seed runs
+/// produce byte-identical timelines (the `ext_obs` fleet smoke
+/// enforces it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTimeline {
+    entries: BTreeMap<FleetKey, FleetRecord>,
+    merged: u64,
+    deduped: u64,
+}
+
+impl FleetTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The merge key of `record` as shipped by `server_id`.
+    pub fn key(server_id: u64, record: &EventRecord) -> FleetKey {
+        (record.epoch, record.poll, server_id, record.seq)
+    }
+
+    /// Inserts one record if its key is absent. Returns whether it was
+    /// added (false = dedup).
+    pub fn insert(&mut self, server_id: u64, record: EventRecord) -> bool {
+        match self.entries.entry(Self::key(server_id, &record)) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(FleetRecord { server_id, record });
+                self.merged += 1;
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.deduped += 1;
+                false
+            }
+        }
+    }
+
+    /// Merges one shipped digest; returns how many records were new.
+    pub fn merge_digest(&mut self, digest: &JournalDigest) -> u64 {
+        self.merge_records(digest.server_id, &digest.entries)
+    }
+
+    /// Merges a batch of records from one server; returns how many were
+    /// new.
+    pub fn merge_records(&mut self, server_id: u64, records: &[EventRecord]) -> u64 {
+        records
+            .iter()
+            .filter(|r| self.insert(server_id, (*r).clone()))
+            .count() as u64
+    }
+
+    /// Merges another timeline in (union of entries).
+    pub fn merge(&mut self, other: &FleetTimeline) {
+        for entry in other.iter() {
+            self.insert(entry.server_id, entry.record.clone());
+        }
+    }
+
+    /// Number of merged records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has merged yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records accepted as new across all merges.
+    pub fn merged_total(&self) -> u64 {
+        self.merged
+    }
+
+    /// Records rejected as duplicates across all merges — the price of
+    /// re-ship-everything, which the idempotent merge makes zero.
+    pub fn dedup_total(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Iterates the merged records in `(epoch, poll, server, seq)`
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = &FleetRecord> {
+        self.entries.values()
+    }
+
+    /// FNV-1a digest over the merged records in key order — the
+    /// byte-identity fingerprint the fleet `ext_obs --smoke` double-run
+    /// compares across processes.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for entry in self.entries.values() {
+            fold(&entry.server_id.to_le_bytes());
+            fold(format!("{:?}", entry.record).as_bytes());
+        }
+        hash
     }
 }
 
@@ -642,6 +979,28 @@ impl Obs {
     /// A copy of the retained journal records, oldest-first.
     pub fn journal_snapshot(&self) -> Vec<EventRecord> {
         self.inner.lock().journal.iter().cloned().collect()
+    }
+
+    /// Extracts a bounded shipping digest of the journal since the
+    /// receiver's watermark (see [`EventJournal::digest_since`]).
+    pub fn digest_since(&self, server_id: u64, since: u64, max_bytes: usize) -> JournalDigest {
+        self.inner
+            .lock()
+            .journal
+            .digest_since(server_id, since, max_bytes)
+    }
+
+    /// Retained records with `seq >= since`, oldest-first — how a
+    /// manager folds its own journal into a fleet timeline without
+    /// re-copying what it already merged.
+    pub fn records_since(&self, since: u64) -> Vec<EventRecord> {
+        self.inner
+            .lock()
+            .journal
+            .iter()
+            .filter(|r| r.seq >= since)
+            .cloned()
+            .collect()
     }
 
     /// `(retained, evicted, total)` journal record counts.
@@ -901,5 +1260,266 @@ mod tests {
         obs.emit(at(0.0), ObsEvent::EndpointLoss { server: 3 });
         assert_eq!(obs.metrics().counter("knob_writes_total"), 1);
         assert_eq!(twin.journal_snapshot().len(), 1);
+    }
+
+    fn filled(capacity: usize, events: u64) -> EventJournal {
+        let mut j = EventJournal::new(capacity);
+        for i in 0..events {
+            j.record(
+                at(i as f64),
+                i + 1,
+                0,
+                ObsEvent::UplinkSent { server: 0, step: i },
+            );
+        }
+        j
+    }
+
+    #[test]
+    fn digest_is_a_contiguous_delta_since_the_watermark() {
+        let j = filled(64, 10);
+        let d = j.digest_since(3, 4, 1 << 16);
+        assert!(!d.wrapped);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.truncated, 0);
+        let seqs: Vec<u64> = d.entries.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(d.ack_to(), 10);
+        assert_eq!(d.server_id, 3);
+        // Fully acked: the next digest is empty and holds the watermark.
+        let empty = j.digest_since(3, d.ack_to(), 1 << 16);
+        assert!(empty.is_empty());
+        assert_eq!(empty.ack_to(), 10);
+    }
+
+    #[test]
+    fn digest_byte_cap_truncates_but_the_watermark_still_advances() {
+        let j = filled(64, 12);
+        let mut since = 0u64;
+        let mut waves = 0;
+        // A budget this small admits one record per wave (the first
+        // record always ships): repeated extraction walks the whole
+        // journal without skipping or repeating a record.
+        let mut shipped = Vec::new();
+        while since < j.total_recorded() {
+            let d = j.digest_since(0, since, 1);
+            assert_eq!(d.entries.len(), 1, "one record per starved wave");
+            assert!(d.truncated > 0 || d.ack_to() == j.total_recorded());
+            shipped.extend(d.entries.iter().map(|r| r.seq));
+            assert!(d.ack_to() > since, "progress under any budget");
+            since = d.ack_to();
+            waves += 1;
+        }
+        assert_eq!(waves, 12);
+        assert_eq!(shipped, (0..12).collect::<Vec<u64>>());
+        // A roomy budget ships everything in one wave, within bound.
+        let d = j.digest_since(0, 0, 1 << 16);
+        assert_eq!(d.entries.len(), 12);
+        assert!(d.bytes <= 1 << 16);
+    }
+
+    #[test]
+    fn wraparound_marks_a_digest_gap_at_cap_one() {
+        // Capacity 1: three events recorded, only seq 2 survives. The
+        // digest must lead with a DigestGap for the two lost records —
+        // synthesized, not stored, so the ring itself never recursed.
+        let j = filled(1, 3);
+        let d = j.digest_since(0, 0, 1 << 16);
+        assert!(d.wrapped);
+        assert_eq!(d.dropped, 2);
+        assert_eq!(d.entries.len(), 2);
+        assert_eq!(d.entries[0].seq, 0, "gap sits at the first lost seq");
+        assert_eq!(d.entries[0].event, ObsEvent::DigestGap { dropped: 2 });
+        assert_eq!(d.entries[1].seq, 2);
+        assert_eq!(d.ack_to(), 3);
+        // Re-shipping regenerates the identical gap record.
+        assert_eq!(j.digest_since(0, 0, 1 << 16), d);
+    }
+
+    #[test]
+    fn wraparound_marks_a_digest_gap_at_cap_two() {
+        let j = filled(2, 5);
+        let d = j.digest_since(0, 1, 1 << 16);
+        assert!(d.wrapped);
+        assert_eq!(d.dropped, 2, "seqs 1 and 2 were overwritten unshipped");
+        assert_eq!(d.entries[0].event, ObsEvent::DigestGap { dropped: 2 });
+        assert_eq!(d.entries[0].seq, 1);
+        let seqs: Vec<u64> = d.entries.iter().skip(1).map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(d.ack_to(), 5);
+        // Already-acked evictions are not a gap.
+        let clean = j.digest_since(0, 3, 1 << 16);
+        assert!(!clean.wrapped);
+        assert_eq!(clean.dropped, 0);
+    }
+
+    #[test]
+    fn empty_ring_past_the_watermark_is_all_gap() {
+        let j = filled(0, 4);
+        let d = j.digest_since(0, 0, 1 << 16);
+        assert!(d.wrapped);
+        assert_eq!(d.dropped, 4);
+        assert_eq!(d.entries.len(), 1, "only the gap marker ships");
+        assert_eq!(d.ack_to(), 4, "the hole itself is acknowledged");
+    }
+
+    #[test]
+    fn fleet_merge_is_idempotent_and_counts_dedup() {
+        let j = filled(64, 6);
+        let d = j.digest_since(7, 0, 1 << 16);
+        let mut t = FleetTimeline::new();
+        assert_eq!(t.merge_digest(&d), 6);
+        assert_eq!(t.merge_digest(&d), 0, "re-ship merges nothing new");
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.merged_total(), 6);
+        assert_eq!(t.dedup_total(), 6);
+        assert!(t.iter().all(|e| e.server_id == 7));
+    }
+
+    #[test]
+    fn fleet_timeline_orders_by_epoch_poll_server_seq() {
+        let rec = |seq, poll, epoch| EventRecord {
+            seq,
+            at: at(0.0),
+            poll,
+            epoch,
+            event: ObsEvent::ManagerCrash,
+        };
+        let mut t = FleetTimeline::new();
+        t.insert(1, rec(5, 2, 1));
+        t.insert(0, rec(9, 2, 1));
+        t.insert(2, rec(0, 1, 2));
+        t.insert(0, rec(3, 9, 0));
+        let keys: Vec<FleetKey> = t
+            .iter()
+            .map(|e| FleetTimeline::key(e.server_id, &e.record))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(0, 9, 0, 3), (1, 2, 0, 9), (1, 2, 1, 5), (2, 1, 2, 0)]
+        );
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "iteration follows the merge key order");
+    }
+
+    #[test]
+    fn fleet_digest_is_sensitive_to_content_and_provenance() {
+        let j = filled(64, 3);
+        let mut a = FleetTimeline::new();
+        let mut b = FleetTimeline::new();
+        a.merge_digest(&j.digest_since(0, 0, 1 << 16));
+        b.merge_digest(&j.digest_since(1, 0, 1 << 16));
+        assert_ne!(a.digest(), b.digest(), "same records, different server");
+        let mut twin = FleetTimeline::new();
+        twin.merge_digest(&j.digest_since(0, 0, 1 << 16));
+        assert_eq!(a.digest(), twin.digest());
+    }
+
+    /// Deterministic splitmix64 helper for the property tests below.
+    fn mix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A generated fleet: per-server record streams with varied epochs
+    /// and polls, derived entirely from `seed`.
+    fn generated_fleet(seed: u64) -> Vec<(u64, Vec<EventRecord>)> {
+        let mut s = seed;
+        let servers = 1 + (mix64(&mut s) % 4) as usize;
+        (0..servers as u64)
+            .map(|sid| {
+                let n = mix64(&mut s) % 24;
+                let mut epoch = 0u64;
+                let mut poll = 0u64;
+                let records = (0..n)
+                    .map(|seq| {
+                        epoch += mix64(&mut s) % 2;
+                        poll += mix64(&mut s) % 3;
+                        EventRecord {
+                            seq,
+                            at: at(seq as f64),
+                            poll,
+                            epoch,
+                            event: ObsEvent::UplinkSent {
+                                server: sid as usize,
+                                step: mix64(&mut s) % 100,
+                            },
+                        }
+                    })
+                    .collect();
+                (sid, records)
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        /// Merging the same digest set in any delivery order — with
+        /// duplication, reordering, and delayed (split) delivery — lands
+        /// on the same timeline: the merge is commutative and idempotent.
+        #[test]
+        fn prop_merge_commutes_under_duplication_reorder_and_delay(
+            seed in 0u64..u64::MAX,
+            split in 1usize..8,
+        ) {
+            let fleet = generated_fleet(seed);
+            // In-order, whole-stream delivery.
+            let mut reference = FleetTimeline::new();
+            for (sid, records) in &fleet {
+                reference.merge_records(*sid, records);
+            }
+            // Adversarial delivery: streams split into waves, waves
+            // delivered server-interleaved in reverse, every wave
+            // delivered twice (retry duplication).
+            let mut waves: Vec<(u64, &[EventRecord])> = Vec::new();
+            for (sid, records) in &fleet {
+                for chunk in records.chunks(split) {
+                    waves.push((*sid, chunk));
+                }
+            }
+            waves.reverse();
+            let mut adversarial = FleetTimeline::new();
+            for (sid, chunk) in &waves {
+                adversarial.merge_records(*sid, chunk);
+                adversarial.merge_records(*sid, chunk);
+            }
+            proptest::prop_assert_eq!(reference.len(), adversarial.len());
+            proptest::prop_assert_eq!(reference.digest(), adversarial.digest());
+            // Every record was delivered exactly twice.
+            proptest::prop_assert_eq!(adversarial.dedup_total(), adversarial.merged_total());
+            // Idempotence at the timeline level too.
+            let before = adversarial.digest();
+            let twin = adversarial.clone();
+            adversarial.merge(&twin);
+            proptest::prop_assert_eq!(adversarial.digest(), before);
+        }
+
+        /// The `(epoch, poll, server, seq)` key is a total order on any
+        /// generated digest set: all keys are distinct (seq is unique
+        /// per server) and iteration is strictly increasing.
+        #[test]
+        fn prop_merge_key_orders_generated_digest_sets_totally(
+            seed in 0u64..u64::MAX,
+        ) {
+            let fleet = generated_fleet(seed);
+            let mut t = FleetTimeline::new();
+            let mut pushed = 0u64;
+            for (sid, records) in &fleet {
+                pushed += records.len() as u64;
+                t.merge_records(*sid, records);
+            }
+            // seq is unique per server, so there are no key collisions.
+            proptest::prop_assert_eq!(t.len() as u64, pushed);
+            let keys: Vec<FleetKey> = t
+                .iter()
+                .map(|e| FleetTimeline::key(e.server_id, &e.record))
+                .collect();
+            for w in keys.windows(2) {
+                proptest::prop_assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+            }
+        }
     }
 }

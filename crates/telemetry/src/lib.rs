@@ -36,7 +36,8 @@ pub mod store;
 pub use faults::{EstimationStats, FaultStats, HardeningStats};
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
 pub use journal::{
-    EventJournal, EventRecord, KnobWriteVerdict, Obs, ObsConfig, ObsEvent, SafeModeTransition,
+    EventJournal, EventRecord, FleetKey, FleetRecord, FleetTimeline, JournalDigest,
+    KnobWriteVerdict, Obs, ObsConfig, ObsEvent, SafeModeTransition, MANAGER_SERVER_ID,
 };
 pub use meter::{CapCompliance, PowerMeter};
 pub use metrics::{prom_label, Histogram, MetricsRegistry};
